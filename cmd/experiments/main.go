@@ -1,0 +1,99 @@
+// Command experiments regenerates the paper's tables and figures on the
+// simulated GTX-480-class device.
+//
+// Usage:
+//
+//	experiments              # run everything (Fig 1.2 .. Appendix A)
+//	experiments -only Fig4.3 # run one artifact
+//	experiments -setup       # print the Table 4.1 configuration
+//	experiments -seed 7      # change the deterministic queue shuffles
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"path/filepath"
+	"strings"
+	"time"
+
+	"repro/internal/config"
+	"repro/internal/experiments"
+)
+
+func main() {
+	log.SetFlags(0)
+	only := flag.String("only", "", "run a single artifact (e.g. Fig4.3, Table3.2, AppendixA)")
+	seed := flag.Uint64("seed", experiments.DefaultSeed, "queue shuffle seed")
+	setup := flag.Bool("setup", false, "print the experimental setup (Table 4.1) and exit")
+	csvDir := flag.String("csv", "", "also write each artifact as CSV into this directory")
+	flag.Parse()
+
+	cfg := config.GTX480()
+	if *setup {
+		printSetup(cfg)
+		return
+	}
+
+	start := time.Now()
+	log.Printf("initializing pipeline (solo profiles + all-pairs interference) on %s ...", cfg.Name)
+	suite, err := experiments.NewSuite(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	suite.Seed = *seed
+	log.Printf("pipeline ready in %v", time.Since(start).Round(time.Second))
+
+	arts, err := suite.All()
+	if err != nil {
+		log.Fatal(err)
+	}
+	matched := false
+	for _, a := range arts {
+		if *only != "" && !strings.EqualFold(a.ID, *only) {
+			continue
+		}
+		matched = true
+		fmt.Println(a)
+		if *csvDir != "" {
+			if err := writeCSV(*csvDir, a); err != nil {
+				log.Fatal(err)
+			}
+		}
+	}
+	if *only != "" && !matched {
+		log.Fatalf("no artifact named %q", *only)
+	}
+	log.Printf("done in %v", time.Since(start).Round(time.Second))
+	_ = os.Stdout.Sync()
+}
+
+func writeCSV(dir string, a experiments.Artifact) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	name := strings.ReplaceAll(a.ID, ".", "_") + ".csv"
+	f, err := os.Create(filepath.Join(dir, name))
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	return a.WriteCSV(f)
+}
+
+func printSetup(cfg config.GPUConfig) {
+	fmt.Printf("Experimental setup (Table 4.1)\n")
+	fmt.Printf("  GPU architecture    %s\n", cfg.Name)
+	fmt.Printf("  # of SMs            %d\n", cfg.NumSMs)
+	fmt.Printf("  Core frequency      %d MHz\n", cfg.CoreClockMHz)
+	fmt.Printf("  Warps per SM        %d\n", cfg.MaxWarpsPerSM)
+	fmt.Printf("  Blocks per SM       %d\n", cfg.MaxBlocksPerSM)
+	fmt.Printf("  Shared memory       %d kB\n", cfg.SharedMemPerSM/1024)
+	fmt.Printf("  L1 data cache       %d kB per SM\n", cfg.L1.SizeBytes/1024)
+	fmt.Printf("  L2 cache            %d kB\n", cfg.L2.SizeBytes/1024)
+	fmt.Printf("  Memory partitions   %d\n", cfg.NumMemPartitions)
+	fmt.Printf("  Warp scheduler      %s\n", cfg.WarpSched)
+	fmt.Printf("  Memory scheduler    %s\n", cfg.DRAM.Sched)
+	fmt.Printf("  Peak DRAM bandwidth %.1f GB/s\n", cfg.PeakDRAMBandwidthGBps())
+}

@@ -1,0 +1,51 @@
+// Command gpusim runs one benchmark solo on the simulated device and
+// prints its profile signature — the quickest way to inspect a
+// workload's behaviour.
+//
+// Usage:
+//
+//	gpusim -bench BLK            # run BLK on all 60 SMs
+//	gpusim -bench GUPS -sms 30   # run on a 30-SM partition
+//	gpusim -list                 # list available benchmarks
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+
+	"repro/internal/config"
+	"repro/internal/profile"
+	"repro/internal/workloads"
+)
+
+func main() {
+	log.SetFlags(0)
+	bench := flag.String("bench", "", "benchmark name (see -list)")
+	sms := flag.Int("sms", 0, "number of SMs (0 = all)")
+	list := flag.Bool("list", false, "list available benchmarks")
+	flag.Parse()
+
+	if *list {
+		for _, n := range workloads.Names {
+			p := workloads.MustParams(n)
+			fmt.Printf("%-5s expected class %-2s  grid %d x %d warps, %d instrs/warp, pattern %v\n",
+				n, workloads.ExpectedClass[n], p.CTAs, p.WarpsPerCTA, p.InstrsPerWarp, p.Pattern)
+		}
+		return
+	}
+	if *bench == "" {
+		log.Fatal("need -bench (or -list)")
+	}
+	params, err := workloads.Params(*bench)
+	if err != nil {
+		log.Fatal(err)
+	}
+	cfg := config.GTX480()
+	prof := profile.New(cfg)
+	r, err := prof.Run(params, *sms)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(r)
+}

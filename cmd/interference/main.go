@@ -1,0 +1,48 @@
+// Command interference runs the all-pairs co-run campaign and prints the
+// per-class average slowdown matrix of Figure 3.4, optionally with every
+// underlying pair measurement.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"time"
+
+	"repro/internal/classify"
+	"repro/internal/config"
+	"repro/internal/interference"
+	"repro/internal/profile"
+	"repro/internal/workloads"
+)
+
+func main() {
+	log.SetFlags(0)
+	pairs := flag.Bool("pairs", false, "also print every pair measurement")
+	flag.Parse()
+
+	cfg := config.GTX480()
+	prof := profile.New(cfg)
+	profiles, err := prof.RunAll(workloads.All(), 0)
+	if err != nil {
+		log.Fatal(err)
+	}
+	th := classify.CalibrateThresholds(cfg, profiles)
+	classes := make(map[string]classify.Class)
+	for _, c := range classify.Table(th, profiles) {
+		classes[c.Name] = c.Class
+	}
+	start := time.Now()
+	m, err := interference.Compute(cfg, prof, classes, workloads.All())
+	if err != nil {
+		log.Fatal(err)
+	}
+	log.Printf("all-pairs campaign (%d co-runs) finished in %v", len(m.Pairs), time.Since(start).Round(time.Second))
+	fmt.Println(m)
+	if *pairs {
+		for _, p := range m.Pairs {
+			fmt.Printf("%-6s + %-6s  slowdownA=%.2f slowdownB=%.2f  (co %d vs solo %d / %d)\n",
+				p.A, p.B, p.SlowdownA, p.SlowdownB, p.CoRunCycles, p.SoloCyclesA, p.SoloCyclesB)
+		}
+	}
+}

@@ -1,0 +1,67 @@
+// Customworkload: define your own synthetic kernel, profile it, see
+// which class the paper's criteria assign it, and find out which of the
+// standard benchmarks the ILP matcher would co-schedule it with.
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"repro/internal/classify"
+	"repro/internal/config"
+	"repro/internal/core"
+	"repro/internal/kernel"
+	"repro/internal/sched"
+	"repro/internal/workloads"
+)
+
+func main() {
+	cfg := config.GTX480()
+
+	// A user-defined kernel: a periodic table-lookup workload — mostly
+	// arithmetic, with a shared lookup table that stays L2-resident.
+	custom := kernel.Params{
+		Name: "LUT", CTAs: 200, WarpsPerCTA: 6, InstrsPerWarp: 900,
+		MemEvery: 12, SFUFraction: 0.1,
+		Pattern: kernel.PatternHotset, HotBytes: 96 << 10, HotFraction: 0.9,
+		CoalescedLines: 2, FootprintBytes: 8 << 20,
+		RegsPerThread: 24, Seed: 0x777,
+	}
+
+	// Build the pipeline over the standard suite plus the custom kernel.
+	universe := append(workloads.All(), custom)
+	p := core.MustNew(cfg)
+	fmt.Println("calibrating pipeline over 15 applications (one-time)...")
+	start := time.Now()
+	if err := p.Init(universe); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("calibrated in %v\n\n", time.Since(start).Round(time.Second))
+
+	for _, row := range p.Classification() {
+		if row.Name == custom.Name {
+			fmt.Printf("custom kernel %q classified as class %s\n", row.Name, row.Class)
+			fmt.Printf("  signature: %s\n\n", row.Metrics)
+		}
+	}
+
+	// Queue the custom kernel against a mixed backlog and let the ILP
+	// decide its partner.
+	queue, err := p.Queue([]string{"GUPS", "LUT", "BLK", "HS"})
+	if err != nil {
+		log.Fatal(err)
+	}
+	rep, err := p.Run(queue, 2, sched.ILP)
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, g := range rep.Groups {
+		fmt.Printf("ILP grouped %v (%v), %d cycles\n", g.Apps, g.Classes, g.Cycles)
+	}
+
+	// Show the class thresholds the decision used.
+	th := p.Thresholds()
+	fmt.Printf("\nthresholds: alpha=%.1f beta=%.1f gamma=%.1f GB/s, epsilon=%.0f IPC (classes %v)\n",
+		th.AlphaGBps, th.BetaGBps, th.GammaGBps, th.EpsilonIPC, classify.All())
+}

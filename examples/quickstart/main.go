@@ -1,0 +1,56 @@
+// Quickstart: simulate one GPU kernel, read its profile, and co-run two
+// kernels on a partitioned device — the three core operations of the
+// library in ~40 lines.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/config"
+	"repro/internal/gpu"
+	"repro/internal/kernel"
+	"repro/internal/workloads"
+)
+
+func main() {
+	cfg := config.GTX480()
+
+	// 1. Run the HS (HotSpot-like) benchmark alone on the whole device.
+	d := gpu.MustNew(cfg)
+	hs := kernel.MustNew(workloads.MustParams("HS"), cfg.L1.LineBytes)
+	all := make([]int, cfg.NumSMs)
+	for i := range all {
+		all[i] = i
+	}
+	h, err := d.Launch(hs, all)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := d.Run(10_000_000); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("solo:  ", d.AppMetrics(h))
+
+	// 2. Co-run HS with the bandwidth-hungry GUPS on half the SMs each.
+	d2 := gpu.MustNew(cfg)
+	hs2 := kernel.MustNew(workloads.MustParams("HS"), cfg.L1.LineBytes)
+	gups := kernel.MustNew(workloads.MustParams("GUPS"), cfg.L1.LineBytes)
+	gups.BaseAddr = 1 << 40 // disjoint address space
+	left, right := all[:cfg.NumSMs/2], all[cfg.NumSMs/2:]
+	hHS, err := d2.Launch(hs2, left)
+	if err != nil {
+		log.Fatal(err)
+	}
+	hGUPS, err := d2.Launch(gups, right)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := d2.Run(20_000_000); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("co-run:", d2.AppMetrics(hHS))
+	fmt.Println("       ", d2.AppMetrics(hGUPS))
+	fmt.Printf("device throughput co-running: %.1f instructions/cycle (%.1f%% of peak)\n",
+		d2.DeviceStats().Throughput(), 100*d2.DeviceStats().Utilization(cfg))
+}

@@ -1,0 +1,101 @@
+package cache
+
+import "repro/internal/rng"
+
+// mshrTable is a linear-probing open-addressing hash table from line
+// address to miss-status entry. Caches sit on the simulator's hottest
+// path (three lookups per memory access), and a specialized table with
+// backward-shift deletion is several times faster than a generic map.
+type mshrTable struct {
+	// keys holds line+1 so that line address 0 is representable; 0
+	// marks an empty slot.
+	keys []uint64
+	vals []mshrEntry
+	mask uint64
+	n    int
+}
+
+func newMSHRTable(entries int) *mshrTable {
+	size := 4
+	for size < entries*4 {
+		size <<= 1
+	}
+	return &mshrTable{
+		keys: make([]uint64, size),
+		vals: make([]mshrEntry, size),
+		mask: uint64(size - 1),
+	}
+}
+
+func (t *mshrTable) len() int { return t.n }
+
+func (t *mshrTable) slot(line uint64) uint64 { return rng.Mix64(line) & t.mask }
+
+// get returns a pointer to the entry for line, or nil. The pointer is
+// invalidated by the next insert or delete.
+func (t *mshrTable) get(line uint64) *mshrEntry {
+	key := line + 1
+	for i := t.slot(line); ; i = (i + 1) & t.mask {
+		switch t.keys[i] {
+		case key:
+			return &t.vals[i]
+		case 0:
+			return nil
+		}
+	}
+}
+
+// insert adds an entry for line with one initial waiter. The caller
+// must ensure the line is not already present.
+func (t *mshrTable) insert(line uint64, waiter uint64) {
+	key := line + 1
+	for i := t.slot(line); ; i = (i + 1) & t.mask {
+		if t.keys[i] == 0 {
+			t.keys[i] = key
+			e := &t.vals[i]
+			e.line = line
+			e.waiters = append(e.waiters[:0], waiter)
+			t.n++
+			return
+		}
+	}
+}
+
+// remove deletes the entry for line and returns its waiters (valid
+// until the entry's slot is reused). It returns nil when absent.
+func (t *mshrTable) remove(line uint64) []uint64 {
+	key := line + 1
+	i := t.slot(line)
+	for {
+		switch t.keys[i] {
+		case key:
+			waiters := t.vals[i].waiters
+			t.deleteAt(i)
+			t.n--
+			return waiters
+		case 0:
+			return nil
+		}
+		i = (i + 1) & t.mask
+	}
+}
+
+// deleteAt clears slot i and backward-shifts the following cluster so
+// probe sequences stay unbroken (no tombstones).
+func (t *mshrTable) deleteAt(i uint64) {
+	t.keys[i] = 0
+	j := (i + 1) & t.mask
+	for t.keys[j] != 0 {
+		home := t.slot(t.keys[j] - 1)
+		// Rehome j into i when i lies cyclically between home and j.
+		if (j-home)&t.mask >= (j-i)&t.mask {
+			t.keys[i] = t.keys[j]
+			// Swap entry bodies to preserve the evicted slot's waiter
+			// backing array for reuse.
+			t.vals[i], t.vals[j] = t.vals[j], t.vals[i]
+			t.keys[j] = 0
+			i = j
+		}
+		j = (j + 1) & t.mask
+	}
+}

@@ -1,0 +1,87 @@
+package classify
+
+import (
+	"testing"
+
+	"repro/internal/config"
+	"repro/internal/profile"
+	"repro/internal/stats"
+)
+
+func thresholds() Thresholds {
+	return Thresholds{AlphaGBps: 70, BetaGBps: 30, GammaGBps: 100, EpsilonIPC: 500, RCut: 0.2}
+}
+
+func TestClassifyRules(t *testing.T) {
+	th := thresholds()
+	cases := []struct {
+		name string
+		m    stats.Metrics
+		want Class
+	}{
+		{"high bandwidth", stats.Metrics{MemBandwidthGBps: 90}, ClassM},
+		{"just above alpha", stats.Metrics{MemBandwidthGBps: 70.1}, ClassM},
+		{"mid bandwidth", stats.Metrics{MemBandwidthGBps: 50}, ClassMC},
+		{"just above beta", stats.Metrics{MemBandwidthGBps: 30.1}, ClassMC},
+		{"cache heavy fills", stats.Metrics{MemBandwidthGBps: 10, L2ToL1GBps: 150, IPC: 900}, ClassC},
+		{"memory ratio at low IPC", stats.Metrics{MemBandwidthGBps: 5, L2ToL1GBps: 20, R: 0.3, IPC: 100}, ClassC},
+		{"high R but high IPC", stats.Metrics{MemBandwidthGBps: 5, L2ToL1GBps: 20, R: 0.3, IPC: 900}, ClassA},
+		{"compute", stats.Metrics{MemBandwidthGBps: 3, L2ToL1GBps: 20, R: 0.05, IPC: 2000}, ClassA},
+		{"idle-ish", stats.Metrics{}, ClassA},
+	}
+	for _, c := range cases {
+		if got := th.Classify(c.m); got != c.want {
+			t.Errorf("%s: got %v, want %v", c.name, got, c.want)
+		}
+	}
+}
+
+func TestClassStringRoundTrip(t *testing.T) {
+	for _, c := range All() {
+		got, err := ParseClass(c.String())
+		if err != nil || got != c {
+			t.Fatalf("round trip %v: %v %v", c, got, err)
+		}
+	}
+	if _, err := ParseClass("Z"); err == nil {
+		t.Fatal("ParseClass accepted garbage")
+	}
+}
+
+func TestCalibrateThresholds(t *testing.T) {
+	cfg := config.GTX480()
+	profiles := []profile.Result{
+		{Metrics: stats.Metrics{Name: "a", MemBandwidthGBps: 100, IPC: 3000}},
+		{Metrics: stats.Metrics{Name: "b", MemBandwidthGBps: 40, IPC: 100}},
+	}
+	th := CalibrateThresholds(cfg, profiles)
+	if th.AlphaGBps != AlphaFraction*100 {
+		t.Fatalf("alpha = %v", th.AlphaGBps)
+	}
+	if th.BetaGBps != BetaFraction*100 {
+		t.Fatalf("beta = %v", th.BetaGBps)
+	}
+	if th.EpsilonIPC != EpsilonFraction*3000 {
+		t.Fatalf("epsilon = %v", th.EpsilonIPC)
+	}
+	if th.GammaGBps < 90 || th.GammaGBps > 110 {
+		t.Fatalf("gamma = %v, want about 100 GB/s on the default device", th.GammaGBps)
+	}
+	if th.AlphaGBps <= th.BetaGBps {
+		t.Fatal("alpha must exceed beta")
+	}
+}
+
+func TestTablePreservesOrder(t *testing.T) {
+	profiles := []profile.Result{
+		{Metrics: stats.Metrics{Name: "x", MemBandwidthGBps: 90}},
+		{Metrics: stats.Metrics{Name: "y", MemBandwidthGBps: 1, IPC: 900}},
+	}
+	rows := Table(thresholds(), profiles)
+	if len(rows) != 2 || rows[0].Name != "x" || rows[1].Name != "y" {
+		t.Fatalf("rows = %+v", rows)
+	}
+	if rows[0].Class != ClassM || rows[1].Class != ClassA {
+		t.Fatalf("classes = %v %v", rows[0].Class, rows[1].Class)
+	}
+}

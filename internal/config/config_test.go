@@ -1,0 +1,90 @@
+package config
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestGTX480Valid(t *testing.T) {
+	cfg := GTX480()
+	if err := cfg.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// Table 4.1 values.
+	if cfg.NumSMs != 60 || cfg.CoreClockMHz != 700 || cfg.MaxWarpsPerSM != 48 ||
+		cfg.MaxBlocksPerSM != 8 || cfg.SharedMemPerSM != 48*1024 ||
+		cfg.L1.SizeBytes != 16*1024 || cfg.L2.SizeBytes != 768*1024 ||
+		cfg.WarpSched != SchedGTO {
+		t.Fatalf("GTX480 deviates from Table 4.1: %+v", cfg)
+	}
+}
+
+func TestSmallValid(t *testing.T) {
+	if err := Small().Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestValidateRejectsBadConfigs(t *testing.T) {
+	mutations := []func(*GPUConfig){
+		func(c *GPUConfig) { c.NumSMs = 0 },
+		func(c *GPUConfig) { c.CoreClockMHz = -1 },
+		func(c *GPUConfig) { c.WarpSize = 33 },
+		func(c *GPUConfig) { c.SchedulersPerSM = 0 },
+		func(c *GPUConfig) { c.ALULatency = 0 },
+		func(c *GPUConfig) { c.NumMemPartitions = 0 },
+		func(c *GPUConfig) { c.NumMemPartitions = 7 }, // 768k not divisible
+		func(c *GPUConfig) { c.L1.Assoc = 3 },         // sets not power of two
+		func(c *GPUConfig) { c.L1.LineBytes = 96 },
+		func(c *GPUConfig) { c.L1.MSHREntries = 0 },
+		func(c *GPUConfig) { c.L2.LineBytes = 64 }, // mismatched line sizes
+		func(c *GPUConfig) { c.DRAM.RowBytes = 3000 },
+		func(c *GPUConfig) { c.DRAM.BurstCycles = 0 },
+		func(c *GPUConfig) { c.Icnt.BytesPerCycle = 0 },
+	}
+	for i, mutate := range mutations {
+		cfg := GTX480()
+		mutate(&cfg)
+		if err := cfg.Validate(); err == nil {
+			t.Errorf("mutation %d accepted", i)
+		}
+	}
+}
+
+func TestBandwidthConversionRoundTrip(t *testing.T) {
+	cfg := GTX480()
+	f := func(raw uint16) bool {
+		v := float64(raw) / 7.0
+		back := cfg.GBpsToBytesPerCycle(cfg.BytesPerCycleToGBps(v))
+		return back > v-1e-9 && back < v+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+	// 192 bytes/cycle at 700 MHz = 134.4 GB/s.
+	got := cfg.BytesPerCycleToGBps(192)
+	if got < 134.3 || got > 134.5 {
+		t.Fatalf("192 B/c = %v GB/s, want 134.4", got)
+	}
+}
+
+func TestPeakFigures(t *testing.T) {
+	cfg := GTX480()
+	if got := cfg.PeakIPC(); got != 120 {
+		t.Fatalf("peak warp IPC = %v, want 120", got)
+	}
+	peak := cfg.PeakDRAMBandwidthGBps()
+	if peak < 100 || peak > 200 {
+		t.Fatalf("peak DRAM bandwidth = %v GB/s, implausible", peak)
+	}
+	if cfg.L2Bank().SizeBytes*cfg.NumMemPartitions != cfg.L2.SizeBytes {
+		t.Fatal("L2 bank slicing loses capacity")
+	}
+}
+
+func TestRowMissLatency(t *testing.T) {
+	d := GTX480().DRAM
+	if d.RowMissLatency() != d.RPLatency+d.RCDLatency+d.CASLatency {
+		t.Fatal("row miss latency wrong")
+	}
+}

@@ -1,0 +1,92 @@
+package core
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/kernel"
+	"repro/internal/sched"
+	"repro/internal/testkit"
+)
+
+func TestCalibrationRoundTrip(t *testing.T) {
+	p := initPipeline(t)
+	dir := t.TempDir()
+	path := filepath.Join(dir, "cal.json")
+	if err := p.SaveCalibration(path); err != nil {
+		t.Fatal(err)
+	}
+
+	q := MustNew(testkit.Config())
+	if err := q.LoadCalibration(path, testkit.Universe()); err != nil {
+		t.Fatal(err)
+	}
+	// Classification and matrix must be identical.
+	for name, cls := range p.Classes() {
+		if q.Classes()[name] != cls {
+			t.Fatalf("class of %s changed across round trip", name)
+		}
+	}
+	for a := range p.Matrix().Slowdown {
+		for b := range p.Matrix().Slowdown[a] {
+			if p.Matrix().Slowdown[a][b] != q.Matrix().Slowdown[a][b] {
+				t.Fatalf("matrix cell [%d][%d] changed", a, b)
+			}
+		}
+	}
+	// The restored pipeline must be runnable without Init.
+	queue, err := q.Queue([]string{"miniM", "miniA"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := q.Run(queue, 2, sched.ILP)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Throughput() <= 0 {
+		t.Fatal("restored pipeline produced no throughput")
+	}
+}
+
+func TestLoadCalibrationValidation(t *testing.T) {
+	p := initPipeline(t)
+	dir := t.TempDir()
+	path := filepath.Join(dir, "cal.json")
+	if err := p.SaveCalibration(path); err != nil {
+		t.Fatal(err)
+	}
+
+	q := MustNew(testkit.Config())
+	// Universe mismatch: fewer apps.
+	if err := q.LoadCalibration(path, testkit.Universe()[:2]); err == nil {
+		t.Error("short universe accepted")
+	}
+	// Universe mismatch: renamed app.
+	apps := testkit.Universe()
+	apps[0].Name = "other"
+	if err := q.LoadCalibration(path, apps); err == nil {
+		t.Error("renamed universe accepted")
+	}
+	// Missing file.
+	if err := q.LoadCalibration(filepath.Join(dir, "nope.json"), testkit.Universe()); err == nil {
+		t.Error("missing file accepted")
+	}
+	// Corrupt file.
+	bad := filepath.Join(dir, "bad.json")
+	if err := os.WriteFile(bad, []byte("{"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := q.LoadCalibration(bad, testkit.Universe()); err == nil {
+		t.Error("corrupt file accepted")
+	}
+}
+
+func TestSaveCalibrationRequiresInit(t *testing.T) {
+	p := MustNew(testkit.Config())
+	if err := p.SaveCalibration(filepath.Join(t.TempDir(), "x.json")); err == nil {
+		t.Fatal("uninitialized save accepted")
+	}
+	var none []kernel.Params
+	_ = none
+}

@@ -1,0 +1,295 @@
+// Package dram models one memory partition's DRAM controller and
+// devices: a bounded request queue, per-bank row buffers, a shared data
+// bus, and two scheduling disciplines — FR-FCFS (first-ready FCFS, the
+// GPGPU-Sim default that prioritizes row-buffer hits) and plain FCFS.
+//
+// FR-FCFS is the mechanism the paper singles out (Section 3.2.2): it
+// favours streaming, row-local traffic, which is why class M
+// applications both achieve high bandwidth and impose large slowdowns on
+// everything they co-run with.
+package dram
+
+import (
+	"fmt"
+
+	"repro/internal/config"
+	"repro/internal/memreq"
+)
+
+type bank struct {
+	openRow   uint64
+	hasOpen   bool
+	busyUntil uint64
+}
+
+type queued struct {
+	req     memreq.Request
+	arrival uint64
+}
+
+type inflight struct {
+	req  memreq.Request
+	done uint64
+}
+
+// Stats counts controller events.
+type Stats struct {
+	Reads      uint64
+	Writes     uint64
+	RowHits    uint64
+	RowMisses  uint64
+	BusyCycles uint64 // cycles the data bus was transferring
+}
+
+// RowHitRate returns RowHits / (RowHits+RowMisses), or 0 when idle.
+func (s Stats) RowHitRate() float64 {
+	t := s.RowHits + s.RowMisses
+	if t == 0 {
+		return 0
+	}
+	return float64(s.RowHits) / float64(t)
+}
+
+// Controller is one partition's memory controller. It is driven by
+// Tick once per core cycle.
+type Controller struct {
+	cfg       config.DRAMConfig
+	lineBytes int
+	banks     []bank
+	// queue holds reads; writes buffer separately and drain when the
+	// read queue is empty or the write buffer passes its high watermark,
+	// as real GPU memory controllers do. Read requests therefore do not
+	// sit behind store bursts.
+	queue      []queued
+	writeQ     []queued
+	writeDrain bool
+	inflight   []inflight
+	busBusy    uint64
+	stats      Stats
+	// perApp accumulates data-bus bytes per application index; it grows
+	// on demand and ignores unattributed (negative) owners.
+	perApp []uint64
+}
+
+// New builds a controller for one partition.
+func New(cfg config.DRAMConfig, lineBytes int) (*Controller, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if lineBytes <= 0 {
+		return nil, fmt.Errorf("dram: line size must be positive (got %d)", lineBytes)
+	}
+	return &Controller{
+		cfg:       cfg,
+		lineBytes: lineBytes,
+		banks:     make([]bank, cfg.Banks),
+	}, nil
+}
+
+// MustNew is New panicking on error, for tables and tests.
+func MustNew(cfg config.DRAMConfig, lineBytes int) *Controller {
+	c, err := New(cfg, lineBytes)
+	if err != nil {
+		panic(err)
+	}
+	return c
+}
+
+// Stats returns a snapshot of the event counters.
+func (c *Controller) Stats() Stats { return c.stats }
+
+// AppBytes returns data-bus bytes transferred on behalf of app.
+func (c *Controller) AppBytes(app int16) uint64 {
+	if app < 0 || int(app) >= len(c.perApp) {
+		return 0
+	}
+	return c.perApp[app]
+}
+
+func (c *Controller) chargeApp(app int16, bytes uint64) {
+	if app < 0 {
+		return
+	}
+	for int(app) >= len(c.perApp) {
+		c.perApp = append(c.perApp, 0)
+	}
+	c.perApp[app] += bytes
+}
+
+// QueueLen returns the number of waiting (unscheduled) requests.
+func (c *Controller) QueueLen() int { return len(c.queue) + len(c.writeQ) }
+
+// CanAccept reports whether Enqueue would succeed for either kind.
+func (c *Controller) CanAccept() bool {
+	return len(c.queue) < c.cfg.QueueSize && len(c.writeQ) < 2*c.cfg.QueueSize
+}
+
+// Enqueue adds a request to the controller. It returns false when the
+// corresponding queue is full (backpressure), in which case the caller
+// retries.
+func (c *Controller) Enqueue(req memreq.Request, now uint64) bool {
+	if req.Kind == memreq.Write {
+		if len(c.writeQ) >= 2*c.cfg.QueueSize {
+			return false
+		}
+		c.writeQ = append(c.writeQ, queued{req: req, arrival: now})
+		return true
+	}
+	if len(c.queue) >= c.cfg.QueueSize {
+		return false
+	}
+	c.queue = append(c.queue, queued{req: req, arrival: now})
+	return true
+}
+
+// EnqueueForced adds a request even when its queue is over the limit.
+// Used only for write-backs evicted by fills, which cannot be refused
+// without deadlock; the overflow is bounded by L2 associativity.
+func (c *Controller) EnqueueForced(req memreq.Request, now uint64) {
+	if req.Kind == memreq.Write {
+		c.writeQ = append(c.writeQ, queued{req: req, arrival: now})
+		return
+	}
+	c.queue = append(c.queue, queued{req: req, arrival: now})
+}
+
+// bankAndRow decomposes a line address: consecutive rows interleave
+// across banks, and the bank index is swizzled with higher-order row
+// bits (as real controllers do) so power-of-two strided streams spread
+// across banks instead of camping on one.
+func (c *Controller) bankAndRow(line uint64) (int, uint64) {
+	rowID := line / uint64(c.cfg.RowBytes)
+	banks := uint64(c.cfg.Banks)
+	row := rowID / banks
+	bank := (rowID ^ row ^ (row >> 3)) % banks
+	return int(bank), row
+}
+
+// Tick advances one core cycle: possibly schedules one queued request
+// and returns the read requests whose data transfer completed this
+// cycle (writes complete silently).
+func (c *Controller) Tick(now uint64) []memreq.Request {
+	var completed []memreq.Request
+	for i := 0; i < len(c.inflight); {
+		if c.inflight[i].done <= now {
+			if c.inflight[i].req.Kind == memreq.Read {
+				completed = append(completed, c.inflight[i].req)
+			}
+			c.inflight[i] = c.inflight[len(c.inflight)-1]
+			c.inflight = c.inflight[:len(c.inflight)-1]
+		} else {
+			i++
+		}
+	}
+	if c.busBusy > now {
+		c.stats.BusyCycles++
+	}
+	// One command per cycle may be scheduled; bank busy windows
+	// serialize per-bank access while the shared data bus is reserved
+	// burst-by-burst, so independent banks overlap their latencies.
+	//
+	// Reads are served ahead of buffered writes; the write buffer drains
+	// in bursts once it passes its high watermark or when no read is
+	// serviceable (write-drain hysteresis).
+	if !c.writeDrain && len(c.writeQ) >= 3*c.cfg.QueueSize/2 {
+		c.writeDrain = true
+	}
+	if c.writeDrain && len(c.writeQ) <= c.cfg.QueueSize/4 {
+		c.writeDrain = false
+	}
+	if !c.writeDrain {
+		if idx := c.pick(c.queue, now); idx >= 0 {
+			q := c.queue[idx]
+			c.queue = append(c.queue[:idx], c.queue[idx+1:]...)
+			c.service(q.req, now)
+			return completed
+		}
+	}
+	if idx := c.pick(c.writeQ, now); idx >= 0 {
+		q := c.writeQ[idx]
+		c.writeQ = append(c.writeQ[:idx], c.writeQ[idx+1:]...)
+		c.service(q.req, now)
+	} else if c.writeDrain {
+		// No serviceable write this cycle: let reads through anyway.
+		if idx := c.pick(c.queue, now); idx >= 0 {
+			q := c.queue[idx]
+			c.queue = append(c.queue[:idx], c.queue[idx+1:]...)
+			c.service(q.req, now)
+		}
+	}
+	return completed
+}
+
+// pick selects the next request index to service from q, or -1.
+//
+// FR-FCFS: the oldest request that hits an open row in a ready bank; if
+// none, the oldest request whose bank is ready. FCFS: the head request,
+// only if its bank is ready (head-of-line blocking is the point).
+func (c *Controller) pick(q []queued, now uint64) int {
+	if len(q) == 0 {
+		return -1
+	}
+	if c.cfg.Sched == config.MemFCFS {
+		b, _ := c.bankAndRow(q[0].req.Line)
+		if c.banks[b].busyUntil <= now {
+			return 0
+		}
+		return -1
+	}
+	firstReady := -1
+	for i := range q {
+		b, row := c.bankAndRow(q[i].req.Line)
+		if c.banks[b].busyUntil > now {
+			continue
+		}
+		if c.banks[b].hasOpen && c.banks[b].openRow == row {
+			return i // first-ready row hit
+		}
+		if firstReady < 0 {
+			firstReady = i
+		}
+	}
+	return firstReady
+}
+
+// service performs the DRAM timing for one request. Row hits pipeline:
+// the column pipeline overlaps CAS latency across back-to-back hits, so
+// a hit occupies its bank only for the data burst, while a miss holds it
+// through precharge and activation. Completion (data arrival) always
+// includes the access latency.
+func (c *Controller) service(req memreq.Request, now uint64) {
+	bIdx, row := c.bankAndRow(req.Line)
+	b := &c.banks[bIdx]
+	var lat, occupancy uint64
+	if b.hasOpen && b.openRow == row {
+		lat = uint64(c.cfg.CASLatency)
+		occupancy = uint64(c.cfg.BurstCycles)
+		c.stats.RowHits++
+	} else {
+		lat = uint64(c.cfg.RowMissLatency())
+		occupancy = lat + uint64(c.cfg.BurstCycles)
+		c.stats.RowMisses++
+	}
+	b.openRow = row
+	b.hasOpen = true
+	start := now + lat
+	if c.busBusy > start {
+		start = c.busBusy
+	}
+	done := start + uint64(c.cfg.BurstCycles)
+	c.busBusy = done
+	b.busyUntil = now + occupancy
+	if done > b.busyUntil {
+		b.busyUntil = done - lat + occupancy // burst slot pushes occupancy window
+	}
+	c.inflight = append(c.inflight, inflight{req: req, done: done})
+	if req.Kind == memreq.Read {
+		c.stats.Reads++
+	} else {
+		c.stats.Writes++
+	}
+	c.chargeApp(req.App, uint64(c.lineBytes))
+}
+
+// Pending returns queued plus in-flight requests (drain check).
+func (c *Controller) Pending() int { return len(c.queue) + len(c.writeQ) + len(c.inflight) }

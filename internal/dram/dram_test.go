@@ -1,0 +1,220 @@
+package dram
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/config"
+	"repro/internal/memreq"
+)
+
+func testCfg() config.DRAMConfig {
+	return config.DRAMConfig{
+		Banks:       4,
+		RowBytes:    1024,
+		QueueSize:   8,
+		CASLatency:  10,
+		RPLatency:   10,
+		RCDLatency:  10,
+		BurstCycles: 4,
+		Sched:       config.MemFRFCFS,
+	}
+}
+
+func read(line uint64, app int16) memreq.Request {
+	return memreq.Request{Kind: memreq.Read, Line: line, App: app, Size: memreq.ControlBytes}
+}
+
+func write(line uint64, app int16) memreq.Request {
+	return memreq.Request{Kind: memreq.Write, Line: line, App: app, Size: 128}
+}
+
+// drain ticks until every request completes, returning completed reads.
+func drain(t *testing.T, c *Controller, start uint64, maxCycles int) []memreq.Request {
+	t.Helper()
+	var out []memreq.Request
+	for i := 0; i < maxCycles; i++ {
+		out = append(out, c.Tick(start+uint64(i))...)
+		if c.Pending() == 0 {
+			return out
+		}
+	}
+	t.Fatalf("controller did not drain in %d cycles (pending=%d)", maxCycles, c.Pending())
+	return nil
+}
+
+func TestSingleReadCompletes(t *testing.T) {
+	c := MustNew(testCfg(), 128)
+	if !c.Enqueue(read(0, 0), 0) {
+		t.Fatal("enqueue failed")
+	}
+	done := drain(t, c, 1, 1000)
+	if len(done) != 1 || done[0].Line != 0 {
+		t.Fatalf("completed = %v", done)
+	}
+	st := c.Stats()
+	if st.Reads != 1 || st.RowMisses != 1 || st.RowHits != 0 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestRowHitDetection(t *testing.T) {
+	c := MustNew(testCfg(), 128)
+	// Two lines in the same 1 kB row.
+	c.Enqueue(read(0, 0), 0)
+	c.Enqueue(read(128, 0), 0)
+	drain(t, c, 1, 1000)
+	st := c.Stats()
+	if st.RowHits != 1 || st.RowMisses != 1 {
+		t.Fatalf("row stats = %+v, want 1 hit 1 miss", st)
+	}
+}
+
+func TestFRFCFSPrefersRowHit(t *testing.T) {
+	cfg := testCfg()
+	c := MustNew(cfg, 128)
+	// First request opens row 0 of its bank. Then queue a row-conflict
+	// request (same bank, different row) ahead of a row-hit request.
+	rowBytes := uint64(cfg.RowBytes)
+	banks := uint64(cfg.Banks)
+	c.Enqueue(read(0, 0), 0)
+	// Same bank, next row: rowID differs by banks (bank = f(rowID)).
+	conflict := rowBytes * banks // rowID = banks → may be another bank due to swizzle; find one matching
+	b0, _ := c.bankAndRow(0)
+	for {
+		if b, r := c.bankAndRow(conflict); b == b0 && r != 0 {
+			break
+		}
+		conflict += rowBytes
+	}
+	hit := uint64(128) // same row as line 0
+	// Serve the first request.
+	for i := uint64(1); c.Pending() > 0; i++ {
+		c.Tick(i)
+	}
+	c.Enqueue(read(conflict, 0), 100)
+	c.Enqueue(read(hit, 0), 101)
+	// The next scheduled command must be the row hit despite arriving
+	// later.
+	var first uint64
+	for i := uint64(102); ; i++ {
+		done := c.Tick(i)
+		if len(done) > 0 {
+			first = done[0].Line
+			break
+		}
+	}
+	if first != hit {
+		t.Fatalf("first completion = %#x, want row hit %#x", first, hit)
+	}
+}
+
+func TestFCFSHeadOfLineBlocking(t *testing.T) {
+	cfg := testCfg()
+	cfg.Sched = config.MemFCFS
+	c := MustNew(cfg, 128)
+	c.Enqueue(read(0, 0), 0)
+	c.Enqueue(read(128, 0), 0)
+	c.Enqueue(read(256, 0), 0)
+	done := drain(t, c, 1, 2000)
+	// FCFS must complete strictly in order.
+	if done[0].Line != 0 || done[1].Line != 128 || done[2].Line != 256 {
+		t.Fatalf("completion order = %v", done)
+	}
+}
+
+func TestWritePriorityReadsFirst(t *testing.T) {
+	c := MustNew(testCfg(), 128)
+	// Queue many writes then one read; the read must complete before the
+	// write backlog fully drains (reads have priority).
+	for i := 0; i < 8; i++ {
+		c.Enqueue(write(uint64(i*4096), 1), 0)
+	}
+	c.Enqueue(read(128, 0), 0)
+	var readDone, writesDone int
+	for i := uint64(1); readDone == 0 && i < 5000; i++ {
+		for _, d := range c.Tick(i) {
+			if d.Kind == memreq.Read {
+				readDone = int(i)
+			}
+		}
+		writesDone = int(c.Stats().Writes)
+	}
+	if readDone == 0 {
+		t.Fatal("read never completed")
+	}
+	if writesDone >= 8 {
+		t.Fatal("all writes drained before the read — no read priority")
+	}
+}
+
+func TestQueueBackpressure(t *testing.T) {
+	cfg := testCfg()
+	c := MustNew(cfg, 128)
+	for i := 0; i < cfg.QueueSize; i++ {
+		if !c.Enqueue(read(uint64(i*128), 0), 0) {
+			t.Fatalf("enqueue %d refused below limit", i)
+		}
+	}
+	if c.Enqueue(read(9999*128, 0), 0) {
+		t.Fatal("enqueue accepted above read queue limit")
+	}
+	if c.CanAccept() {
+		t.Fatal("CanAccept true with full read queue")
+	}
+}
+
+func TestPerAppByteAttribution(t *testing.T) {
+	c := MustNew(testCfg(), 128)
+	c.Enqueue(read(0, 3), 0)
+	c.Enqueue(write(4096, 5), 0)
+	drain(t, c, 1, 2000)
+	if got := c.AppBytes(3); got != 128 {
+		t.Fatalf("app 3 bytes = %d, want 128", got)
+	}
+	if got := c.AppBytes(5); got != 128 {
+		t.Fatalf("app 5 bytes = %d, want 128", got)
+	}
+	if got := c.AppBytes(-1); got != 0 {
+		t.Fatalf("unattributed bytes = %d, want 0", got)
+	}
+}
+
+// TestAllRequestsEventuallyComplete is a liveness property: any random
+// mix of reads and writes drains, with reads completing exactly once.
+func TestAllRequestsEventuallyComplete(t *testing.T) {
+	f := func(lines []uint16) bool {
+		if len(lines) > 24 {
+			lines = lines[:24]
+		}
+		c := MustNew(testCfg(), 128)
+		reads := 0
+		completedEarly := 0
+		now := uint64(1)
+		for i, l := range lines {
+			req := read(uint64(l)*128, 0)
+			if i%3 == 0 {
+				req = write(uint64(l)*128, 0)
+			} else {
+				reads++
+			}
+			for !c.Enqueue(req, now) {
+				for _, d := range c.Tick(now) {
+					if d.Kind == memreq.Read {
+						completedEarly++
+					}
+				}
+				now++
+			}
+		}
+		completed := completedEarly
+		for i := 0; i < 100000 && c.Pending() > 0; i++ {
+			completed += len(c.Tick(now))
+			now++
+		}
+		return c.Pending() == 0 && completed == reads
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,96 @@
+// Package experiments regenerates every table and figure of the paper's
+// evaluation: the motivation and analysis artifacts of Chapters 1 and 3
+// (Fig 1.2, Table 3.2, Fig 3.4–3.6) and the full evaluation of Chapter 4
+// (Fig 4.1–4.12), plus the Appendix A worked example.
+//
+// Each experiment returns an Artifact — a labeled table of the same
+// rows/series the paper plots — so the cmd/experiments tool and the
+// bench harness print directly comparable output. Absolute values are
+// not expected to match the paper (the substrate is a from-scratch
+// simulator); the shapes are asserted in experiments tests.
+package experiments
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Row is one labeled line of an artifact.
+type Row struct {
+	Label  string
+	Values []float64
+}
+
+// Artifact is one reproduced table or figure.
+type Artifact struct {
+	// ID names the paper artifact, e.g. "Fig4.3".
+	ID string
+	// Title is the paper's caption, abbreviated.
+	Title string
+	// Columns label the value columns.
+	Columns []string
+	// Rows hold the series.
+	Rows []Row
+	// Notes carries derived headline numbers (e.g. average gains).
+	Notes []string
+}
+
+// Value returns the cell at (rowLabel, column), or an error.
+func (a Artifact) Value(rowLabel, column string) (float64, error) {
+	col := -1
+	for i, c := range a.Columns {
+		if c == column {
+			col = i
+			break
+		}
+	}
+	if col < 0 {
+		return 0, fmt.Errorf("%s: no column %q", a.ID, column)
+	}
+	for _, r := range a.Rows {
+		if r.Label == rowLabel {
+			if col >= len(r.Values) {
+				return 0, fmt.Errorf("%s: row %q has no column %d", a.ID, rowLabel, col)
+			}
+			return r.Values[col], nil
+		}
+	}
+	return 0, fmt.Errorf("%s: no row %q", a.ID, rowLabel)
+}
+
+// MustValue is Value panicking on error (test helper).
+func (a Artifact) MustValue(rowLabel, column string) float64 {
+	v, err := a.Value(rowLabel, column)
+	if err != nil {
+		panic(err)
+	}
+	return v
+}
+
+// String renders the artifact as an aligned text table.
+func (a Artifact) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s — %s\n", a.ID, a.Title)
+	width := 14
+	for _, r := range a.Rows {
+		if len(r.Label) > width {
+			width = len(r.Label)
+		}
+	}
+	fmt.Fprintf(&b, "%-*s", width+2, "")
+	for _, c := range a.Columns {
+		fmt.Fprintf(&b, "%14s", c)
+	}
+	b.WriteByte('\n')
+	for _, r := range a.Rows {
+		fmt.Fprintf(&b, "%-*s", width+2, r.Label)
+		for _, v := range r.Values {
+			fmt.Fprintf(&b, "%14.4f", v)
+		}
+		b.WriteByte('\n')
+	}
+	for _, n := range a.Notes {
+		fmt.Fprintf(&b, "  note: %s\n", n)
+	}
+	return b.String()
+}

@@ -1,0 +1,236 @@
+package experiments
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/sched"
+)
+
+// QueueSize is the paper's distribution-queue length (Section 4.1).
+const QueueSize = 20
+
+// Fig4_1 reproduces Figure 4.1: device throughput of the 14-application
+// queue when pairs are formed serially, FCFS, and with the ILP matcher.
+func (s *Suite) Fig4_1() (Artifact, error) {
+	return s.policyComparison("Fig4.1",
+		"Two-application execution: Serial vs FCFS vs ILP device throughput",
+		Fig41Queue(s.Seed), "fig41", 2)
+}
+
+// Fig4_9 reproduces Figure 4.9: the three-application version of 4.1.
+func (s *Suite) Fig4_9() (Artifact, error) {
+	return s.policyComparison("Fig4.9",
+		"Three-application execution: Serial vs FCFS vs ILP device throughput",
+		Fig49Queue(s.Seed), "fig49", 3)
+}
+
+func (s *Suite) policyComparison(id, title string, names []string, key string, nc int) (Artifact, error) {
+	a := Artifact{ID: id, Title: title, Columns: []string{"Throughput", "vs Serial"}}
+	serial, err := s.runNames(key, names, 1, sched.Serial)
+	if err != nil {
+		return Artifact{}, err
+	}
+	for _, pol := range []sched.Policy{sched.Serial, sched.FCFS, sched.ILP} {
+		rep := serial
+		if pol != sched.Serial {
+			rep, err = s.runNames(key, names, nc, pol)
+			if err != nil {
+				return Artifact{}, err
+			}
+		}
+		a.Rows = append(a.Rows, Row{
+			Label:  pol.String(),
+			Values: []float64{rep.Throughput(), rep.Throughput() / serial.Throughput()},
+		})
+	}
+	fcfs := a.Rows[1].Values[0]
+	ilp := a.Rows[2].Values[0]
+	a.Notes = append(a.Notes,
+		fmt.Sprintf("ILP vs FCFS: %+.1f%%; ILP vs Serial: %+.1f%%",
+			100*(ilp/fcfs-1), 100*(ilp/a.Rows[0].Values[0]-1)))
+	return a, nil
+}
+
+// Fig4_2 reproduces Figure 4.2: cycles taken by each co-run group under
+// (a) ILP and (b) FCFS grouping, relative to the members' summed serial
+// execution time.
+func (s *Suite) Fig4_2() (Artifact, error) {
+	return s.groupCycles("Fig4.2",
+		"Per-pair cycles relative to serial execution (ILP and FCFS groupings)",
+		Fig41Queue(s.Seed), "fig41", 2)
+}
+
+// Fig4_10 reproduces Figure 4.10: the three-application version of 4.2.
+func (s *Suite) Fig4_10() (Artifact, error) {
+	return s.groupCycles("Fig4.10",
+		"Per-triple cycles relative to serial execution (ILP and FCFS groupings)",
+		Fig49Queue(s.Seed), "fig49", 3)
+}
+
+func (s *Suite) groupCycles(id, title string, names []string, key string, nc int) (Artifact, error) {
+	a := Artifact{ID: id, Title: title, Columns: []string{"rel. to serial"}}
+	soloCycles := make(map[string]uint64)
+	for _, r := range s.P.Profiles() {
+		soloCycles[r.Name] = r.Cycles
+	}
+	for _, pol := range []sched.Policy{sched.ILP, sched.FCFS} {
+		rep, err := s.runNames(key, names, nc, pol)
+		if err != nil {
+			return Artifact{}, err
+		}
+		under50 := 0
+		for _, g := range rep.Groups {
+			var serialSum uint64
+			label := pol.String() + ": "
+			for i, name := range g.Apps {
+				if i > 0 {
+					label += "-"
+				}
+				label += name
+				serialSum += soloCycles[name]
+			}
+			rel := float64(g.Cycles) / float64(serialSum)
+			if rel < 0.5 {
+				under50++
+			}
+			a.Rows = append(a.Rows, Row{Label: label, Values: []float64{rel}})
+		}
+		a.Notes = append(a.Notes,
+			fmt.Sprintf("%s: %d of %d groups finished in under 50%% of serial time",
+				pol, under50, len(rep.Groups)))
+	}
+	return a, nil
+}
+
+// distPolicies are the four policies compared across queue
+// distributions (Figures 4.3 and 4.11).
+var distPolicies = []sched.Policy{sched.FCFS, sched.ProfileBased, sched.ILP, sched.ILPSMRA}
+
+// Fig4_3 reproduces Figure 4.3: two-application device throughput across
+// the five queue distributions, normalized to the Even approach.
+func (s *Suite) Fig4_3() (Artifact, error) {
+	return s.distComparison("Fig4.3",
+		"Concurrent execution of two applications (normalized to Even)", 2)
+}
+
+// Fig4_11 reproduces Figure 4.11: the three-application version of 4.3.
+func (s *Suite) Fig4_11() (Artifact, error) {
+	return s.distComparison("Fig4.11",
+		"Concurrent execution of three applications (normalized to Even)", 3)
+}
+
+func (s *Suite) distComparison(id, title string, nc int) (Artifact, error) {
+	a := Artifact{ID: id, Title: title}
+	for _, pol := range distPolicies {
+		a.Columns = append(a.Columns, pol.String())
+	}
+	gains := make([]float64, len(distPolicies))
+	for _, dist := range Distributions() {
+		names := BuildQueue(dist, QueueSize, s.Seed)
+		key := fmt.Sprintf("dist-%v", dist)
+		var even float64
+		row := Row{Label: dist.String() + " workload"}
+		for i, pol := range distPolicies {
+			rep, err := s.runNames(key, names, nc, pol)
+			if err != nil {
+				return Artifact{}, err
+			}
+			t := rep.Throughput()
+			if pol == sched.FCFS {
+				even = t
+			}
+			row.Values = append(row.Values, t/even)
+			gains[i] += t / even
+		}
+		a.Rows = append(a.Rows, row)
+	}
+	nd := float64(len(Distributions()))
+	for i, pol := range distPolicies {
+		a.Notes = append(a.Notes, fmt.Sprintf("%s average vs Even: %+.1f%%", pol, 100*(gains[i]/nd-1)))
+	}
+	return a, nil
+}
+
+// Fig4_4 reproduces Figure 4.4: per-benchmark throughput under the
+// equal-distribution queue for all four policies (two applications).
+func (s *Suite) Fig4_4() (Artifact, error) {
+	return s.perBenchmark("Fig4.4", DistEqual, 2)
+}
+
+// Fig4_5 reproduces Figure 4.5 (computation-dense queue).
+func (s *Suite) Fig4_5() (Artifact, error) {
+	return s.perBenchmark("Fig4.5", DistA, 2)
+}
+
+// Fig4_6 reproduces Figure 4.6 (memory-class-dense queue).
+func (s *Suite) Fig4_6() (Artifact, error) {
+	return s.perBenchmark("Fig4.6", DistM, 2)
+}
+
+// Fig4_7 reproduces Figure 4.7 (class MC-dense queue).
+func (s *Suite) Fig4_7() (Artifact, error) {
+	return s.perBenchmark("Fig4.7", DistMC, 2)
+}
+
+// Fig4_8 reproduces Figure 4.8 (class C-dense queue).
+func (s *Suite) Fig4_8() (Artifact, error) {
+	return s.perBenchmark("Fig4.8", DistC, 2)
+}
+
+// Fig4_12 reproduces Figure 4.12: per-benchmark average throughput under
+// three-application execution of the equal-distribution queue.
+func (s *Suite) Fig4_12() (Artifact, error) {
+	return s.perBenchmark("Fig4.12", DistEqual, 3)
+}
+
+// perBenchmark reports, per benchmark appearing in the distribution's
+// queue, the mean per-instance IPC under each policy normalized to the
+// Even approach — the per-application bars of Figures 4.4–4.8 and 4.12.
+func (s *Suite) perBenchmark(id string, dist Distribution, nc int) (Artifact, error) {
+	a := Artifact{
+		ID:    id,
+		Title: fmt.Sprintf("Per-benchmark throughput, %s workload, %d concurrent apps (normalized to Even)", dist, nc),
+	}
+	for _, pol := range distPolicies {
+		a.Columns = append(a.Columns, pol.String())
+	}
+	names := BuildQueue(dist, QueueSize, s.Seed)
+	key := fmt.Sprintf("dist-%v", dist)
+	// perPolicy[p][bench] = average IPC over that benchmark's instances.
+	perPolicy := make([]map[string]float64, len(distPolicies))
+	for i, pol := range distPolicies {
+		rep, err := s.runNames(key, names, nc, pol)
+		if err != nil {
+			return Artifact{}, err
+		}
+		sums := make(map[string]float64)
+		counts := make(map[string]int)
+		for _, g := range rep.Groups {
+			for _, st := range g.Stats {
+				if c := st.Cycles(); c > 0 {
+					sums[st.Name] += float64(st.ThreadInstructions) / float64(c)
+					counts[st.Name]++
+				}
+			}
+		}
+		perPolicy[i] = make(map[string]float64, len(sums))
+		for name, sum := range sums {
+			perPolicy[i][name] = sum / float64(counts[name])
+		}
+	}
+	var benches []string
+	for name := range perPolicy[0] {
+		benches = append(benches, name)
+	}
+	sort.Strings(benches)
+	for _, name := range benches {
+		even := perPolicy[0][name]
+		row := Row{Label: name}
+		for i := range distPolicies {
+			row.Values = append(row.Values, perPolicy[i][name]/even)
+		}
+		a.Rows = append(a.Rows, row)
+	}
+	return a, nil
+}

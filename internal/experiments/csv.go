@@ -1,0 +1,34 @@
+package experiments
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strconv"
+)
+
+// WriteCSV renders the artifact as CSV: a header row of "label" plus the
+// column names, then one record per row. Use it to feed the regenerated
+// figures into external plotting tools.
+func (a Artifact) WriteCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	header := append([]string{"label"}, a.Columns...)
+	if err := cw.Write(header); err != nil {
+		return fmt.Errorf("%s: write csv header: %w", a.ID, err)
+	}
+	for _, r := range a.Rows {
+		rec := make([]string, 0, len(r.Values)+1)
+		rec = append(rec, r.Label)
+		for _, v := range r.Values {
+			rec = append(rec, strconv.FormatFloat(v, 'g', -1, 64))
+		}
+		if err := cw.Write(rec); err != nil {
+			return fmt.Errorf("%s: write csv row %q: %w", a.ID, r.Label, err)
+		}
+	}
+	cw.Flush()
+	if err := cw.Error(); err != nil {
+		return fmt.Errorf("%s: flush csv: %w", a.ID, err)
+	}
+	return nil
+}

@@ -1,0 +1,35 @@
+package experiments
+
+import (
+	"encoding/csv"
+	"strings"
+	"testing"
+)
+
+func TestWriteCSVRoundTrip(t *testing.T) {
+	a := Artifact{
+		ID:      "T",
+		Columns: []string{"x", "y"},
+		Rows: []Row{
+			{Label: "r1", Values: []float64{1, 2.5}},
+			{Label: "r,2", Values: []float64{-3, 0.125}},
+		},
+	}
+	var b strings.Builder
+	if err := a.WriteCSV(&b); err != nil {
+		t.Fatal(err)
+	}
+	recs, err := csv.NewReader(strings.NewReader(b.String())).ReadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 3 {
+		t.Fatalf("records = %d", len(recs))
+	}
+	if recs[0][0] != "label" || recs[0][2] != "y" {
+		t.Fatalf("header = %v", recs[0])
+	}
+	if recs[2][0] != "r,2" || recs[2][1] != "-3" || recs[2][2] != "0.125" {
+		t.Fatalf("row = %v", recs[2])
+	}
+}

@@ -1,0 +1,138 @@
+package experiments
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/classify"
+	"repro/internal/rng"
+	"repro/internal/workloads"
+)
+
+// Distribution names one of the paper's five queue compositions
+// (Section 4.1): equal per-class representation, or 55% of one class
+// with 15% of each other class.
+type Distribution int
+
+const (
+	// DistEqual has equal per-class representation.
+	DistEqual Distribution = iota
+	// DistM is the memory-oriented workload (55% class M).
+	DistM
+	// DistMC is the memory+cache-oriented workload.
+	DistMC
+	// DistC is the cache-oriented workload.
+	DistC
+	// DistA is the compute-oriented workload.
+	DistA
+)
+
+// Distributions lists all five in the paper's figure order.
+func Distributions() []Distribution {
+	return []Distribution{DistEqual, DistM, DistMC, DistC, DistA}
+}
+
+// String returns the figure label of the distribution.
+func (d Distribution) String() string {
+	switch d {
+	case DistEqual:
+		return "Equal-dist"
+	case DistM:
+		return "M-oriented"
+	case DistMC:
+		return "MC-oriented"
+	case DistC:
+		return "C-oriented"
+	case DistA:
+		return "A-oriented"
+	default:
+		return fmt.Sprintf("Distribution(%d)", int(d))
+	}
+}
+
+// dominant returns the oversampled class, or -1 for the equal mix.
+func (d Distribution) dominant() classify.Class {
+	switch d {
+	case DistM:
+		return classify.ClassM
+	case DistMC:
+		return classify.ClassMC
+	case DistC:
+		return classify.ClassC
+	case DistA:
+		return classify.ClassA
+	default:
+		return classify.Class(-1)
+	}
+}
+
+// classCounts returns per-class entry counts for a queue of size n:
+// equal shares, or 55%/15%/15%/15% rounded with the dominant class
+// absorbing the remainder.
+func (d Distribution) classCounts(n int) [classify.NumClasses]int {
+	var counts [classify.NumClasses]int
+	if d == DistEqual {
+		for c := range counts {
+			counts[c] = n / int(classify.NumClasses)
+		}
+		for i := 0; i < n%int(classify.NumClasses); i++ {
+			counts[i]++
+		}
+		return counts
+	}
+	dom := d.dominant()
+	minor := int(0.15 * float64(n))
+	if minor < 1 {
+		minor = 1
+	}
+	for c := range counts {
+		counts[c] = minor
+	}
+	counts[dom] = n - 3*minor
+	return counts
+}
+
+// BuildQueue returns benchmark names composing a queue of the given
+// size and distribution. Entries cycle through each class's benchmarks
+// (so repeats spread across the suite) and the arrival order is a
+// deterministic shuffle of the composition.
+func BuildQueue(d Distribution, size int, seed uint64) []string {
+	counts := d.classCounts(size)
+	var names []string
+	for c := classify.Class(0); c < classify.NumClasses; c++ {
+		pool := workloads.ByClass(c.String())
+		sort.Strings(pool)
+		for i := 0; i < counts[c]; i++ {
+			names = append(names, pool[i%len(pool)])
+		}
+	}
+	s := rng.NewStream(seed ^ 0x9d2c5680)
+	s.Shuffle(len(names), func(i, j int) { names[i], names[j] = names[j], names[i] })
+	return names
+}
+
+// Fig41Queue is the 14-application queue of Section 4.1: 2 class M, 5
+// class MC, 2 class C and 5 class A applications — exactly the Rodinia
+// suite of Table 3.2 — in a deterministic shuffled arrival order.
+func Fig41Queue(seed uint64) []string {
+	names := append([]string(nil), workloads.Names...)
+	s := rng.NewStream(seed ^ 0x85ebca6b)
+	s.Shuffle(len(names), func(i, j int) { names[i], names[j] = names[j], names[i] })
+	return names
+}
+
+// Fig49Queue is the 12-application queue used for the three-application
+// experiments (Fig 4.9/4.10): the suite minus RAY and NN, matching the
+// four triples the thesis reports.
+func Fig49Queue(seed uint64) []string {
+	var names []string
+	for _, n := range workloads.Names {
+		if n == "RAY" || n == "NN" {
+			continue
+		}
+		names = append(names, n)
+	}
+	s := rng.NewStream(seed ^ 0xc2b2ae35)
+	s.Shuffle(len(names), func(i, j int) { names[i], names[j] = names[j], names[i] })
+	return names
+}

@@ -1,0 +1,105 @@
+package experiments
+
+import (
+	"testing"
+
+	"repro/internal/workloads"
+)
+
+func TestDistributionCounts(t *testing.T) {
+	for _, d := range Distributions() {
+		counts := d.classCounts(20)
+		total := 0
+		for _, n := range counts {
+			total += n
+		}
+		if total != 20 {
+			t.Fatalf("%v: counts sum to %d", d, total)
+		}
+		if dom := d.dominant(); dom >= 0 {
+			if counts[dom] != 11 {
+				t.Fatalf("%v: dominant class has %d entries, want 11 (55%% of 20)", d, counts[dom])
+			}
+		} else {
+			for _, n := range counts {
+				if n != 5 {
+					t.Fatalf("equal distribution uneven: %v", counts)
+				}
+			}
+		}
+	}
+}
+
+func TestBuildQueueDeterministicAndValid(t *testing.T) {
+	a := BuildQueue(DistM, 20, 42)
+	b := BuildQueue(DistM, 20, 42)
+	if len(a) != 20 {
+		t.Fatalf("queue size %d", len(a))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("same seed produced different queues")
+		}
+		if _, err := workloads.Params(a[i]); err != nil {
+			t.Fatalf("queue entry %q unknown", a[i])
+		}
+	}
+	c := BuildQueue(DistM, 20, 43)
+	same := true
+	for i := range a {
+		if a[i] != c[i] {
+			same = false
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced identical order")
+	}
+}
+
+func TestFig41QueueIsWholeSuite(t *testing.T) {
+	q := Fig41Queue(1)
+	if len(q) != 14 {
+		t.Fatalf("queue size %d", len(q))
+	}
+	seen := map[string]bool{}
+	for _, n := range q {
+		seen[n] = true
+	}
+	for _, n := range workloads.Names {
+		if !seen[n] {
+			t.Fatalf("missing %s", n)
+		}
+	}
+}
+
+func TestFig49QueueExcludesRAYandNN(t *testing.T) {
+	q := Fig49Queue(1)
+	if len(q) != 12 {
+		t.Fatalf("queue size %d, want 12", len(q))
+	}
+	for _, n := range q {
+		if n == "RAY" || n == "NN" {
+			t.Fatalf("%s should be excluded", n)
+		}
+	}
+}
+
+func TestArtifactValueLookup(t *testing.T) {
+	a := Artifact{
+		ID:      "T",
+		Columns: []string{"x", "y"},
+		Rows:    []Row{{Label: "r1", Values: []float64{1, 2}}},
+	}
+	if v := a.MustValue("r1", "y"); v != 2 {
+		t.Fatalf("value = %v", v)
+	}
+	if _, err := a.Value("r1", "z"); err == nil {
+		t.Fatal("unknown column accepted")
+	}
+	if _, err := a.Value("r9", "x"); err == nil {
+		t.Fatal("unknown row accepted")
+	}
+	if s := a.String(); s == "" {
+		t.Fatal("empty render")
+	}
+}

@@ -1,0 +1,144 @@
+package gpu
+
+import (
+	"testing"
+
+	"repro/internal/config"
+	"repro/internal/kernel"
+)
+
+func TestLaunchValidation(t *testing.T) {
+	cfg := config.Small()
+	d := MustNew(cfg)
+	k := kernel.MustNew(computeKernel("X", 4), cfg.L1.LineBytes)
+	if _, err := d.Launch(nil, []int{0}); err == nil {
+		t.Error("nil kernel accepted")
+	}
+	if _, err := d.Launch(k, nil); err == nil {
+		t.Error("empty SM set accepted")
+	}
+	if _, err := d.Launch(k, []int{cfg.NumSMs}); err == nil {
+		t.Error("out-of-range SM accepted")
+	}
+	if _, err := d.Launch(k, []int{0}); err != nil {
+		t.Fatalf("valid launch rejected: %v", err)
+	}
+	// SM 0 is now owned with resident-to-be work; a second app may not
+	// claim it once blocks land.
+	d.Step()
+	d.Step()
+	k2 := kernel.MustNew(computeKernel("Y", 4), cfg.L1.LineBytes)
+	if _, err := d.Launch(k2, []int{0}); err == nil {
+		t.Error("launch on busy SM accepted")
+	}
+}
+
+func TestReassignValidation(t *testing.T) {
+	cfg := config.Small()
+	d := MustNew(cfg)
+	k := kernel.MustNew(computeKernel("X", 4), cfg.L1.LineBytes)
+	h, err := d.Launch(k, []int{0, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := d.ReassignSM(-1, h); err == nil {
+		t.Error("negative SM accepted")
+	}
+	if err := d.ReassignSM(0, AppHandle(99)); err == nil {
+		t.Error("unknown app accepted")
+	}
+	if err := d.ReassignSM(2, h); err != nil {
+		t.Errorf("valid reassign rejected: %v", err)
+	}
+}
+
+func TestRunTimeoutReported(t *testing.T) {
+	cfg := config.Small()
+	d := MustNew(cfg)
+	k := kernel.MustNew(computeKernel("X", 64), cfg.L1.LineBytes)
+	if _, err := d.Launch(k, smRange(0, cfg.NumSMs)); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Run(10); err == nil {
+		t.Fatal("timeout not reported")
+	}
+}
+
+func TestAddressSpaceIsolationInCoRun(t *testing.T) {
+	// Two instances of the same kernel with disjoint base addresses
+	// must not share L2 lines: per-app DRAM traffic should be roughly
+	// equal rather than the second app free-riding on the first's fills.
+	cfg := config.Small()
+	d := MustNew(cfg)
+	mk := func(name string, base uint64) *kernel.Kernel {
+		k := kernel.MustNew(streamKernel(name, 12), cfg.L1.LineBytes)
+		k.BaseAddr = base
+		return k
+	}
+	h1, err := d.Launch(mk("S1", 0), smRange(0, cfg.NumSMs/2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	h2, err := d.Launch(mk("S2", 1<<40), smRange(cfg.NumSMs/2, cfg.NumSMs))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Run(10_000_000); err != nil {
+		t.Fatal(err)
+	}
+	b1 := d.AppStats(h1).DRAMBytes
+	b2 := d.AppStats(h2).DRAMBytes
+	if b1 == 0 || b2 == 0 {
+		t.Fatalf("missing DRAM traffic: %d / %d", b1, b2)
+	}
+	ratio := float64(b1) / float64(b2)
+	if ratio < 0.5 || ratio > 2 {
+		t.Fatalf("asymmetric DRAM attribution for identical kernels: %d vs %d", b1, b2)
+	}
+}
+
+func TestPerAppInstructionConservation(t *testing.T) {
+	cfg := config.Small()
+	d := MustNew(cfg)
+	ks := []*kernel.Kernel{
+		kernel.MustNew(computeKernel("A", 8), cfg.L1.LineBytes),
+		kernel.MustNew(streamKernel("B", 8), cfg.L1.LineBytes),
+	}
+	ks[1].BaseAddr = 1 << 40
+	half := cfg.NumSMs / 2
+	h1, _ := d.Launch(ks[0], smRange(0, half))
+	h2, _ := d.Launch(ks[1], smRange(half, cfg.NumSMs))
+	if err := d.Run(10_000_000); err != nil {
+		t.Fatal(err)
+	}
+	for i, h := range []AppHandle{h1, h2} {
+		st := d.AppStats(h)
+		want := ks[i].TotalInstrs() * uint64(cfg.WarpSize)
+		if st.ThreadInstructions != want {
+			t.Errorf("app %d retired %d thread instructions, want %d", i, st.ThreadInstructions, want)
+		}
+		if d.CTAsDone(h) != ks[i].CTAs {
+			t.Errorf("app %d completed %d CTAs, want %d", i, d.CTAsDone(h), ks[i].CTAs)
+		}
+	}
+}
+
+func TestDeviceStatsAggregate(t *testing.T) {
+	cfg := config.Small()
+	d := MustNew(cfg)
+	k := kernel.MustNew(computeKernel("X", 8), cfg.L1.LineBytes)
+	if _, err := d.Launch(k, smRange(0, cfg.NumSMs)); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Run(2_000_000); err != nil {
+		t.Fatal(err)
+	}
+	ds := d.DeviceStats()
+	if ds.Cycles != d.Cycle() {
+		t.Fatal("device stats cycles mismatch")
+	}
+	util := ds.Utilization(cfg)
+	if util <= 0 || util > 1 {
+		t.Fatalf("utilization = %v out of (0,1]", util)
+	}
+}

@@ -1,0 +1,147 @@
+package gpu
+
+import (
+	"testing"
+
+	"repro/internal/config"
+	"repro/internal/kernel"
+)
+
+func smRange(lo, hi int) []int {
+	ids := make([]int, 0, hi-lo)
+	for i := lo; i < hi; i++ {
+		ids = append(ids, i)
+	}
+	return ids
+}
+
+func computeKernel(name string, ctas int) kernel.Params {
+	return kernel.Params{
+		Name:          name,
+		CTAs:          ctas,
+		WarpsPerCTA:   4,
+		InstrsPerWarp: 400,
+		MemEvery:      0,
+		Seed:          1,
+	}
+}
+
+func streamKernel(name string, ctas int) kernel.Params {
+	return kernel.Params{
+		Name:           name,
+		CTAs:           ctas,
+		WarpsPerCTA:    4,
+		InstrsPerWarp:  400,
+		MemEvery:       4,
+		Pattern:        kernel.PatternStream,
+		CoalescedLines: 1,
+		FootprintBytes: 8 << 20,
+		Seed:           2,
+	}
+}
+
+func TestSoloComputeKernelCompletes(t *testing.T) {
+	cfg := config.Small()
+	d := MustNew(cfg)
+	k := kernel.MustNew(computeKernel("CMP", 32), cfg.L1.LineBytes)
+	h, err := d.Launch(k, smRange(0, cfg.NumSMs))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Run(2_000_000); err != nil {
+		t.Fatal(err)
+	}
+	st := d.AppStats(h)
+	if !st.Done {
+		t.Fatal("app not done")
+	}
+	want := k.TotalInstrs() * uint64(cfg.WarpSize)
+	if st.ThreadInstructions != want {
+		t.Fatalf("thread instructions = %d, want %d", st.ThreadInstructions, want)
+	}
+	m := st.Derive(cfg)
+	t.Logf("compute solo: %s", m)
+	if m.IPC <= 0 {
+		t.Fatal("zero IPC")
+	}
+	if m.MemBandwidthGBps != 0 {
+		t.Fatalf("compute kernel touched DRAM: %v GB/s", m.MemBandwidthGBps)
+	}
+}
+
+func TestSoloStreamKernelCompletes(t *testing.T) {
+	cfg := config.Small()
+	d := MustNew(cfg)
+	k := kernel.MustNew(streamKernel("STR", 32), cfg.L1.LineBytes)
+	h, err := d.Launch(k, smRange(0, cfg.NumSMs))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Run(5_000_000); err != nil {
+		t.Fatal(err)
+	}
+	m := d.AppMetrics(h)
+	t.Logf("stream solo: %s", m)
+	if m.MemBandwidthGBps <= 0 {
+		t.Fatal("stream kernel produced no DRAM traffic")
+	}
+	if m.R <= 0.1 || m.R > 0.5 {
+		t.Fatalf("R = %v out of expected range", m.R)
+	}
+}
+
+func TestTwoAppPartitionedCoRun(t *testing.T) {
+	cfg := config.Small()
+	d := MustNew(cfg)
+	half := cfg.NumSMs / 2
+	k1 := kernel.MustNew(computeKernel("CMP", 16), cfg.L1.LineBytes)
+	p2 := streamKernel("STR", 16)
+	k2 := kernel.MustNew(p2, cfg.L1.LineBytes)
+	k2.BaseAddr = 1 << 32
+	h1, err := d.Launch(k1, smRange(0, half))
+	if err != nil {
+		t.Fatal(err)
+	}
+	h2, err := d.Launch(k2, smRange(half, cfg.NumSMs))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Run(5_000_000); err != nil {
+		t.Fatal(err)
+	}
+	if !d.Done(h1) || !d.Done(h2) {
+		t.Fatal("apps not done")
+	}
+	m1, m2 := d.AppMetrics(h1), d.AppMetrics(h2)
+	t.Logf("co-run: %s | %s", m1, m2)
+	ds := d.DeviceStats()
+	if ds.Throughput() <= 0 {
+		t.Fatal("zero device throughput")
+	}
+}
+
+func TestReassignSMDrainsAndTransfers(t *testing.T) {
+	cfg := config.Small()
+	d := MustNew(cfg)
+	half := cfg.NumSMs / 2
+	k1 := kernel.MustNew(computeKernel("CMP", 64), cfg.L1.LineBytes)
+	k2 := kernel.MustNew(computeKernel("CMP2", 64), cfg.L1.LineBytes)
+	h1, _ := d.Launch(k1, smRange(0, half))
+	h2, _ := d.Launch(k2, smRange(half, cfg.NumSMs))
+	// Let it warm up, then move SM 0 to app 2.
+	for i := 0; i < 200; i++ {
+		d.Step()
+	}
+	if err := d.ReassignSM(0, h2); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Run(5_000_000); err != nil {
+		t.Fatal(err)
+	}
+	if !d.Done(h1) || !d.Done(h2) {
+		t.Fatal("apps not done after reassignment")
+	}
+	if got := d.SMOwner(0); got != int16(h2) {
+		t.Fatalf("SM 0 owner = %d, want %d", got, h2)
+	}
+}

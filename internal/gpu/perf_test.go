@@ -1,0 +1,32 @@
+package gpu
+
+import (
+	"testing"
+
+	"repro/internal/config"
+	"repro/internal/kernel"
+)
+
+func BenchmarkStepStream(b *testing.B) {
+	cfg := config.GTX480()
+	d := MustNew(cfg)
+	k := kernel.MustNew(kernel.Params{
+		Name: "STR", CTAs: 4000, WarpsPerCTA: 6, InstrsPerWarp: 4000,
+		MemEvery: 5, Pattern: kernel.PatternStream, CoalescedLines: 4,
+		FootprintBytes: 64 << 20, Seed: 2,
+	}, cfg.L1.LineBytes)
+	sms := make([]int, cfg.NumSMs)
+	for i := range sms {
+		sms[i] = i
+	}
+	if _, err := d.Launch(k, sms); err != nil {
+		b.Fatal(err)
+	}
+	for i := 0; i < 2000; i++ {
+		d.Step() // warm up
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		d.Step()
+	}
+}

@@ -1,0 +1,168 @@
+package icnt
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/config"
+	"repro/internal/memreq"
+)
+
+func testCfg() config.IcntConfig {
+	return config.IcntConfig{LatencyCycles: 4, BytesPerCycle: 64, QueueSize: 4}
+}
+
+func newNet(t *testing.T) *Network {
+	t.Helper()
+	n, err := New(testCfg(), 2, 128)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return n
+}
+
+func req(line uint64, size int32) memreq.Request {
+	return memreq.Request{Kind: memreq.Read, Line: line, Size: size, App: 0}
+}
+
+func TestLatencyEnforced(t *testing.T) {
+	n := newNet(t)
+	n.Begin()
+	if !n.TrySendToMem(req(0, 8), 10) {
+		t.Fatal("send refused")
+	}
+	if _, ok := n.PopForPartition(0, 13); ok {
+		t.Fatal("arrived before latency elapsed")
+	}
+	got, ok := n.PopForPartition(0, 14)
+	if !ok || got.Line != 0 {
+		t.Fatalf("pop = %v %v", got, ok)
+	}
+}
+
+func TestPartitionRouting(t *testing.T) {
+	n := newNet(t)
+	n.Begin()
+	// Line index interleaving: line 0 -> partition 0, line 1*128 -> 1.
+	if p := n.Partition(0); p != 0 {
+		t.Fatalf("partition(0) = %d", p)
+	}
+	if p := n.Partition(128); p != 1 {
+		t.Fatalf("partition(128) = %d", p)
+	}
+	n.TrySendToMem(req(128, 8), 0)
+	if _, ok := n.PopForPartition(0, 100); ok {
+		t.Fatal("request routed to wrong partition")
+	}
+	if _, ok := n.PopForPartition(1, 100); !ok {
+		t.Fatal("request missing from partition 1")
+	}
+}
+
+func TestQueueBoundBackpressure(t *testing.T) {
+	n := newNet(t)
+	cfg := testCfg()
+	for i := 0; i < cfg.QueueSize; i++ {
+		n.Begin()
+		if !n.TrySendToMem(req(0, 8), uint64(i)) {
+			t.Fatalf("send %d refused below bound", i)
+		}
+	}
+	n.Begin()
+	if n.TrySendToMem(req(0, 8), 99) {
+		t.Fatal("send accepted above queue bound")
+	}
+	if n.Stats().ToMemStalls == 0 {
+		t.Fatal("stall not counted")
+	}
+}
+
+func TestBandwidthBudgetLeakyBucket(t *testing.T) {
+	n := newNet(t)
+	n.Begin()
+	// 64 B/cycle budget; a 128 B packet must inject by driving the
+	// budget negative, and the debt must block the next packet for one
+	// extra Begin.
+	if !n.TrySendToSM(memreq.Request{Kind: memreq.ReadReply, Line: 0, Size: 128}, 0) {
+		t.Fatal("large packet refused")
+	}
+	if n.TrySendToSM(memreq.Request{Kind: memreq.ReadReply, Line: 0, Size: 128}, 0) {
+		t.Fatal("second packet accepted with spent budget")
+	}
+	n.Begin() // budget: -64 + 64 = 0, still blocked
+	if n.TrySendToSM(memreq.Request{Kind: memreq.ReadReply, Line: 0, Size: 128}, 1) {
+		t.Fatal("packet accepted while still in debt")
+	}
+	n.Begin() // budget: 0 + 64 = 64 > 0
+	if !n.TrySendToSM(memreq.Request{Kind: memreq.ReadReply, Line: 0, Size: 128}, 2) {
+		t.Fatal("packet refused after debt paid")
+	}
+}
+
+func TestResponsesDeliveredInOrder(t *testing.T) {
+	n := newNet(t)
+	n.Begin()
+	n.TrySendToSM(memreq.Request{Kind: memreq.ReadReply, Line: 0, SM: 1, Size: 8}, 0)
+	n.Begin()
+	n.TrySendToSM(memreq.Request{Kind: memreq.ReadReply, Line: 128, SM: 2, Size: 8}, 1)
+	out := n.PopArrivedToSM(10)
+	if len(out) != 2 || out[0].SM != 1 || out[1].SM != 2 {
+		t.Fatalf("arrivals = %v", out)
+	}
+	if n.Pending() != 0 {
+		t.Fatalf("pending = %d after drain", n.Pending())
+	}
+}
+
+func TestPerAppResponseBytes(t *testing.T) {
+	n := newNet(t)
+	n.Begin()
+	n.TrySendToSM(memreq.Request{Kind: memreq.ReadReply, Line: 0, App: 2, Size: 40}, 0)
+	if got := n.AppToSMBytes(2); got != 40 {
+		t.Fatalf("app 2 bytes = %d", got)
+	}
+	if got := n.AppToSMBytes(7); got != 0 {
+		t.Fatalf("app 7 bytes = %d", got)
+	}
+}
+
+// TestConservation: every accepted message is eventually delivered
+// exactly once, for arbitrary interleavings.
+func TestConservation(t *testing.T) {
+	f := func(ops []uint8) bool {
+		n, err := New(testCfg(), 2, 128)
+		if err != nil {
+			return false
+		}
+		sent, received := 0, 0
+		now := uint64(0)
+		for _, op := range ops {
+			now++
+			n.Begin()
+			line := uint64(op) * 128
+			if op%2 == 0 {
+				if n.TrySendToMem(req(line, 8), now) {
+					sent++
+				}
+			}
+			for p := 0; p < 2; p++ {
+				if _, ok := n.PopForPartition(p, now); ok {
+					received++
+				}
+			}
+		}
+		// Drain.
+		for i := 0; i < 100; i++ {
+			now++
+			for p := 0; p < 2; p++ {
+				if _, ok := n.PopForPartition(p, now); ok {
+					received++
+				}
+			}
+		}
+		return sent == received && n.Pending() == 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}

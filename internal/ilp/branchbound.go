@@ -1,0 +1,140 @@
+package ilp
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// intTol is the distance from an integer below which a relaxation value
+// counts as integral.
+const intTol = 1e-6
+
+// maxNodes bounds the branch-and-bound tree; the paper's instances need
+// a handful of nodes, so hitting this indicates a malformed problem.
+const maxNodes = 200_000
+
+type node struct {
+	lower []float64 // per-variable lower bounds
+	upper []float64 // per-variable upper bounds (+inf when free)
+	bound float64   // parent relaxation objective (upper bound)
+}
+
+// Solve finds an optimal integral solution by branch-and-bound over LP
+// relaxations. Variables without the Integer mark stay continuous.
+func Solve(p Problem) (Solution, error) {
+	if err := p.Validate(); err != nil {
+		return Solution{}, err
+	}
+	if p.Integer == nil {
+		return SolveLP(p)
+	}
+	n := len(p.Objective)
+	root := node{
+		lower: make([]float64, n),
+		upper: make([]float64, n),
+		bound: math.Inf(1),
+	}
+	for j := range root.upper {
+		root.upper[j] = math.Inf(1)
+	}
+	best := Solution{Status: Infeasible, Objective: math.Inf(-1)}
+	queue := []node{root}
+	sawUnbounded := false
+	for nodes := 0; len(queue) > 0; nodes++ {
+		if nodes > maxNodes {
+			return Solution{}, fmt.Errorf("ilp: branch-and-bound node limit reached")
+		}
+		// Best-first: explore the node with the highest parent bound.
+		sort.Slice(queue, func(i, j int) bool { return queue[i].bound < queue[j].bound })
+		nd := queue[len(queue)-1]
+		queue = queue[:len(queue)-1]
+		if nd.bound <= best.Objective+intTol {
+			continue // cannot beat the incumbent
+		}
+		rel, err := SolveLP(withBounds(p, nd))
+		if err != nil {
+			return Solution{}, err
+		}
+		switch rel.Status {
+		case Infeasible:
+			continue
+		case Unbounded:
+			// An unbounded relaxation at the root of an integer problem:
+			// remember it; if no incumbent appears the problem really is
+			// unbounded.
+			sawUnbounded = true
+			continue
+		}
+		if rel.Objective <= best.Objective+intTol {
+			continue
+		}
+		frac := mostFractional(rel.X, p.Integer)
+		if frac < 0 {
+			// Integral: new incumbent.
+			rounded := append([]float64(nil), rel.X...)
+			for j := range rounded {
+				if p.Integer[j] {
+					rounded[j] = math.Round(rounded[j])
+				}
+			}
+			best = Solution{Status: Optimal, X: rounded, Objective: rel.Objective}
+			continue
+		}
+		v := rel.X[frac]
+		down := nd.clone()
+		down.upper[frac] = math.Floor(v)
+		down.bound = rel.Objective
+		up := nd.clone()
+		up.lower[frac] = math.Ceil(v)
+		up.bound = rel.Objective
+		queue = append(queue, down, up)
+	}
+	if best.Status != Optimal && sawUnbounded {
+		return Solution{Status: Unbounded}, nil
+	}
+	return best, nil
+}
+
+func (nd node) clone() node {
+	return node{
+		lower: append([]float64(nil), nd.lower...),
+		upper: append([]float64(nil), nd.upper...),
+		bound: nd.bound,
+	}
+}
+
+// withBounds appends the node's variable bounds as constraint rows.
+func withBounds(p Problem, nd node) Problem {
+	out := Problem{Objective: p.Objective, Constraints: append([]Constraint(nil), p.Constraints...)}
+	n := len(p.Objective)
+	for j := 0; j < n; j++ {
+		if nd.lower[j] > 0 {
+			row := make([]float64, n)
+			row[j] = 1
+			out.Constraints = append(out.Constraints, Constraint{Coeffs: row, Rel: GE, RHS: nd.lower[j]})
+		}
+		if !math.IsInf(nd.upper[j], 1) {
+			row := make([]float64, n)
+			row[j] = 1
+			out.Constraints = append(out.Constraints, Constraint{Coeffs: row, Rel: LE, RHS: nd.upper[j]})
+		}
+	}
+	return out
+}
+
+// mostFractional returns the index of the integer-constrained variable
+// farthest from integrality, or -1 when all are integral.
+func mostFractional(x []float64, integer []bool) int {
+	best, bestDist := -1, intTol
+	for j, v := range x {
+		if !integer[j] {
+			continue
+		}
+		dist := math.Abs(v - math.Round(v))
+		if dist > bestDist {
+			best, bestDist = j, dist
+		}
+	}
+	return best
+}

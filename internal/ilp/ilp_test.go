@@ -1,0 +1,298 @@
+package ilp
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func almostEq(a, b float64) bool { return math.Abs(a-b) < 1e-6 }
+
+func TestSolveLPSimple2D(t *testing.T) {
+	// max 3x + 2y s.t. x+y <= 4, x+3y <= 6  → x=4, y=0, z=12.
+	p := Problem{
+		Objective: []float64{3, 2},
+		Constraints: []Constraint{
+			{Coeffs: []float64{1, 1}, Rel: LE, RHS: 4},
+			{Coeffs: []float64{1, 3}, Rel: LE, RHS: 6},
+		},
+	}
+	s, err := SolveLP(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Status != Optimal || !almostEq(s.Objective, 12) {
+		t.Fatalf("got %+v, want objective 12", s)
+	}
+}
+
+func TestSolveLPWithEquality(t *testing.T) {
+	// max x + y s.t. x + y == 5, x <= 3 → z=5.
+	p := Problem{
+		Objective: []float64{1, 1},
+		Constraints: []Constraint{
+			{Coeffs: []float64{1, 1}, Rel: EQ, RHS: 5},
+			{Coeffs: []float64{1, 0}, Rel: LE, RHS: 3},
+		},
+	}
+	s, err := SolveLP(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Status != Optimal || !almostEq(s.Objective, 5) {
+		t.Fatalf("got %+v, want objective 5", s)
+	}
+}
+
+func TestSolveLPGEConstraint(t *testing.T) {
+	// max -x s.t. x >= 3 → x=3, z=-3.
+	p := Problem{
+		Objective: []float64{-1},
+		Constraints: []Constraint{
+			{Coeffs: []float64{1}, Rel: GE, RHS: 3},
+		},
+	}
+	s, err := SolveLP(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Status != Optimal || !almostEq(s.Objective, -3) {
+		t.Fatalf("got %+v, want objective -3", s)
+	}
+}
+
+func TestSolveLPInfeasible(t *testing.T) {
+	p := Problem{
+		Objective: []float64{1},
+		Constraints: []Constraint{
+			{Coeffs: []float64{1}, Rel: LE, RHS: 1},
+			{Coeffs: []float64{1}, Rel: GE, RHS: 2},
+		},
+	}
+	s, err := SolveLP(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Status != Infeasible {
+		t.Fatalf("got %v, want infeasible", s.Status)
+	}
+}
+
+func TestSolveLPUnbounded(t *testing.T) {
+	p := Problem{
+		Objective: []float64{1},
+		Constraints: []Constraint{
+			{Coeffs: []float64{1}, Rel: GE, RHS: 0},
+		},
+	}
+	s, err := SolveLP(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Status != Unbounded {
+		t.Fatalf("got %v, want unbounded", s.Status)
+	}
+}
+
+func TestSolveLPNegativeRHS(t *testing.T) {
+	// max x s.t. -x <= -2 (i.e. x >= 2), x <= 5 → 5.
+	p := Problem{
+		Objective: []float64{1},
+		Constraints: []Constraint{
+			{Coeffs: []float64{-1}, Rel: LE, RHS: -2},
+			{Coeffs: []float64{1}, Rel: LE, RHS: 5},
+		},
+	}
+	s, err := SolveLP(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Status != Optimal || !almostEq(s.Objective, 5) {
+		t.Fatalf("got %+v, want 5", s)
+	}
+}
+
+func TestSolveILPKnapsack(t *testing.T) {
+	// max 8a + 11b + 6c + 4d s.t. 5a+7b+4c+3d <= 14, vars in {0,1}.
+	// Optimal: b,c,d = 1 → 21.
+	one := func(j int) []float64 { r := make([]float64, 4); r[j] = 1; return r }
+	p := Problem{
+		Objective: []float64{8, 11, 6, 4},
+		Constraints: []Constraint{
+			{Coeffs: []float64{5, 7, 4, 3}, Rel: LE, RHS: 14},
+			{Coeffs: one(0), Rel: LE, RHS: 1},
+			{Coeffs: one(1), Rel: LE, RHS: 1},
+			{Coeffs: one(2), Rel: LE, RHS: 1},
+			{Coeffs: one(3), Rel: LE, RHS: 1},
+		},
+		Integer: []bool{true, true, true, true},
+	}
+	s, err := Solve(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Status != Optimal || !almostEq(s.Objective, 21) {
+		t.Fatalf("got %+v, want 21", s)
+	}
+}
+
+func TestSolveILPRequiresBranching(t *testing.T) {
+	// max x + y s.t. 2x + 2y <= 5, integers → 2 (LP relaxation 2.5).
+	p := Problem{
+		Objective: []float64{1, 1},
+		Constraints: []Constraint{
+			{Coeffs: []float64{2, 2}, Rel: LE, RHS: 5},
+		},
+		Integer: []bool{true, true},
+	}
+	s, err := Solve(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Status != Optimal || !almostEq(s.Objective, 2) {
+		t.Fatalf("got %+v, want 2", s)
+	}
+	for _, v := range s.X {
+		if math.Abs(v-math.Round(v)) > 1e-6 {
+			t.Fatalf("non-integral solution %v", s.X)
+		}
+	}
+}
+
+func TestSolveILPInfeasible(t *testing.T) {
+	p := Problem{
+		Objective: []float64{1, 1},
+		Constraints: []Constraint{
+			{Coeffs: []float64{1, 1}, Rel: EQ, RHS: 3},
+			{Coeffs: []float64{2, 2}, Rel: EQ, RHS: 5}, // contradicts (x+y=2.5)
+		},
+		Integer: []bool{true, true},
+	}
+	s, err := Solve(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Status != Infeasible {
+		t.Fatalf("got %v, want infeasible", s.Status)
+	}
+}
+
+// TestSolveILPMatchesEnumeration cross-checks branch-and-bound against
+// brute-force enumeration on random small knapsack-like instances.
+func TestSolveILPMatchesEnumeration(t *testing.T) {
+	f := func(seedRaw uint32) bool {
+		seed := uint64(seedRaw)
+		next := func() uint64 {
+			seed = seed*6364136223846793005 + 1442695040888963407
+			return seed >> 33
+		}
+		n := int(next()%4) + 2 // 2..5 vars
+		obj := make([]float64, n)
+		w := make([]float64, n)
+		for j := 0; j < n; j++ {
+			obj[j] = float64(next()%9) + 1
+			w[j] = float64(next()%5) + 1
+		}
+		cap := float64(next()%12) + 2
+		ub := float64(next()%3) + 1
+		cons := []Constraint{{Coeffs: w, Rel: LE, RHS: cap}}
+		for j := 0; j < n; j++ {
+			row := make([]float64, n)
+			row[j] = 1
+			cons = append(cons, Constraint{Coeffs: row, Rel: LE, RHS: ub})
+		}
+		integer := make([]bool, n)
+		for j := range integer {
+			integer[j] = true
+		}
+		s, err := Solve(Problem{Objective: obj, Constraints: cons, Integer: integer})
+		if err != nil || s.Status != Optimal {
+			return false
+		}
+		// Enumerate.
+		bestZ := math.Inf(-1)
+		var rec func(j int, weight, z float64)
+		rec = func(j int, weight, z float64) {
+			if weight > cap {
+				return
+			}
+			if j == n {
+				if z > bestZ {
+					bestZ = z
+				}
+				return
+			}
+			for v := 0.0; v <= ub; v++ {
+				rec(j+1, weight+v*w[j], z+v*obj[j])
+			}
+		}
+		rec(0, 0, 0)
+		return almostEq(s.Objective, bestZ)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestSolveLPFeasibilityInvariant checks with random instances that any
+// Optimal solution actually satisfies its constraints.
+func TestSolveLPFeasibilityInvariant(t *testing.T) {
+	f := func(seedRaw uint32) bool {
+		seed := uint64(seedRaw)
+		next := func() uint64 {
+			seed = seed*6364136223846793005 + 1442695040888963407
+			return seed >> 33
+		}
+		n := int(next()%4) + 1
+		m := int(next()%4) + 1
+		obj := make([]float64, n)
+		for j := range obj {
+			obj[j] = float64(int(next()%11)) - 5
+		}
+		cons := make([]Constraint, m)
+		for i := range cons {
+			row := make([]float64, n)
+			for j := range row {
+				row[j] = float64(int(next()%7)) - 3
+			}
+			cons[i] = Constraint{
+				Coeffs: row,
+				Rel:    Relation(next() % 3),
+				RHS:    float64(int(next()%15)) - 5,
+			}
+		}
+		s, err := SolveLP(Problem{Objective: obj, Constraints: cons})
+		if err != nil || s.Status != Optimal {
+			return true // infeasible/unbounded are fine outcomes
+		}
+		for j, v := range s.X {
+			if v < -1e-6 {
+				t.Logf("negative variable x[%d]=%v", j, v)
+				return false
+			}
+		}
+		for i, c := range cons {
+			lhs := 0.0
+			for j := range c.Coeffs {
+				lhs += c.Coeffs[j] * s.X[j]
+			}
+			ok := true
+			switch c.Rel {
+			case LE:
+				ok = lhs <= c.RHS+1e-6
+			case GE:
+				ok = lhs >= c.RHS-1e-6
+			case EQ:
+				ok = math.Abs(lhs-c.RHS) < 1e-6
+			}
+			if !ok {
+				t.Logf("constraint %d violated: lhs=%v rel=%v rhs=%v x=%v", i, lhs, c.Rel, c.RHS, s.X)
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}

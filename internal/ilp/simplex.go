@@ -1,0 +1,334 @@
+// Package ilp is a small exact integer linear programming solver: a
+// two-phase primal simplex over dense tableaus for the LP relaxation,
+// wrapped in best-first branch-and-bound for integrality.
+//
+// The paper solves its contention-minimization matching (Section 3.2.3,
+// Appendix A) with an off-the-shelf ILP solver; problem instances there
+// are tiny (≤ 20 pattern variables, ≤ 5 constraints), which this
+// implementation solves exactly in microseconds using only the standard
+// library.
+package ilp
+
+import (
+	"fmt"
+	"math"
+)
+
+// Relation is a constraint sense.
+type Relation int
+
+const (
+	// LE is a ≤ constraint.
+	LE Relation = iota
+	// GE is a ≥ constraint.
+	GE
+	// EQ is an equality constraint.
+	EQ
+)
+
+// String renders the relation symbol.
+func (r Relation) String() string {
+	switch r {
+	case LE:
+		return "<="
+	case GE:
+		return ">="
+	case EQ:
+		return "=="
+	default:
+		return "?"
+	}
+}
+
+// Constraint is one linear row: Coeffs·x  Rel  RHS.
+type Constraint struct {
+	Coeffs []float64
+	Rel    Relation
+	RHS    float64
+}
+
+// Problem is a maximization over non-negative variables.
+type Problem struct {
+	// Objective holds the coefficients of the function to maximize.
+	Objective []float64
+	// Constraints are the linear rows.
+	Constraints []Constraint
+	// Integer marks variables required to take integral values; nil
+	// means a pure LP.
+	Integer []bool
+}
+
+// Status reports the outcome of a solve.
+type Status int
+
+const (
+	// Optimal: an optimal solution was found.
+	Optimal Status = iota
+	// Infeasible: no point satisfies the constraints.
+	Infeasible
+	// Unbounded: the objective can grow without limit.
+	Unbounded
+)
+
+// String names the status.
+func (s Status) String() string {
+	switch s {
+	case Optimal:
+		return "optimal"
+	case Infeasible:
+		return "infeasible"
+	case Unbounded:
+		return "unbounded"
+	default:
+		return fmt.Sprintf("Status(%d)", int(s))
+	}
+}
+
+// Solution is the result of a solve.
+type Solution struct {
+	Status    Status
+	X         []float64
+	Objective float64
+}
+
+const (
+	eps      = 1e-9
+	pivotEps = 1e-9
+	maxIters = 100_000
+)
+
+// Validate reports structural problems.
+func (p Problem) Validate() error {
+	n := len(p.Objective)
+	if n == 0 {
+		return fmt.Errorf("ilp: empty objective")
+	}
+	for i, c := range p.Constraints {
+		if len(c.Coeffs) != n {
+			return fmt.Errorf("ilp: constraint %d has %d coefficients, want %d", i, len(c.Coeffs), n)
+		}
+	}
+	if p.Integer != nil && len(p.Integer) != n {
+		return fmt.Errorf("ilp: Integer mask has %d entries, want %d", len(p.Integer), n)
+	}
+	return nil
+}
+
+// tableau is a dense simplex tableau: rows are constraints in equality
+// form (original + slack + artificial columns), with the RHS in the last
+// column. basis[i] is the column basic in row i.
+type tableau struct {
+	a     [][]float64
+	basis []int
+	rows  int
+	cols  int // excluding RHS
+	rhs   int // index of RHS column
+}
+
+// SolveLP solves the continuous relaxation with two-phase primal
+// simplex (Bland's rule, so it cannot cycle).
+func SolveLP(p Problem) (Solution, error) {
+	if err := p.Validate(); err != nil {
+		return Solution{}, err
+	}
+	n := len(p.Objective)
+	m := len(p.Constraints)
+
+	// Normalize to non-negative RHS.
+	rows := make([]Constraint, m)
+	for i, c := range p.Constraints {
+		rows[i] = Constraint{Coeffs: append([]float64(nil), c.Coeffs...), Rel: c.Rel, RHS: c.RHS}
+		if rows[i].RHS < 0 {
+			for j := range rows[i].Coeffs {
+				rows[i].Coeffs[j] = -rows[i].Coeffs[j]
+			}
+			rows[i].RHS = -rows[i].RHS
+			switch rows[i].Rel {
+			case LE:
+				rows[i].Rel = GE
+			case GE:
+				rows[i].Rel = LE
+			}
+		}
+	}
+
+	// Count slack/surplus and artificial columns.
+	nSlack, nArt := 0, 0
+	for _, c := range rows {
+		switch c.Rel {
+		case LE:
+			nSlack++
+		case GE:
+			nSlack++ // surplus
+			nArt++
+		case EQ:
+			nArt++
+		}
+	}
+	cols := n + nSlack + nArt
+	t := &tableau{
+		a:     make([][]float64, m),
+		basis: make([]int, m),
+		rows:  m,
+		cols:  cols,
+		rhs:   cols,
+	}
+	artStart := n + nSlack
+	slackIdx, artIdx := n, artStart
+	for i, c := range rows {
+		t.a[i] = make([]float64, cols+1)
+		copy(t.a[i], c.Coeffs)
+		t.a[i][t.rhs] = c.RHS
+		switch c.Rel {
+		case LE:
+			t.a[i][slackIdx] = 1
+			t.basis[i] = slackIdx
+			slackIdx++
+		case GE:
+			t.a[i][slackIdx] = -1
+			slackIdx++
+			t.a[i][artIdx] = 1
+			t.basis[i] = artIdx
+			artIdx++
+		case EQ:
+			t.a[i][artIdx] = 1
+			t.basis[i] = artIdx
+			artIdx++
+		}
+	}
+
+	// Phase 1: maximize -(sum of artificials).
+	if nArt > 0 {
+		phase1 := make([]float64, cols)
+		for j := artStart; j < cols; j++ {
+			phase1[j] = -1
+		}
+		z, err := t.maximize(phase1, nil)
+		if err != nil {
+			return Solution{}, err
+		}
+		if z < -1e-7 {
+			return Solution{Status: Infeasible}, nil
+		}
+		// Pivot any artificial still basic (at zero) out of the basis.
+		for i := 0; i < m; i++ {
+			if t.basis[i] < artStart {
+				continue
+			}
+			pivoted := false
+			for j := 0; j < artStart; j++ {
+				if math.Abs(t.a[i][j]) > pivotEps {
+					t.pivot(i, j)
+					pivoted = true
+					break
+				}
+			}
+			if !pivoted {
+				// Redundant row: zero it (harmless).
+				for j := 0; j <= t.rhs; j++ {
+					t.a[i][j] = 0
+				}
+			}
+		}
+	}
+
+	// Phase 2: maximize the real objective, artificials barred.
+	obj := make([]float64, cols)
+	copy(obj, p.Objective)
+	barred := make([]bool, cols)
+	for j := artStart; j < cols; j++ {
+		barred[j] = true
+	}
+	if _, err := t.maximize(obj, barred); err != nil {
+		if err == errUnbounded {
+			return Solution{Status: Unbounded}, nil
+		}
+		return Solution{}, err
+	}
+
+	x := make([]float64, n)
+	for i, b := range t.basis {
+		if b < n {
+			x[b] = t.a[i][t.rhs]
+		}
+	}
+	objVal := 0.0
+	for j := range x {
+		objVal += p.Objective[j] * x[j]
+	}
+	return Solution{Status: Optimal, X: x, Objective: objVal}, nil
+}
+
+var errUnbounded = fmt.Errorf("ilp: unbounded")
+
+// maximize runs primal simplex for the given objective over the current
+// tableau. barred columns may never enter the basis.
+func (t *tableau) maximize(obj []float64, barred []bool) (float64, error) {
+	for iter := 0; iter < maxIters; iter++ {
+		// Reduced costs: rc_j = c_j - c_B · column_j.
+		enter := -1
+		for j := 0; j < t.cols; j++ {
+			if barred != nil && barred[j] {
+				continue
+			}
+			rc := obj[j]
+			for i := 0; i < t.rows; i++ {
+				if cb := obj[t.basis[i]]; cb != 0 {
+					rc -= cb * t.a[i][j]
+				}
+			}
+			if rc > eps {
+				enter = j // Bland: first improving column
+				break
+			}
+		}
+		if enter < 0 {
+			z := 0.0
+			for i := 0; i < t.rows; i++ {
+				z += obj[t.basis[i]] * t.a[i][t.rhs]
+			}
+			return z, nil
+		}
+		// Ratio test (Bland tie-break on smallest basis index).
+		leave := -1
+		bestRatio := math.Inf(1)
+		for i := 0; i < t.rows; i++ {
+			if t.a[i][enter] > pivotEps {
+				ratio := t.a[i][t.rhs] / t.a[i][enter]
+				if ratio < bestRatio-eps ||
+					(ratio < bestRatio+eps && (leave < 0 || t.basis[i] < t.basis[leave])) {
+					bestRatio = ratio
+					leave = i
+				}
+			}
+		}
+		if leave < 0 {
+			return 0, errUnbounded
+		}
+		t.pivot(leave, enter)
+	}
+	return 0, fmt.Errorf("ilp: simplex iteration limit reached")
+}
+
+// pivot makes column c basic in row r.
+func (t *tableau) pivot(r, c int) {
+	pr := t.a[r]
+	pv := pr[c]
+	for j := 0; j <= t.rhs; j++ {
+		pr[j] /= pv
+	}
+	for i := 0; i < t.rows; i++ {
+		if i == r {
+			continue
+		}
+		f := t.a[i][c]
+		if f == 0 {
+			continue
+		}
+		row := t.a[i]
+		for j := 0; j <= t.rhs; j++ {
+			row[j] -= f * pr[j]
+		}
+	}
+	t.basis[r] = c
+}

@@ -1,0 +1,220 @@
+// Package interference reproduces the paper's interference analysis
+// (Section 3.2.2, Figure 3.4): every application is co-run with every
+// other application on an evenly partitioned device, the slowdown of
+// each relative to its solo full-device run is recorded, and the results
+// are averaged per (class, co-runner class) pair.
+//
+// The resulting matrix is the input to the ILP matcher: the inverse
+// slowdowns of a candidate pattern are what the objective function
+// maximizes (Equations 3.3–3.4).
+package interference
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+
+	"repro/internal/classify"
+	"repro/internal/config"
+	"repro/internal/gpu"
+	"repro/internal/kernel"
+	"repro/internal/profile"
+	"repro/internal/stats"
+)
+
+// MaxCoRunCycles bounds one co-run simulation.
+const MaxCoRunCycles = 60_000_000
+
+// appBaseStride separates concurrently resident address spaces.
+const appBaseStride = uint64(1) << 40
+
+// CoRun executes the given kernels concurrently, each on its own SM
+// set, until every one finishes. smSets[i] lists the SM ids of kernels[i].
+// It returns the per-application counters in input order.
+func CoRun(cfg config.GPUConfig, kernels []kernel.Params, smSets [][]int) ([]stats.App, error) {
+	if len(kernels) == 0 || len(kernels) != len(smSets) {
+		return nil, fmt.Errorf("interference: %d kernels with %d SM sets", len(kernels), len(smSets))
+	}
+	d, err := gpu.New(cfg)
+	if err != nil {
+		return nil, err
+	}
+	handles := make([]gpu.AppHandle, len(kernels))
+	for i, params := range kernels {
+		k, err := kernel.New(params, cfg.L1.LineBytes)
+		if err != nil {
+			return nil, err
+		}
+		k.BaseAddr = uint64(i+1) * appBaseStride
+		h, err := d.Launch(k, smSets[i])
+		if err != nil {
+			return nil, err
+		}
+		handles[i] = h
+	}
+	if err := d.Run(MaxCoRunCycles); err != nil {
+		return nil, err
+	}
+	out := make([]stats.App, len(kernels))
+	for i, h := range handles {
+		out[i] = d.AppStats(h)
+	}
+	return out, nil
+}
+
+// EvenSplit partitions numSMs cores into n contiguous equal sets.
+func EvenSplit(numSMs, n int) [][]int {
+	sets := make([][]int, n)
+	per := numSMs / n
+	next := 0
+	for i := range sets {
+		count := per
+		if i < numSMs%n {
+			count++
+		}
+		sets[i] = make([]int, 0, count)
+		for j := 0; j < count; j++ {
+			sets[i] = append(sets[i], next)
+			next++
+		}
+	}
+	return sets
+}
+
+// PairResult records one co-run's slowdowns.
+type PairResult struct {
+	A, B        string
+	SlowdownA   float64
+	SlowdownB   float64
+	CyclesA     uint64
+	CyclesB     uint64
+	CoRunCycles uint64 // makespan of the pair
+	SoloCyclesA uint64
+	SoloCyclesB uint64
+}
+
+// Matrix is the per-class average slowdown table of Figure 3.4:
+// Slowdown[i][j] is the mean slowdown of a class-i application when
+// co-running with a class-j application.
+type Matrix struct {
+	Slowdown [classify.NumClasses][classify.NumClasses]float64
+	Samples  [classify.NumClasses][classify.NumClasses]int
+	Pairs    []PairResult
+}
+
+// At returns the average slowdown of class a against class b, falling
+// back to a neutral estimate when the cell has no samples.
+func (m *Matrix) At(a, b classify.Class) float64 {
+	if m.Samples[a][b] == 0 {
+		return 2 // even-split with no interference: roughly half speed
+	}
+	return m.Slowdown[a][b]
+}
+
+// String renders the matrix with class labels.
+func (m *Matrix) String() string {
+	s := "slowdown of \\ with   M      MC     C      A\n"
+	for _, a := range classify.All() {
+		s += fmt.Sprintf("%-18s", a)
+		for _, b := range classify.All() {
+			s += fmt.Sprintf(" %6.2f", m.At(a, b))
+		}
+		s += "\n"
+	}
+	return s
+}
+
+// Compute runs the all-pairs campaign and folds it into the class
+// matrix. classes maps each application name to its class (from the
+// classification step). Pair simulations run in parallel, one device
+// per worker.
+func Compute(cfg config.GPUConfig, prof *profile.Profiler, classes map[string]classify.Class, apps []kernel.Params) (*Matrix, error) {
+	type pairJob struct{ i, j int }
+	var jobs []pairJob
+	for i := 0; i < len(apps); i++ {
+		for j := i + 1; j < len(apps); j++ {
+			jobs = append(jobs, pairJob{i, j})
+		}
+	}
+	// Solo profiles first (memoized; sequential to share the cache).
+	solo := make(map[string]uint64, len(apps))
+	for _, a := range apps {
+		r, err := prof.Run(a, 0)
+		if err != nil {
+			return nil, err
+		}
+		solo[a.Name] = r.Cycles
+	}
+	results := make([]PairResult, len(jobs))
+	errs := make([]error, len(jobs))
+	var wg sync.WaitGroup
+	sem := make(chan struct{}, runtime.NumCPU())
+	for idx, job := range jobs {
+		wg.Add(1)
+		go func(idx int, job pairJob) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			a, b := apps[job.i], apps[job.j]
+			sets := EvenSplit(cfg.NumSMs, 2)
+			sts, err := CoRun(cfg, []kernel.Params{a, b}, sets)
+			if err != nil {
+				errs[idx] = fmt.Errorf("pair %s+%s: %w", a.Name, b.Name, err)
+				return
+			}
+			pr := PairResult{
+				A: a.Name, B: b.Name,
+				CyclesA:     sts[0].Cycles(),
+				CyclesB:     sts[1].Cycles(),
+				SoloCyclesA: solo[a.Name],
+				SoloCyclesB: solo[b.Name],
+			}
+			if pr.CyclesA > pr.CyclesB {
+				pr.CoRunCycles = pr.CyclesA
+			} else {
+				pr.CoRunCycles = pr.CyclesB
+			}
+			pr.SlowdownA = float64(pr.CyclesA) / float64(pr.SoloCyclesA)
+			pr.SlowdownB = float64(pr.CyclesB) / float64(pr.SoloCyclesB)
+			results[idx] = pr
+		}(idx, job)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	m := &Matrix{}
+	var sums [classify.NumClasses][classify.NumClasses]float64
+	for idx, job := range jobs {
+		pr := results[idx]
+		ca := classes[apps[job.i].Name]
+		cb := classes[apps[job.j].Name]
+		sums[ca][cb] += pr.SlowdownA
+		m.Samples[ca][cb]++
+		sums[cb][ca] += pr.SlowdownB
+		m.Samples[cb][ca]++
+		m.Pairs = append(m.Pairs, pr)
+	}
+	for a := range sums {
+		for b := range sums[a] {
+			if m.Samples[a][b] > 0 {
+				m.Slowdown[a][b] = sums[a][b] / float64(m.Samples[a][b])
+			}
+		}
+	}
+	return m, nil
+}
+
+// TripleSlowdown estimates the slowdown of class a co-running with
+// classes b and c by composing pairwise interference. A pairwise
+// slowdown factors into parallelism loss (×2 from the even split) and a
+// contention factor S/2; for three applications the parallelism loss is
+// ×3 and the contention factors of both co-runners compose
+// multiplicatively. This mirrors how the paper extends its pairwise
+// analysis (Section 3.2.3, "replicated for three application
+// execution").
+func (m *Matrix) TripleSlowdown(a, b, c classify.Class) float64 {
+	return 3 * (m.At(a, b) / 2) * (m.At(a, c) / 2)
+}

@@ -1,0 +1,80 @@
+// Package isa defines the warp-level instruction vocabulary of the
+// simulator. Kernels are modeled at warp granularity: one Instr describes
+// what an entire 32-thread warp does in one issue slot, with memory
+// instructions carrying the set of distinct cache lines the warp touches
+// after address coalescing (1 line for a fully coalesced access, up to
+// WarpSize lines for a fully divergent one).
+package isa
+
+import "fmt"
+
+// Op is a warp-level operation class.
+type Op uint8
+
+const (
+	// OpNop issues and retires immediately; used as a filler.
+	OpNop Op = iota
+	// OpALU is an integer/float arithmetic operation on the SP units.
+	OpALU
+	// OpSFU is a special-function operation (transcendental, rsqrt).
+	OpSFU
+	// OpShared is a scratchpad (shared memory) access.
+	OpShared
+	// OpLoad is a global-memory load; the warp blocks until all of its
+	// lines have been filled.
+	OpLoad
+	// OpStore is a global-memory store; modeled fire-and-forget (the
+	// warp does not wait for completion) but it consumes interconnect,
+	// L2 and DRAM bandwidth.
+	OpStore
+	// OpBarrier blocks the warp until every warp of its thread block has
+	// arrived at the same barrier.
+	OpBarrier
+	// OpExit retires the warp.
+	OpExit
+)
+
+// String returns the mnemonic of the operation.
+func (o Op) String() string {
+	switch o {
+	case OpNop:
+		return "NOP"
+	case OpALU:
+		return "ALU"
+	case OpSFU:
+		return "SFU"
+	case OpShared:
+		return "SHMEM"
+	case OpLoad:
+		return "LD.GLOBAL"
+	case OpStore:
+		return "ST.GLOBAL"
+	case OpBarrier:
+		return "BAR.SYNC"
+	case OpExit:
+		return "EXIT"
+	default:
+		return fmt.Sprintf("Op(%d)", uint8(o))
+	}
+}
+
+// IsMemory reports whether the operation accesses global memory.
+func (o Op) IsMemory() bool { return o == OpLoad || o == OpStore }
+
+// Instr is one warp-level instruction.
+type Instr struct {
+	// Op is the operation class.
+	Op Op
+	// Lines holds the distinct cache-line base addresses touched by a
+	// memory instruction, already coalesced. It aliases a caller-provided
+	// buffer and is only valid until the next Fetch on the same buffer.
+	Lines []uint64
+}
+
+// String renders the instruction for traces and test failures.
+func (in Instr) String() string {
+	if in.Op.IsMemory() {
+		return fmt.Sprintf("%s x%d", in.Op, len(in.Lines))
+	}
+	return in.Op.String()
+}

@@ -1,0 +1,42 @@
+package isa
+
+import "testing"
+
+func TestOpStrings(t *testing.T) {
+	cases := map[Op]string{
+		OpNop: "NOP", OpALU: "ALU", OpSFU: "SFU", OpShared: "SHMEM",
+		OpLoad: "LD.GLOBAL", OpStore: "ST.GLOBAL", OpBarrier: "BAR.SYNC",
+		OpExit: "EXIT",
+	}
+	for op, want := range cases {
+		if op.String() != want {
+			t.Errorf("%d: %q, want %q", op, op.String(), want)
+		}
+	}
+	if Op(200).String() == "" {
+		t.Error("unknown op renders empty")
+	}
+}
+
+func TestIsMemory(t *testing.T) {
+	for _, op := range []Op{OpLoad, OpStore} {
+		if !op.IsMemory() {
+			t.Errorf("%v should be memory", op)
+		}
+	}
+	for _, op := range []Op{OpNop, OpALU, OpSFU, OpShared, OpBarrier, OpExit} {
+		if op.IsMemory() {
+			t.Errorf("%v should not be memory", op)
+		}
+	}
+}
+
+func TestInstrString(t *testing.T) {
+	in := Instr{Op: OpLoad, Lines: []uint64{0, 128}}
+	if got := in.String(); got != "LD.GLOBAL x2" {
+		t.Errorf("got %q", got)
+	}
+	if got := (Instr{Op: OpALU}).String(); got != "ALU" {
+		t.Errorf("got %q", got)
+	}
+}

@@ -1,0 +1,215 @@
+package kernel
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/config"
+	"repro/internal/isa"
+)
+
+func streamParams() Params {
+	return Params{
+		Name: "k", CTAs: 8, WarpsPerCTA: 4, InstrsPerWarp: 64,
+		MemEvery: 4, StoreFraction: 0.25,
+		Pattern: PatternStream, CoalescedLines: 4,
+		FootprintBytes: 1 << 20, Seed: 7,
+	}
+}
+
+func TestValidateCatchesBadParams(t *testing.T) {
+	cases := []func(*Params){
+		func(p *Params) { p.Name = "" },
+		func(p *Params) { p.CTAs = 0 },
+		func(p *Params) { p.WarpsPerCTA = -1 },
+		func(p *Params) { p.InstrsPerWarp = 0 },
+		func(p *Params) { p.MemEvery = 1 },
+		func(p *Params) { p.CoalescedLines = 0 },
+		func(p *Params) { p.CoalescedLines = 64 },
+		func(p *Params) { p.FootprintBytes = 0 },
+		func(p *Params) { p.StoreFraction = 1.5 },
+		func(p *Params) { p.SFUFraction = 0.7; p.SharedFraction = 0.7 },
+		func(p *Params) { p.RegsPerThread = -2 },
+	}
+	for i, mutate := range cases {
+		p := streamParams()
+		mutate(&p)
+		if err := p.Validate(); err == nil {
+			t.Errorf("case %d: invalid params accepted: %+v", i, p)
+		}
+	}
+	if err := streamParams().Validate(); err != nil {
+		t.Fatalf("valid params rejected: %v", err)
+	}
+}
+
+func TestFetchDeterministic(t *testing.T) {
+	k1 := MustNew(streamParams(), 128)
+	k2 := MustNew(streamParams(), 128)
+	buf1 := make([]uint64, 32)
+	buf2 := make([]uint64, 32)
+	for w := 0; w < k1.TotalWarps(); w += 3 {
+		for pc := 0; pc < k1.InstrsPerWarp; pc++ {
+			a := k1.Fetch(w, pc, buf1)
+			b := k2.Fetch(w, pc, buf2)
+			if a.Op != b.Op || len(a.Lines) != len(b.Lines) {
+				t.Fatalf("warp %d pc %d: %v vs %v", w, pc, a, b)
+			}
+			for i := range a.Lines {
+				if a.Lines[i] != b.Lines[i] {
+					t.Fatalf("warp %d pc %d line %d: %#x vs %#x", w, pc, i, a.Lines[i], b.Lines[i])
+				}
+			}
+		}
+	}
+}
+
+func TestProgramEndsWithExit(t *testing.T) {
+	k := MustNew(streamParams(), 128)
+	buf := make([]uint64, 32)
+	in := k.Fetch(0, k.InstrsPerWarp-1, buf)
+	if in.Op != isa.OpExit {
+		t.Fatalf("last instruction = %v, want EXIT", in.Op)
+	}
+	// Past the end stays EXIT (defensive).
+	if in := k.Fetch(0, k.InstrsPerWarp+5, buf); in.Op != isa.OpExit {
+		t.Fatalf("past-end instruction = %v", in.Op)
+	}
+	// pc 0 is never memory or barrier, so launch ramps are clean.
+	if in := k.Fetch(0, 0, buf); in.Op.IsMemory() || in.Op == isa.OpBarrier {
+		t.Fatalf("first instruction = %v", in.Op)
+	}
+}
+
+func TestMemEveryControlsR(t *testing.T) {
+	p := streamParams()
+	p.InstrsPerWarp = 4000
+	k := MustNew(p, 128)
+	buf := make([]uint64, 32)
+	mem := 0
+	for pc := 0; pc < p.InstrsPerWarp; pc++ {
+		if k.Fetch(3, pc, buf).Op.IsMemory() {
+			mem++
+		}
+	}
+	r := float64(mem) / float64(p.InstrsPerWarp)
+	want := 1.0 / float64(p.MemEvery)
+	if r < want*0.9 || r > want*1.1 {
+		t.Fatalf("memory fraction = %v, want about %v", r, want)
+	}
+}
+
+func TestAddressesWithinFootprint(t *testing.T) {
+	for _, pattern := range []AccessPattern{PatternStream, PatternStrided, PatternRandom, PatternHotset} {
+		p := streamParams()
+		p.Pattern = pattern
+		p.StrideBytes = 64 << 10
+		p.HotBytes = 64 << 10
+		p.HotFraction = 0.8
+		p.FootprintBytes = 1 << 20
+		k := MustNew(p, 128)
+		k.BaseAddr = 1 << 40
+		buf := make([]uint64, 32)
+		for w := 0; w < 8; w++ {
+			for pc := 0; pc < p.InstrsPerWarp; pc++ {
+				in := k.Fetch(w, pc, buf)
+				for _, ln := range in.Lines {
+					if ln < k.BaseAddr || ln >= k.BaseAddr+p.FootprintBytes {
+						t.Fatalf("%v: address %#x outside [base, base+footprint)", pattern, ln)
+					}
+					if ln%128 != 0 {
+						t.Fatalf("%v: address %#x not line aligned", pattern, ln)
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestBarrierPlacement(t *testing.T) {
+	p := streamParams()
+	p.BarrierEvery = 8
+	p.MemEvery = 0
+	p.FootprintBytes = 0
+	p.CoalescedLines = 0
+	k := MustNew(p, 128)
+	buf := make([]uint64, 32)
+	bars := 0
+	for pc := 0; pc < p.InstrsPerWarp-1; pc++ {
+		if k.Fetch(0, pc, buf).Op == isa.OpBarrier {
+			bars++
+		}
+	}
+	if bars != (p.InstrsPerWarp-1)/p.BarrierEvery {
+		t.Fatalf("barriers = %d over %d instrs", bars, p.InstrsPerWarp)
+	}
+}
+
+func TestMaxCTAsPerSMOccupancyLimits(t *testing.T) {
+	cfg := config.GTX480()
+	p := streamParams()
+	// Block-slot limited: 8.
+	if got := p.MaxCTAsPerSM(cfg); got != 8 {
+		t.Fatalf("block-limited = %d, want 8", got)
+	}
+	// Warp-slot limited: 48/12 = 4.
+	p.WarpsPerCTA = 12
+	if got := p.MaxCTAsPerSM(cfg); got != 4 {
+		t.Fatalf("warp-limited = %d, want 4", got)
+	}
+	// Register limited: 32768 regs / (64 regs * 32 threads * 4 warps) = 4.
+	p.WarpsPerCTA = 4
+	p.RegsPerThread = 64
+	if got := p.MaxCTAsPerSM(cfg); got != 4 {
+		t.Fatalf("reg-limited = %d, want 4", got)
+	}
+	// Shared-memory limited: 48k / 24k = 2.
+	p.RegsPerThread = 8
+	p.SharedMemPerCTA = 24 << 10
+	if got := p.MaxCTAsPerSM(cfg); got != 2 {
+		t.Fatalf("shmem-limited = %d, want 2", got)
+	}
+	// Never below 1.
+	p.SharedMemPerCTA = 100 << 10
+	if got := p.MaxCTAsPerSM(cfg); got != 1 {
+		t.Fatalf("floor = %d, want 1", got)
+	}
+}
+
+func TestStreamBurstsAligned(t *testing.T) {
+	p := streamParams()
+	p.CoalescedLines = 8
+	k := MustNew(p, 128)
+	buf := make([]uint64, 32)
+	for pc := 0; pc < p.InstrsPerWarp; pc++ {
+		in := k.Fetch(1, pc, buf)
+		if !in.Op.IsMemory() {
+			continue
+		}
+		base := in.Lines[0]
+		if base%(128*8) != 0 {
+			t.Fatalf("burst base %#x not aligned to burst size", base)
+		}
+		for i, ln := range in.Lines {
+			if ln != base+uint64(i)*128 {
+				t.Fatalf("burst not contiguous at %d: %#x", i, ln)
+			}
+		}
+	}
+}
+
+// TestFetchInvariants is a property test over arbitrary warp/pc pairs.
+func TestFetchInvariants(t *testing.T) {
+	k := MustNew(streamParams(), 128)
+	buf := make([]uint64, 32)
+	f := func(w uint16, pc uint16) bool {
+		in := k.Fetch(int(w)%k.TotalWarps(), int(pc)%k.InstrsPerWarp, buf)
+		if in.Op.IsMemory() {
+			return len(in.Lines) > 0 && len(in.Lines) <= k.CoalescedLines
+		}
+		return len(in.Lines) == 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}

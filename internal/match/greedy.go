@@ -1,0 +1,77 @@
+package match
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/classify"
+	"repro/internal/interference"
+)
+
+// SolveGreedy is a baseline matcher: it repeatedly takes the remaining
+// pattern with the highest efficiency e_k that the queue can still
+// supply, without lookahead. It is the natural heuristic an
+// implementation might ship instead of an exact solver; the exact ILP
+// (Solve) dominates it whenever committing the best local pattern
+// starves a better global combination. Exposed for the ablation
+// comparison and as a cross-check oracle in tests (greedy can never
+// beat the ILP optimum).
+func SolveGreedy(m *interference.Matrix, queueCounts [classify.NumClasses]int, nc int) (Result, error) {
+	if nc < 2 {
+		return Result{}, fmt.Errorf("match: group size %d must be at least 2", nc)
+	}
+	patterns := Patterns(nc)
+	eff := make([]float64, len(patterns))
+	order := make([]int, len(patterns))
+	for k, p := range patterns {
+		eff[k] = Efficiency(m, p)
+		order[k] = k
+	}
+	sort.SliceStable(order, func(i, j int) bool { return eff[order[i]] > eff[order[j]] })
+
+	total := 0
+	for _, n := range queueCounts {
+		total += n
+	}
+	groups := total / nc
+	remaining := queueCounts
+	res := Result{NC: nc, Patterns: patterns, Eff: eff, Counts: make([]int, len(patterns))}
+	for res.Groups < groups {
+		placed := false
+		for _, k := range order {
+			if fits(patterns[k], remaining) {
+				take(patterns[k], &remaining)
+				res.Counts[k]++
+				res.Objective += eff[k]
+				res.Groups++
+				placed = true
+				break
+			}
+		}
+		if !placed {
+			// Queue exhausted early (cannot happen while groups*nc <=
+			// total, but guard against future pattern-set changes).
+			break
+		}
+	}
+	return res, nil
+}
+
+func fits(p Pattern, remaining [classify.NumClasses]int) bool {
+	var need [classify.NumClasses]int
+	for _, c := range p {
+		need[c]++
+	}
+	for c := range need {
+		if need[c] > remaining[c] {
+			return false
+		}
+	}
+	return true
+}
+
+func take(p Pattern, remaining *[classify.NumClasses]int) {
+	for _, c := range p {
+		remaining[c]--
+	}
+}

@@ -1,0 +1,125 @@
+package match
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/classify"
+	"repro/internal/interference"
+)
+
+func randomMatrix(seed uint64) *interference.Matrix {
+	m := &interference.Matrix{}
+	s := seed
+	next := func() float64 {
+		s = s*6364136223846793005 + 1442695040888963407
+		return float64(s>>40) / float64(1<<24)
+	}
+	for a := range m.Slowdown {
+		for b := range m.Slowdown[a] {
+			m.Slowdown[a][b] = 1.5 + 6*next()
+			m.Samples[a][b] = 1
+		}
+	}
+	return m
+}
+
+// TestGreedyNeverBeatsILP is the optimality cross-check: on random
+// interference matrices and queue compositions the exact solver's
+// objective must always be at least the greedy heuristic's.
+func TestGreedyNeverBeatsILP(t *testing.T) {
+	f := func(seed uint64, c0, c1, c2, c3 uint8) bool {
+		m := randomMatrix(seed)
+		counts := [classify.NumClasses]int{
+			int(c0 % 6), int(c1 % 6), int(c2 % 6), int(c3 % 6),
+		}
+		total := counts[0] + counts[1] + counts[2] + counts[3]
+		if total < 2 {
+			return true
+		}
+		exact, err := Solve(m, counts, 2)
+		if err != nil {
+			t.Logf("ilp error: %v", err)
+			return false
+		}
+		greedy, err := SolveGreedy(m, counts, 2)
+		if err != nil {
+			t.Logf("greedy error: %v", err)
+			return false
+		}
+		if greedy.Groups != exact.Groups {
+			t.Logf("group counts differ: greedy %d vs ilp %d", greedy.Groups, exact.Groups)
+			return false
+		}
+		if greedy.Objective > exact.Objective+1e-9 {
+			t.Logf("greedy %.6f beats ilp %.6f for counts %v", greedy.Objective, exact.Objective, counts)
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestGreedySuboptimalExample pins a case where greedy is strictly
+// worse: committing the locally best pattern starves the global
+// optimum.
+func TestGreedySuboptimalExample(t *testing.T) {
+	m := &interference.Matrix{}
+	for a := range m.Slowdown {
+		for b := range m.Slowdown[a] {
+			m.Slowdown[a][b] = 10
+			m.Samples[a][b] = 1
+		}
+	}
+	// M-A is superb, M-M and A-A are terrible, M-C and A-C are decent.
+	set := func(a, b classify.Class, v float64) {
+		m.Slowdown[a][b] = v
+		m.Slowdown[b][a] = v
+	}
+	set(classify.ClassM, classify.ClassA, 1.2)
+	set(classify.ClassM, classify.ClassC, 2.0)
+	set(classify.ClassA, classify.ClassC, 2.0)
+	// Queue: 1 M, 1 A, 2 C. Greedy takes M-A first, leaving the dire
+	// C-C pair; the optimum is M-C + A-C.
+	counts := [classify.NumClasses]int{}
+	counts[classify.ClassM] = 1
+	counts[classify.ClassA] = 1
+	counts[classify.ClassC] = 2
+	exact, err := Solve(m, counts, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	greedy, err := SolveGreedy(m, counts, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if greedy.Objective >= exact.Objective-1e-9 {
+		t.Fatalf("expected greedy (%.4f) to be strictly worse than ILP (%.4f)",
+			greedy.Objective, exact.Objective)
+	}
+}
+
+func TestGreedyRespectsAvailability(t *testing.T) {
+	m := randomMatrix(7)
+	counts := [classify.NumClasses]int{2, 3, 1, 4}
+	res, err := SolveGreedy(m, counts, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var used [classify.NumClasses]int
+	for k, n := range res.Counts {
+		for _, c := range res.Patterns[k] {
+			used[c] += n
+		}
+	}
+	for c := range used {
+		if used[c] > counts[c] {
+			t.Fatalf("class %d used %d > available %d", c, used[c], counts[c])
+		}
+	}
+	if res.Groups != 5 {
+		t.Fatalf("groups = %d, want 5", res.Groups)
+	}
+}

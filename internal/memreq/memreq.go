@@ -1,0 +1,54 @@
+// Package memreq defines the memory request/response messages exchanged
+// between SIMT cores, the interconnect, L2 banks and memory controllers.
+package memreq
+
+// Kind distinguishes message roles on the network.
+type Kind uint8
+
+const (
+	// Read asks a partition for one cache line.
+	Read Kind = iota
+	// Write delivers one dirty/stored line to a partition. Writes are
+	// fire-and-forget: no acknowledgement flows back.
+	Write
+	// ReadReply carries one filled cache line back to an SM.
+	ReadReply
+)
+
+// String names the kind.
+func (k Kind) String() string {
+	switch k {
+	case Read:
+		return "read"
+	case Write:
+		return "write"
+	case ReadReply:
+		return "read-reply"
+	default:
+		return "unknown"
+	}
+}
+
+// Request is one message. Requests are small values copied through
+// bounded queues; no pointers are shared across components.
+type Request struct {
+	// Kind is the message role.
+	Kind Kind
+	// Line is the cache-line base address.
+	Line uint64
+	// App attributes traffic to an application for statistics and for
+	// the paper's per-application bandwidth metrics.
+	App int16
+	// SM is the issuing core, used to route replies.
+	SM int32
+	// Warp is the waiter token inside the SM's L1 (warp slot index).
+	Warp int32
+	// Size is the payload size in bytes charged to interconnect
+	// bandwidth (control-only packets use a small constant; data
+	// packets use the line size).
+	Size int32
+}
+
+// ControlBytes is the size charged for a read request packet (address +
+// metadata, no payload).
+const ControlBytes = 8

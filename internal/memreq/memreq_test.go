@@ -1,0 +1,23 @@
+package memreq
+
+import (
+	"testing"
+	"unsafe"
+)
+
+func TestKindStrings(t *testing.T) {
+	if Read.String() != "read" || Write.String() != "write" || ReadReply.String() != "read-reply" {
+		t.Fatal("kind strings wrong")
+	}
+	if Kind(9).String() != "unknown" {
+		t.Fatal("unknown kind string wrong")
+	}
+}
+
+func TestRequestIsCompactValue(t *testing.T) {
+	// Requests are copied through bounded queues millions of times per
+	// simulated second; keep the struct within two cache words.
+	if size := unsafe.Sizeof(Request{}); size > 32 {
+		t.Fatalf("Request grew to %d bytes; keep it <= 32", size)
+	}
+}

@@ -1,0 +1,62 @@
+// Package rng provides a small, allocation-free, splittable pseudo-random
+// hash used to generate deterministic synthetic memory traces. Unlike
+// math/rand it is a pure function of its inputs, so a warp's address
+// stream can be recomputed at any point of the simulation without storing
+// it, and two simulator runs with the same seed are bit-identical.
+package rng
+
+// Mix64 is the SplitMix64 finalizer: a bijective avalanche function over
+// 64-bit integers with good statistical properties.
+func Mix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+// Hash2 hashes two values into one 64-bit result.
+func Hash2(a, b uint64) uint64 { return Mix64(Mix64(a) ^ b) }
+
+// Hash3 hashes three values into one 64-bit result.
+func Hash3(a, b, c uint64) uint64 { return Mix64(Hash2(a, b) ^ c) }
+
+// Hash4 hashes four values into one 64-bit result.
+func Hash4(a, b, c, d uint64) uint64 { return Mix64(Hash3(a, b, c) ^ d) }
+
+// Float64 maps a hash to [0, 1).
+func Float64(h uint64) float64 { return float64(h>>11) / (1 << 53) }
+
+// Stream is an incremental SplitMix64 generator for callers that want a
+// sequence rather than a pure hash (e.g. queue shuffling in experiments).
+type Stream struct{ state uint64 }
+
+// NewStream returns a generator seeded with seed.
+func NewStream(seed uint64) *Stream { return &Stream{state: seed} }
+
+// Next returns the next 64-bit value.
+func (s *Stream) Next() uint64 {
+	s.state += 0x9e3779b97f4a7c15
+	z := s.state
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// Intn returns a value in [0, n). It panics if n <= 0.
+func (s *Stream) Intn(n int) int {
+	if n <= 0 {
+		panic("rng: Intn with non-positive n")
+	}
+	return int(s.Next() % uint64(n))
+}
+
+// Float64 returns a value in [0, 1).
+func (s *Stream) Float64() float64 { return Float64(s.Next()) }
+
+// Shuffle permutes the first n elements using swap, Fisher-Yates style.
+func (s *Stream) Shuffle(n int, swap func(i, j int)) {
+	for i := n - 1; i > 0; i-- {
+		j := s.Intn(i + 1)
+		swap(i, j)
+	}
+}

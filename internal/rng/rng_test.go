@@ -1,0 +1,109 @@
+package rng
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestMix64Bijective(t *testing.T) {
+	// Distinct inputs map to distinct outputs over a dense sample.
+	seen := make(map[uint64]uint64, 1<<16)
+	for i := uint64(0); i < 1<<16; i++ {
+		h := Mix64(i)
+		if prev, dup := seen[h]; dup {
+			t.Fatalf("collision: Mix64(%d) == Mix64(%d)", i, prev)
+		}
+		seen[h] = i
+	}
+}
+
+func TestFloat64Range(t *testing.T) {
+	f := func(x uint64) bool {
+		v := Float64(Mix64(x))
+		return v >= 0 && v < 1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 10000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestHashFamilyDistinct(t *testing.T) {
+	// Argument order matters.
+	if Hash2(1, 2) == Hash2(2, 1) {
+		t.Fatal("Hash2 symmetric")
+	}
+	if Hash3(1, 2, 3) == Hash3(3, 2, 1) {
+		t.Fatal("Hash3 symmetric")
+	}
+	if Hash4(1, 2, 3, 4) == Hash4(4, 3, 2, 1) {
+		t.Fatal("Hash4 symmetric")
+	}
+}
+
+func TestStreamDeterministic(t *testing.T) {
+	a, b := NewStream(42), NewStream(42)
+	for i := 0; i < 1000; i++ {
+		if a.Next() != b.Next() {
+			t.Fatal("streams with equal seeds diverged")
+		}
+	}
+	c := NewStream(43)
+	same := 0
+	a = NewStream(42)
+	for i := 0; i < 1000; i++ {
+		if a.Next() == c.Next() {
+			same++
+		}
+	}
+	if same > 2 {
+		t.Fatalf("different seeds collide %d/1000 times", same)
+	}
+}
+
+func TestIntnBounds(t *testing.T) {
+	s := NewStream(1)
+	counts := make([]int, 7)
+	for i := 0; i < 7000; i++ {
+		v := s.Intn(7)
+		if v < 0 || v >= 7 {
+			t.Fatalf("Intn out of range: %d", v)
+		}
+		counts[v]++
+	}
+	for v, n := range counts {
+		if n < 700 || n > 1300 {
+			t.Fatalf("Intn badly skewed: value %d appeared %d/7000", v, n)
+		}
+	}
+}
+
+func TestIntnPanicsOnNonPositive(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Intn(0) did not panic")
+		}
+	}()
+	NewStream(1).Intn(0)
+}
+
+func TestShuffleIsPermutation(t *testing.T) {
+	f := func(seed uint64) bool {
+		n := 20
+		vals := make([]int, n)
+		for i := range vals {
+			vals[i] = i
+		}
+		NewStream(seed).Shuffle(n, func(i, j int) { vals[i], vals[j] = vals[j], vals[i] })
+		seen := make([]bool, n)
+		for _, v := range vals {
+			if v < 0 || v >= n || seen[v] {
+				return false
+			}
+			seen[v] = true
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,249 @@
+package sched
+
+import (
+	"testing"
+
+	"repro/internal/classify"
+	"repro/internal/interference"
+	"repro/internal/kernel"
+	"repro/internal/profile"
+	"repro/internal/testkit"
+)
+
+// flatMatrix returns a uniform interference matrix (every pairing equal)
+// so ILP grouping is deterministic but unconstrained.
+func flatMatrix() *interference.Matrix {
+	m := &interference.Matrix{}
+	for a := range m.Slowdown {
+		for b := range m.Slowdown[a] {
+			m.Slowdown[a][b] = 2.2
+			m.Samples[a][b] = 1
+		}
+	}
+	return m
+}
+
+func miniQueue() []QueuedApp {
+	apps := []struct {
+		p kernel.Params
+		c classify.Class
+	}{
+		{testkit.MiniM(), classify.ClassM},
+		{testkit.MiniA(), classify.ClassA},
+		{testkit.MiniC(), classify.ClassC},
+		{testkit.MiniMC(), classify.ClassMC},
+	}
+	var q []QueuedApp
+	for i, a := range apps {
+		q = append(q, QueuedApp{Params: a.p, Class: a.c, Arrival: i})
+	}
+	return q
+}
+
+func newScheduler() *Scheduler {
+	cfg := testkit.Config()
+	return New(cfg, profile.New(cfg), flatMatrix())
+}
+
+func TestFCFSGroupsInArrivalOrder(t *testing.T) {
+	s := newScheduler()
+	groups, err := s.formGroups(miniQueue(), 2, FCFS)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(groups) != 2 {
+		t.Fatalf("groups = %d", len(groups))
+	}
+	if groups[0][0].Params.Name != "miniM" || groups[0][1].Params.Name != "miniA" {
+		t.Fatalf("first group = %v, want arrival order", groups[0])
+	}
+}
+
+func TestFCFSOddQueueLeavesPartialGroup(t *testing.T) {
+	s := newScheduler()
+	q := miniQueue()[:3]
+	groups, err := s.formGroups(q, 2, FCFS)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(groups) != 2 || len(groups[1]) != 1 {
+		t.Fatalf("groups = %v", groups)
+	}
+}
+
+func TestILPGroupsCoverQueueExactlyOnce(t *testing.T) {
+	s := newScheduler()
+	q := miniQueue()
+	groups, err := s.formGroups(q, 2, ILP)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen := map[string]int{}
+	total := 0
+	for _, g := range groups {
+		for _, a := range g {
+			seen[a.Params.Name]++
+			total++
+		}
+	}
+	if total != len(q) {
+		t.Fatalf("grouped %d apps, want %d", total, len(q))
+	}
+	for name, n := range seen {
+		if n != 1 {
+			t.Fatalf("%s appears %d times", name, n)
+		}
+	}
+}
+
+func TestILPAvoidsCatastrophicPairing(t *testing.T) {
+	cfg := testkit.Config()
+	m := flatMatrix()
+	m.Slowdown[classify.ClassM][classify.ClassM] = 50
+	s := New(cfg, profile.New(cfg), m)
+	// Two M apps and two A apps: M-M must not be chosen.
+	q := []QueuedApp{
+		{Params: testkit.MiniM(), Class: classify.ClassM, Arrival: 0},
+		{Params: renamed(testkit.MiniM(), "miniM2"), Class: classify.ClassM, Arrival: 1},
+		{Params: testkit.MiniA(), Class: classify.ClassA, Arrival: 2},
+		{Params: renamed(testkit.MiniA(), "miniA2"), Class: classify.ClassA, Arrival: 3},
+	}
+	groups, err := s.formGroups(q, 2, ILP)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, g := range groups {
+		if len(g) == 2 && g[0].Class == classify.ClassM && g[1].Class == classify.ClassM {
+			t.Fatalf("ILP paired M with M despite 50x slowdown: %v", groups)
+		}
+	}
+}
+
+func renamed(p kernel.Params, name string) kernel.Params {
+	p.Name = name
+	return p
+}
+
+func TestSerialReportMatchesProfiles(t *testing.T) {
+	s := newScheduler()
+	q := miniQueue()[:2]
+	rep, err := s.Run(q, 2, Serial)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Groups) != 2 {
+		t.Fatalf("serial groups = %d", len(rep.Groups))
+	}
+	var wantCycles uint64
+	for _, a := range q {
+		r, err := s.prof.Run(a.Params, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		wantCycles += r.Cycles
+	}
+	if rep.TotalCycles != wantCycles {
+		t.Fatalf("serial cycles = %d, want %d (profile reuse)", rep.TotalCycles, wantCycles)
+	}
+}
+
+func TestProfileBasedPartitionsSumToDevice(t *testing.T) {
+	s := newScheduler()
+	g := Group{miniQueue()[0], miniQueue()[1]}
+	sets, err := s.partition(g, ProfileBased)
+	if err != nil {
+		t.Fatal(err)
+	}
+	total := 0
+	seen := map[int]bool{}
+	for _, set := range sets {
+		for _, sm := range set {
+			if seen[sm] {
+				t.Fatalf("SM %d assigned twice", sm)
+			}
+			seen[sm] = true
+			total++
+		}
+	}
+	if total != testkit.Config().NumSMs {
+		t.Fatalf("assigned %d SMs, want %d", total, testkit.Config().NumSMs)
+	}
+}
+
+func TestRunEmptyQueueFails(t *testing.T) {
+	s := newScheduler()
+	if _, err := s.Run(nil, 2, FCFS); err == nil {
+		t.Fatal("empty queue accepted")
+	}
+}
+
+func TestILPRequiresMatrix(t *testing.T) {
+	cfg := testkit.Config()
+	s := New(cfg, profile.New(cfg), nil)
+	if _, err := s.Run(miniQueue(), 2, ILP); err == nil {
+		t.Fatal("ILP without matrix accepted")
+	}
+}
+
+func TestReportThroughputAndAppCycles(t *testing.T) {
+	s := newScheduler()
+	q := miniQueue()
+	rep, err := s.Run(q, 2, FCFS)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Throughput() <= 0 {
+		t.Fatal("no throughput")
+	}
+	cycles := rep.AppCycles()
+	if len(cycles) != len(q) {
+		t.Fatalf("AppCycles has %d entries, want %d", len(cycles), len(q))
+	}
+	for name, c := range cycles {
+		if c == 0 {
+			t.Fatalf("%s reported zero cycles", name)
+		}
+	}
+}
+
+// TestSMRAReallocatesUnderAsymmetry pairs a bandwidth hog with a compute
+// kernel: the SMRA controller must perform SM moves, and the result must
+// not be slower than static ILP partitioning.
+func TestSMRAReallocatesUnderAsymmetry(t *testing.T) {
+	cfg := testkit.Config()
+	s := New(cfg, profile.New(cfg), flatMatrix())
+	smra := DefaultSMRAConfig(cfg)
+	smra.TCCycles = 1500
+	smra.MinSMs = 1
+	smra.MoveSMs = 1
+	s.SetSMRAConfig(smra)
+	// Lengthen the kernels so several TC windows elapse.
+	m := testkit.MiniM()
+	m.CTAs *= 4
+	a := testkit.MiniA()
+	a.CTAs *= 4
+	q := []QueuedApp{
+		{Params: m, Class: classify.ClassM, Arrival: 0},
+		{Params: a, Class: classify.ClassA, Arrival: 1},
+	}
+	rep, err := s.Run(q, 2, ILPSMRA)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Groups) != 1 {
+		t.Fatalf("groups = %d", len(rep.Groups))
+	}
+	if rep.Groups[0].SMMoves == 0 {
+		t.Fatal("SMRA made no SM moves under an asymmetric pair")
+	}
+	static, err := s.Run(q, 2, ILP)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("ILP: %d cycles, SMRA: %d cycles (%d moves)",
+		static.TotalCycles, rep.TotalCycles, rep.Groups[0].SMMoves)
+	if float64(rep.TotalCycles) > 1.15*float64(static.TotalCycles) {
+		t.Fatalf("SMRA (%d cycles) much slower than static ILP (%d cycles)",
+			rep.TotalCycles, static.TotalCycles)
+	}
+}

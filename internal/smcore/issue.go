@@ -1,0 +1,273 @@
+package smcore
+
+import (
+	"repro/internal/cache"
+	"repro/internal/isa"
+	"repro/internal/memreq"
+	"repro/internal/stats"
+)
+
+// Tick advances the SM one core cycle: each warp scheduler issues at
+// most one instruction from a ready warp it owns. Scheduler s owns warp
+// slots where slot % SchedulersPerSM == s, mirroring the odd/even warp
+// split of Fermi's dual schedulers.
+func (sm *SM) Tick(now uint64) {
+	if sm.app == NoApp || sm.kern == nil || sm.residentCTAs == 0 {
+		return
+	}
+	sm.drainWheel(now)
+	for s := 0; s < sm.cfg.SchedulersPerSM; s++ {
+		slot := sm.pickWarp(s, now)
+		if slot < 0 {
+			continue
+		}
+		if !sm.issue(slot, now) {
+			// Structural stall (MSHR or output queue full): replay the
+			// instruction after a short penalty, like hardware replay
+			// queues do. The backoff also keeps saturated cores from
+			// re-decoding the same stalled access every cycle.
+			w := &sm.warps[slot]
+			w.blockedUntil = now + replayPenalty
+			sm.pushWake(slot, w.blockedUntil)
+		}
+	}
+}
+
+// replayPenalty is the re-issue delay after a structural stall.
+const replayPenalty = 4
+
+// stashReplay saves a decoded instruction so its replay skips fetch and
+// address generation.
+func (sm *SM) stashReplay(w *warp, in isa.Instr) {
+	if w.cachedValid {
+		return // already replaying this instruction
+	}
+	w.cachedOp = in.Op
+	w.cachedLines = append(w.cachedLines[:0], in.Lines...)
+	w.cachedValid = true
+}
+
+// pickWarp removes and returns an issuable warp slot from scheduler s's
+// ready heap, or -1. Stale entries (retired or re-blocked warps) are
+// dropped lazily.
+func (sm *SM) pickWarp(s int, now uint64) int32 {
+	for {
+		e, ok := sm.ready[s].pop()
+		if !ok {
+			return -1
+		}
+		if sm.warps[e.slot].ready(now) {
+			return e.slot
+		}
+	}
+}
+
+// issue executes one instruction for the warp in slot. It returns false
+// on a structural stall, leaving all state unchanged so the instruction
+// retries later. On success the warp is re-parked according to its new
+// state (timer wheel, memory wait, barrier wait, or retirement).
+func (sm *SM) issue(slot int32, now uint64) bool {
+	w := &sm.warps[slot]
+	// Snapshot the owner's counters: retiring the last warp can complete
+	// a drain-then-transfer inside the switch below, and the issued
+	// instruction belongs to the old owner.
+	issuedFor := sm.appStats
+	var in isa.Instr
+	if w.cachedValid {
+		in = isa.Instr{Op: w.cachedOp, Lines: w.cachedLines}
+	} else {
+		in = sm.kern.Fetch(int(w.globalID), int(w.pc), sm.lineBuf)
+	}
+	switch in.Op {
+	case isa.OpLoad:
+		if !sm.issueLoad(slot, in.Lines, now) {
+			sm.stashReplay(w, in)
+			return false
+		}
+	case isa.OpStore:
+		if !sm.issueStore(slot, in.Lines, now) {
+			sm.stashReplay(w, in)
+			return false
+		}
+	case isa.OpALU, isa.OpNop:
+		w.blockedUntil = now + uint64(sm.cfg.ALULatency)
+		w.pc++
+	case isa.OpSFU:
+		w.blockedUntil = now + uint64(sm.cfg.SFULatency)
+		w.pc++
+	case isa.OpShared:
+		w.blockedUntil = now + uint64(sm.cfg.SharedLatency)
+		w.pc++
+	case isa.OpBarrier:
+		sm.issueBarrier(slot, now)
+	case isa.OpExit:
+		sm.retireWarp(slot)
+	}
+	w.cachedValid = false
+	sm.recordIssue(issuedFor, in.Op)
+	if w.active && !w.finished && !w.atBarrier && w.pendingLoads == 0 {
+		sm.pushWake(slot, w.blockedUntil)
+	}
+	return true
+}
+
+func (sm *SM) recordIssue(st *stats.App, op isa.Op) {
+	sm.issued++
+	if st == nil {
+		return
+	}
+	st.WarpInstructions++
+	st.ThreadInstructions += uint64(sm.cfg.WarpSize)
+	if op.IsMemory() {
+		st.MemWarpInstructions++
+	}
+}
+
+// issueLoad performs the L1 lookups for every coalesced line of a load.
+// All-or-nothing: capacity (MSHR entries, merge slots, output queue) is
+// verified before any state changes.
+func (sm *SM) issueLoad(slot int32, lines []uint64, now uint64) bool {
+	newMisses := 0
+	for _, ln := range lines {
+		if sm.l1.ProbeMiss(ln) {
+			newMisses++
+		} else if !sm.l1.CanMerge(ln) {
+			return false
+		}
+	}
+	if newMisses > 0 {
+		if sm.l1.MSHRFree() < newMisses {
+			return false
+		}
+		if sm.outLimit-sm.OutPending() < newMisses {
+			return false
+		}
+	}
+	w := &sm.warps[slot]
+	waits := int32(0)
+	for _, ln := range lines {
+		res := sm.l1.Access(ln, false, uint64(slot), sm.app)
+		if sm.appStats != nil {
+			sm.appStats.L1Accesses++
+			if res == cache.Hit {
+				sm.appStats.L1Hits++
+			}
+		}
+		switch res {
+		case cache.Miss:
+			waits++
+			sm.out = append(sm.out, memreq.Request{
+				Kind: memreq.Read,
+				Line: ln,
+				App:  sm.app,
+				SM:   sm.id,
+				Warp: slot,
+				Size: memreq.ControlBytes,
+			})
+		case cache.MissMerged:
+			waits++
+		}
+	}
+	w.pendingLoads += waits
+	if waits == 0 {
+		w.blockedUntil = now + uint64(sm.cfg.L1.LatencyCycles) + 1
+	}
+	w.pc++
+	return true
+}
+
+// issueStore forwards write-through stores downstream without blocking
+// the warp.
+func (sm *SM) issueStore(slot int32, lines []uint64, now uint64) bool {
+	if sm.outLimit-sm.OutPending() < len(lines) {
+		return false
+	}
+	w := &sm.warps[slot]
+	for _, ln := range lines {
+		res := sm.l1.Access(ln, true, uint64(slot), sm.app)
+		if sm.appStats != nil {
+			sm.appStats.L1Accesses++
+			if res == cache.Hit {
+				sm.appStats.L1Hits++
+			}
+		}
+		sm.out = append(sm.out, memreq.Request{
+			Kind: memreq.Write,
+			Line: ln,
+			App:  sm.app,
+			SM:   sm.id,
+			Warp: slot,
+			Size: int32(sm.cfg.L1.LineBytes),
+		})
+	}
+	w.blockedUntil = now + 1
+	w.pc++
+	return true
+}
+
+func (sm *SM) issueBarrier(slot int32, now uint64) {
+	w := &sm.warps[slot]
+	c := &sm.ctas[w.ctaSlot]
+	w.pc++
+	w.atBarrier = true
+	c.arrived++
+	if c.arrived >= c.warpsLeft {
+		// Synthetic programs are barrier-uniform: every live warp of the
+		// block reaches the same barrier, so arrival of the last live
+		// warp releases the block.
+		for _, ws := range c.warpSlots {
+			rw := &sm.warps[ws]
+			if rw.active && !rw.finished && rw.atBarrier {
+				rw.atBarrier = false
+				rw.blockedUntil = now + 1
+				if ws != slot {
+					sm.pushWake(ws, now+1)
+				}
+			}
+		}
+		c.arrived = 0
+	}
+	w.blockedUntil = now + 1
+}
+
+func (sm *SM) retireWarp(slot int32) {
+	w := &sm.warps[slot]
+	w.finished = true
+	w.active = false
+	sm.activeWarps--
+	c := &sm.ctas[w.ctaSlot]
+	c.warpsLeft--
+	if c.warpsLeft > 0 {
+		return
+	}
+	// Thread block complete.
+	c.active = false
+	sm.residentCTAs--
+	doneApp := sm.app
+	if sm.OnCTADone != nil {
+		sm.OnCTADone(doneApp)
+	}
+	if sm.residentCTAs == 0 && sm.pendingApp != NoApp {
+		app, k, st := sm.pendingApp, sm.pendingKernel, sm.pendingStats
+		sm.pendingApp = NoApp
+		sm.pendingKernel = nil
+		sm.pendingStats = nil
+		_ = sm.Assign(app, k, st)
+	}
+}
+
+// HandleResponse completes a read fill that arrived from the
+// interconnect: the line is installed in the L1 and every warp recorded
+// in the MSHR entry is woken.
+func (sm *SM) HandleResponse(req memreq.Request) {
+	waiters, _, _ := sm.l1.Fill(req.Line, req.App, false)
+	for _, tok := range waiters {
+		w := &sm.warps[tok]
+		if w.pendingLoads > 0 {
+			w.pendingLoads--
+			if w.pendingLoads == 0 && w.active && !w.finished && !w.atBarrier {
+				sm.pushReady(int32(tok))
+			}
+		}
+	}
+}

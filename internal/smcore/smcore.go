@@ -1,0 +1,385 @@
+// Package smcore models one streaming multiprocessor (SIMT core): CTA
+// and warp slots with occupancy limits, dual GTO/LRR warp schedulers, a
+// scoreboard (per-warp pending-load counts and fixed-latency busy
+// windows), an L1 data cache with MSHRs, and a bounded memory output
+// queue toward the interconnect.
+//
+// An SM is owned by at most one application at a time. Ownership can be
+// transferred with the drain-then-transfer protocol the thesis adopts
+// (Section 3.2.4, "the last way"): the SM stops accepting new CTAs,
+// finishes its resident blocks, and only then switches to the new owner.
+package smcore
+
+import (
+	"fmt"
+
+	"repro/internal/cache"
+	"repro/internal/config"
+	"repro/internal/isa"
+	"repro/internal/kernel"
+	"repro/internal/memreq"
+	"repro/internal/stats"
+)
+
+// NoApp marks an unowned SM.
+const NoApp int16 = -1
+
+type warp struct {
+	active       bool
+	finished     bool
+	atBarrier    bool
+	cachedValid  bool // cachedOp/cachedLines replay a structurally stalled instruction
+	cachedOp     isa.Op
+	ctaSlot      int32
+	globalID     int32 // kernel-wide warp index, drives Fetch
+	pc           int32
+	pendingLoads int32
+	blockedUntil uint64
+	launchSeq    uint64
+	cachedLines  []uint64
+}
+
+func (w *warp) ready(now uint64) bool {
+	return w.active && !w.finished && !w.atBarrier &&
+		w.pendingLoads == 0 && w.blockedUntil <= now
+}
+
+type ctaSlot struct {
+	active    bool
+	warpsLeft int32
+	arrived   int32
+	warpSlots []int32
+}
+
+// SM is one streaming multiprocessor.
+type SM struct {
+	id  int32
+	cfg config.GPUConfig
+	l1  *cache.Cache
+
+	app      int16
+	kern     *kernel.Kernel
+	appStats *stats.App
+	maxCTAs  int
+
+	warps        []warp
+	ctas         []ctaSlot
+	residentCTAs int
+	launchSeq    uint64
+
+	// ready holds, per scheduler, a min-heap of issuable warp slots.
+	// Under GTO the heap key is warp age (launchSeq), so the pop order
+	// is greedy-then-oldest collapsed to oldest-ready-first — the greedy
+	// warp, once it wakes, is the oldest ready warp whenever it is still
+	// runnable. Under LRR the key is push order, giving FIFO rotation.
+	// wheel is a timer wheel: warps blocked on a fixed latency are
+	// parked in the bucket of their wake-up cycle. Together they make
+	// per-cycle scheduler work proportional to runnable warps rather
+	// than to warp slots. Purely a performance device — no architectural
+	// effect.
+	ready    []readyHeap
+	readySeq uint64
+	wheel    [wheelSize][]int32
+
+	activeWarps int
+
+	out      []memreq.Request
+	outHead  int
+	outLimit int
+
+	lineBuf []uint64
+
+	pendingApp    int16
+	pendingKernel *kernel.Kernel
+	pendingStats  *stats.App
+
+	// OnCTADone is invoked when a thread block completes, with the
+	// owning application at completion time.
+	OnCTADone func(app int16)
+
+	// issued counts warp instructions issued by this SM (all owners).
+	issued uint64
+}
+
+// New builds an idle SM.
+func New(id int, cfg config.GPUConfig) (*SM, error) {
+	l1, err := cache.New(cfg.L1)
+	if err != nil {
+		return nil, fmt.Errorf("sm %d: %w", id, err)
+	}
+	sm := &SM{
+		id:         int32(id),
+		cfg:        cfg,
+		l1:         l1,
+		app:        NoApp,
+		pendingApp: NoApp,
+		warps:      make([]warp, cfg.MaxWarpsPerSM),
+		ctas:       make([]ctaSlot, cfg.MaxBlocksPerSM),
+		ready:      make([]readyHeap, cfg.SchedulersPerSM),
+		outLimit:   cfg.MaxWarpsPerSM, // one outstanding miss per warp on average
+		lineBuf:    make([]uint64, cfg.WarpSize),
+	}
+	for i := range sm.ctas {
+		sm.ctas[i].warpSlots = make([]int32, 0, cfg.MaxWarpsPerSM)
+	}
+	return sm, nil
+}
+
+// wheelSize buckets cover every fixed functional-unit latency; longer
+// waits re-park when their bucket drains early.
+const wheelSize = 64
+
+// readyEntry pairs a warp slot with its scheduling key.
+type readyEntry struct {
+	key  uint64
+	slot int32
+}
+
+// readyHeap is a binary min-heap over scheduling keys.
+type readyHeap []readyEntry
+
+func (h *readyHeap) push(e readyEntry) {
+	*h = append(*h, e)
+	i := len(*h) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if (*h)[parent].key <= (*h)[i].key {
+			break
+		}
+		(*h)[parent], (*h)[i] = (*h)[i], (*h)[parent]
+		i = parent
+	}
+}
+
+func (h *readyHeap) pop() (readyEntry, bool) {
+	old := *h
+	if len(old) == 0 {
+		return readyEntry{}, false
+	}
+	top := old[0]
+	last := len(old) - 1
+	old[0] = old[last]
+	old = old[:last]
+	i := 0
+	for {
+		l, r := 2*i+1, 2*i+2
+		smallest := i
+		if l < len(old) && old[l].key < old[smallest].key {
+			smallest = l
+		}
+		if r < len(old) && old[r].key < old[smallest].key {
+			smallest = r
+		}
+		if smallest == i {
+			break
+		}
+		old[i], old[smallest] = old[smallest], old[i]
+		i = smallest
+	}
+	*h = old
+	return top, true
+}
+
+// pushWake parks a warp until cycle at.
+func (sm *SM) pushWake(slot int32, at uint64) {
+	sm.wheel[at%wheelSize] = append(sm.wheel[at%wheelSize], slot)
+}
+
+// pushReady marks a warp immediately issuable.
+func (sm *SM) pushReady(slot int32) {
+	s := int(slot) % sm.cfg.SchedulersPerSM
+	var key uint64
+	if sm.cfg.WarpSched == config.SchedGTO {
+		key = sm.warps[slot].launchSeq
+	} else {
+		sm.readySeq++
+		key = sm.readySeq
+	}
+	sm.ready[s].push(readyEntry{key: key, slot: slot})
+}
+
+// drainWheel moves warps whose timers expired onto their ready lists.
+func (sm *SM) drainWheel(now uint64) {
+	b := &sm.wheel[now%wheelSize]
+	if len(*b) == 0 {
+		return
+	}
+	for _, slot := range *b {
+		w := &sm.warps[slot]
+		if !w.active || w.finished {
+			continue
+		}
+		if w.blockedUntil > now {
+			sm.pushWake(slot, w.blockedUntil) // long wait wrapped around
+			continue
+		}
+		if w.atBarrier || w.pendingLoads > 0 {
+			continue // an event push will resurface it
+		}
+		sm.pushReady(slot)
+	}
+	*b = (*b)[:0]
+}
+
+func (sm *SM) clearSchedState() {
+	for i := range sm.ready {
+		sm.ready[i] = sm.ready[i][:0]
+	}
+	for i := range sm.wheel {
+		sm.wheel[i] = sm.wheel[i][:0]
+	}
+}
+
+// ID returns the SM index.
+func (sm *SM) ID() int { return int(sm.id) }
+
+// App returns the current owner, or NoApp.
+func (sm *SM) App() int16 { return sm.app }
+
+// L1 exposes the data cache (read-only use: stats, tests).
+func (sm *SM) L1() *cache.Cache { return sm.l1 }
+
+// Issued returns warp instructions issued over the SM's lifetime.
+func (sm *SM) Issued() uint64 { return sm.issued }
+
+// ResidentCTAs returns the number of active thread blocks.
+func (sm *SM) ResidentCTAs() int { return sm.residentCTAs }
+
+// Idle reports whether the SM has no resident work.
+func (sm *SM) Idle() bool { return sm.residentCTAs == 0 }
+
+// Draining reports whether an ownership transfer is pending.
+func (sm *SM) Draining() bool { return sm.pendingApp != NoApp }
+
+// Assign makes app the immediate owner. The SM must be idle.
+func (sm *SM) Assign(app int16, k *kernel.Kernel, st *stats.App) error {
+	if !sm.Idle() {
+		return fmt.Errorf("smcore: assign on busy SM %d", sm.id)
+	}
+	sm.app = app
+	sm.kern = k
+	sm.appStats = st
+	sm.pendingApp = NoApp
+	sm.pendingKernel = nil
+	sm.pendingStats = nil
+	if k != nil {
+		sm.maxCTAs = k.MaxCTAsPerSM(sm.cfg)
+	} else {
+		sm.maxCTAs = 0
+	}
+	sm.l1.InvalidateAll()
+	sm.clearSchedState()
+	return nil
+}
+
+// Release detaches the owner once the SM is idle, leaving it unowned.
+func (sm *SM) Release() error {
+	return sm.Assign(NoApp, nil, nil)
+}
+
+// RequestReassign schedules a drain-then-transfer to app. New CTAs stop
+// launching immediately; the switch happens when the last resident CTA
+// retires. Passing the current owner cancels a pending transfer.
+func (sm *SM) RequestReassign(app int16, k *kernel.Kernel, st *stats.App) {
+	if app == sm.app {
+		sm.pendingApp = NoApp
+		sm.pendingKernel = nil
+		sm.pendingStats = nil
+		return
+	}
+	if sm.Idle() {
+		// Nothing to drain; switch now.
+		_ = sm.Assign(app, k, st)
+		return
+	}
+	sm.pendingApp = app
+	sm.pendingKernel = k
+	sm.pendingStats = st
+}
+
+// CanLaunch reports whether a new CTA of the current kernel could be
+// accepted this cycle.
+func (sm *SM) CanLaunch() bool {
+	if sm.app == NoApp || sm.kern == nil || sm.Draining() {
+		return false
+	}
+	if sm.residentCTAs >= sm.maxCTAs {
+		return false
+	}
+	return sm.freeWarpSlots() >= sm.kern.WarpsPerCTA
+}
+
+func (sm *SM) freeWarpSlots() int { return len(sm.warps) - sm.activeWarps }
+
+// LaunchCTA installs thread block ctaID of the current kernel. The
+// caller must have checked CanLaunch.
+func (sm *SM) LaunchCTA(ctaID int, now uint64) error {
+	if !sm.CanLaunch() {
+		return fmt.Errorf("smcore: launch on SM %d without capacity", sm.id)
+	}
+	slot := -1
+	for i := range sm.ctas {
+		if !sm.ctas[i].active {
+			slot = i
+			break
+		}
+	}
+	if slot < 0 {
+		return fmt.Errorf("smcore: no CTA slot on SM %d", sm.id)
+	}
+	c := &sm.ctas[slot]
+	c.active = true
+	c.warpsLeft = int32(sm.kern.WarpsPerCTA)
+	c.arrived = 0
+	c.warpSlots = c.warpSlots[:0]
+	launched := 0
+	for i := range sm.warps {
+		if launched == sm.kern.WarpsPerCTA {
+			break
+		}
+		w := &sm.warps[i]
+		if w.active {
+			continue
+		}
+		sm.launchSeq++
+		buf := w.cachedLines // keep the replay buffer across reuse
+		*w = warp{
+			active:       true,
+			ctaSlot:      int32(slot),
+			globalID:     int32(ctaID*sm.kern.WarpsPerCTA + launched),
+			blockedUntil: now + 1,
+			launchSeq:    sm.launchSeq,
+			cachedLines:  buf[:0],
+		}
+		c.warpSlots = append(c.warpSlots, int32(i))
+		sm.pushWake(int32(i), now+1)
+		launched++
+	}
+	sm.activeWarps += launched
+	sm.residentCTAs++
+	return nil
+}
+
+// OutPending returns the occupancy of the memory output queue.
+func (sm *SM) OutPending() int { return len(sm.out) - sm.outHead }
+
+// PeekOut returns the oldest outgoing memory request without removing it.
+func (sm *SM) PeekOut() (memreq.Request, bool) {
+	if sm.outHead >= len(sm.out) {
+		return memreq.Request{}, false
+	}
+	return sm.out[sm.outHead], true
+}
+
+// PopOut removes the oldest outgoing memory request. Callers peek first,
+// attempt injection into the interconnect, and pop only on success.
+func (sm *SM) PopOut() {
+	if sm.outHead >= len(sm.out) {
+		return
+	}
+	sm.outHead++
+	if sm.outHead == len(sm.out) {
+		sm.out = sm.out[:0]
+		sm.outHead = 0
+	}
+}

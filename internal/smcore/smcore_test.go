@@ -1,0 +1,301 @@
+package smcore
+
+import (
+	"testing"
+
+	"repro/internal/config"
+	"repro/internal/kernel"
+	"repro/internal/memreq"
+	"repro/internal/stats"
+)
+
+func testCfg() config.GPUConfig {
+	cfg := config.Small()
+	cfg.MaxWarpsPerSM = 8
+	cfg.MaxBlocksPerSM = 4
+	return cfg
+}
+
+func computeParams(ctas, warps, instrs int) kernel.Params {
+	return kernel.Params{
+		Name: "cmp", CTAs: ctas, WarpsPerCTA: warps, InstrsPerWarp: instrs, Seed: 1,
+	}
+}
+
+func memParams(ctas, warps, instrs int) kernel.Params {
+	return kernel.Params{
+		Name: "mem", CTAs: ctas, WarpsPerCTA: warps, InstrsPerWarp: instrs,
+		MemEvery: 3, Pattern: kernel.PatternStream, CoalescedLines: 2,
+		FootprintBytes: 1 << 20, Seed: 2,
+	}
+}
+
+func newSM(t *testing.T, params kernel.Params) (*SM, *stats.App, *kernel.Kernel) {
+	t.Helper()
+	cfg := testCfg()
+	sm, err := New(0, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	k, err := kernel.New(params, cfg.L1.LineBytes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := &stats.App{Name: params.Name}
+	if err := sm.Assign(0, k, st); err != nil {
+		t.Fatal(err)
+	}
+	return sm, st, k
+}
+
+// runCompute drives a pure-compute SM to completion.
+func runCompute(t *testing.T, sm *SM, k *kernel.Kernel, maxCycles int) uint64 {
+	t.Helper()
+	next := 0
+	var now uint64
+	for cycle := 0; cycle < maxCycles; cycle++ {
+		now++
+		if next < k.CTAs && sm.CanLaunch() {
+			if err := sm.LaunchCTA(next, now); err != nil {
+				t.Fatal(err)
+			}
+			next++
+		}
+		sm.Tick(now)
+		if next == k.CTAs && sm.Idle() {
+			return now
+		}
+	}
+	t.Fatalf("SM did not finish in %d cycles (resident=%d)", maxCycles, sm.ResidentCTAs())
+	return 0
+}
+
+func TestComputeKernelRetiresAllInstructions(t *testing.T) {
+	params := computeParams(6, 2, 50)
+	sm, st, k := newSM(t, params)
+	runCompute(t, sm, k, 100000)
+	want := uint64(params.CTAs * params.WarpsPerCTA * params.InstrsPerWarp)
+	if st.WarpInstructions != want {
+		t.Fatalf("warp instructions = %d, want %d", st.WarpInstructions, want)
+	}
+	if st.ThreadInstructions != want*uint64(testCfg().WarpSize) {
+		t.Fatalf("thread instructions = %d", st.ThreadInstructions)
+	}
+}
+
+func TestOccupancyLimitsRespected(t *testing.T) {
+	params := computeParams(100, 2, 2000)
+	sm, _, k := newSM(t, params)
+	cfg := testCfg()
+	next := 0
+	var now uint64
+	maxResident := 0
+	for cycle := 0; cycle < 3000; cycle++ {
+		now++
+		if next < k.CTAs && sm.CanLaunch() {
+			_ = sm.LaunchCTA(next, now)
+			next++
+		}
+		sm.Tick(now)
+		if sm.ResidentCTAs() > maxResident {
+			maxResident = sm.ResidentCTAs()
+		}
+	}
+	if maxResident > cfg.MaxBlocksPerSM {
+		t.Fatalf("resident CTAs peaked at %d > limit %d", maxResident, cfg.MaxBlocksPerSM)
+	}
+	if maxResident != cfg.MaxBlocksPerSM {
+		t.Fatalf("occupancy never reached the block limit (peak %d)", maxResident)
+	}
+}
+
+func TestBarrierSynchronizesBlock(t *testing.T) {
+	params := computeParams(1, 4, 40)
+	params.BarrierEvery = 10
+	sm, st, k := newSM(t, params)
+	runCompute(t, sm, k, 100000)
+	want := uint64(params.CTAs * params.WarpsPerCTA * params.InstrsPerWarp)
+	if st.WarpInstructions != want {
+		t.Fatalf("with barriers: %d instructions, want %d", st.WarpInstructions, want)
+	}
+}
+
+func TestMemoryKernelEmitsRequestsAndBlocks(t *testing.T) {
+	params := memParams(2, 2, 30)
+	sm, _, k := newSM(t, params)
+	var now uint64
+	launched := 0
+	var outbound []memreq.Request
+	for cycle := 0; cycle < 2000 && !sm.Idle() || launched == 0; cycle++ {
+		now++
+		if launched < k.CTAs && sm.CanLaunch() {
+			_ = sm.LaunchCTA(launched, now)
+			launched++
+		}
+		sm.Tick(now)
+		for {
+			req, ok := sm.PeekOut()
+			if !ok {
+				break
+			}
+			sm.PopOut()
+			outbound = append(outbound, req)
+			if req.Kind == memreq.Read {
+				// Answer immediately: fill the line.
+				sm.HandleResponse(memreq.Request{Kind: memreq.ReadReply, Line: req.Line, App: req.App, Size: 128})
+			}
+		}
+		if launched == k.CTAs && sm.Idle() {
+			break
+		}
+	}
+	if !sm.Idle() {
+		t.Fatal("memory kernel did not finish with instant responses")
+	}
+	reads, writes := 0, 0
+	for _, r := range outbound {
+		switch r.Kind {
+		case memreq.Read:
+			reads++
+		case memreq.Write:
+			writes++
+		}
+	}
+	if reads == 0 {
+		t.Fatal("no read requests emitted")
+	}
+	if writes != 0 {
+		t.Fatal("unexpected writes from a load-only kernel")
+	}
+}
+
+func TestDrainThenTransfer(t *testing.T) {
+	paramsA := computeParams(8, 2, 400)
+	sm, _, kA := newSM(t, paramsA)
+	cfg := testCfg()
+	kB, err := kernel.New(computeParams(4, 2, 100), cfg.L1.LineBytes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stB := &stats.App{Name: "B"}
+	var now uint64
+	next := 0
+	// Warm up with a few CTAs of app A.
+	for cycle := 0; cycle < 50; cycle++ {
+		now++
+		if next < kA.CTAs && sm.CanLaunch() {
+			_ = sm.LaunchCTA(next, now)
+			next++
+		}
+		sm.Tick(now)
+	}
+	if sm.Idle() {
+		t.Fatal("SM idle during warm-up")
+	}
+	sm.RequestReassign(1, kB, stB)
+	if !sm.Draining() {
+		t.Fatal("not draining after reassign request")
+	}
+	if sm.CanLaunch() {
+		t.Fatal("draining SM accepted new blocks")
+	}
+	// Run until the transfer happens.
+	for cycle := 0; cycle < 100000 && sm.App() != 1; cycle++ {
+		now++
+		sm.Tick(now)
+	}
+	if sm.App() != 1 {
+		t.Fatal("ownership never transferred")
+	}
+	if !sm.Idle() {
+		t.Fatal("new owner should start idle")
+	}
+	if sm.Draining() {
+		t.Fatal("still draining after transfer")
+	}
+	// New owner's blocks launch and run.
+	next = 0
+	for cycle := 0; cycle < 100000; cycle++ {
+		now++
+		if next < kB.CTAs && sm.CanLaunch() {
+			_ = sm.LaunchCTA(next, now)
+			next++
+		}
+		sm.Tick(now)
+		if next == kB.CTAs && sm.Idle() {
+			break
+		}
+	}
+	want := uint64(4 * 2 * 100)
+	if stB.WarpInstructions != want {
+		t.Fatalf("app B instructions = %d, want %d", stB.WarpInstructions, want)
+	}
+}
+
+func TestReassignToSelfCancelsDrain(t *testing.T) {
+	params := computeParams(8, 2, 400)
+	sm, st, k := newSM(t, params)
+	var now uint64
+	_ = sm.LaunchCTA(0, now)
+	sm.RequestReassign(1, k, st)
+	if !sm.Draining() {
+		t.Fatal("expected draining")
+	}
+	sm.RequestReassign(0, k, st)
+	if sm.Draining() {
+		t.Fatal("reassign-to-self did not cancel the drain")
+	}
+}
+
+func TestOnCTADoneCallback(t *testing.T) {
+	params := computeParams(3, 2, 30)
+	sm, _, k := newSM(t, params)
+	done := 0
+	sm.OnCTADone = func(app int16) {
+		if app != 0 {
+			t.Fatalf("callback app = %d", app)
+		}
+		done++
+	}
+	runCompute(t, sm, k, 100000)
+	if done != params.CTAs {
+		t.Fatalf("OnCTADone fired %d times, want %d", done, params.CTAs)
+	}
+}
+
+func TestGTOvsLRRBothComplete(t *testing.T) {
+	for _, sched := range []config.WarpSchedPolicy{config.SchedGTO, config.SchedLRR} {
+		cfg := testCfg()
+		cfg.WarpSched = sched
+		sm, err := New(0, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		params := computeParams(6, 2, 80)
+		k, err := kernel.New(params, cfg.L1.LineBytes)
+		if err != nil {
+			t.Fatal(err)
+		}
+		st := &stats.App{}
+		if err := sm.Assign(0, k, st); err != nil {
+			t.Fatal(err)
+		}
+		next := 0
+		var now uint64
+		for cycle := 0; cycle < 100000; cycle++ {
+			now++
+			if next < k.CTAs && sm.CanLaunch() {
+				_ = sm.LaunchCTA(next, now)
+				next++
+			}
+			sm.Tick(now)
+			if next == k.CTAs && sm.Idle() {
+				break
+			}
+		}
+		want := uint64(params.CTAs * params.WarpsPerCTA * params.InstrsPerWarp)
+		if st.WarpInstructions != want {
+			t.Fatalf("%v: %d instructions, want %d", sched, st.WarpInstructions, want)
+		}
+	}
+}

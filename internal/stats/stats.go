@@ -1,0 +1,125 @@
+// Package stats defines the measurement vocabulary of the simulator:
+// raw per-application counters collected during a run, and the derived
+// metrics the paper's methodology consumes — IPC, DRAM bandwidth,
+// L2→L1 bandwidth, the memory-to-compute ratio R, and device
+// throughput/utilization (Section 1.2).
+//
+// Following GPGPU-Sim convention (and the magnitudes in Table 3.2), IPC
+// counts thread-level instructions: one warp instruction on a 32-wide
+// machine retires 32 instructions.
+package stats
+
+import (
+	"fmt"
+
+	"repro/internal/config"
+)
+
+// App accumulates raw counters for one application over one run.
+type App struct {
+	// Name labels the application.
+	Name string
+	// WarpInstructions counts issued warp-level instructions.
+	WarpInstructions uint64
+	// ThreadInstructions counts WarpInstructions times the warp width.
+	ThreadInstructions uint64
+	// MemWarpInstructions counts global-memory warp instructions.
+	MemWarpInstructions uint64
+	// StartCycle and EndCycle bound the application's residency.
+	StartCycle uint64
+	EndCycle   uint64
+	// Done reports whether the grid completed.
+	Done bool
+	// DRAMBytes is data-bus traffic (reads + writes) attributed to the
+	// application.
+	DRAMBytes uint64
+	// L2ToL1Bytes is fill traffic returned toward the SMs.
+	L2ToL1Bytes uint64
+	// L1Accesses and L1Hits aggregate over every SM the app ran on.
+	L1Accesses uint64
+	L1Hits     uint64
+	// SMCycleSlots counts SM-cycles the application owned (for
+	// utilization normalization under partitioning).
+	SMCycleSlots uint64
+}
+
+// Cycles returns the application's residency window.
+func (a App) Cycles() uint64 {
+	if a.EndCycle <= a.StartCycle {
+		return 0
+	}
+	return a.EndCycle - a.StartCycle
+}
+
+// Metrics are the derived quantities of Table 3.2.
+type Metrics struct {
+	// Name labels the application.
+	Name string
+	// IPC is thread instructions per cycle over the residency window.
+	IPC float64
+	// MemBandwidthGBps is DRAM data-bus bandwidth ("MemoryBandwidth").
+	MemBandwidthGBps float64
+	// L2ToL1GBps is fill bandwidth from the L2 toward the SMs.
+	L2ToL1GBps float64
+	// R is the memory-to-compute ratio: memory warp instructions over
+	// all warp instructions.
+	R float64
+	// L1HitRate is the aggregate L1 hit rate.
+	L1HitRate float64
+	// Cycles is the residency window length.
+	Cycles uint64
+	// ThreadInstructions echoes the raw count.
+	ThreadInstructions uint64
+}
+
+// Derive computes Metrics from raw counters under a device configuration.
+func (a App) Derive(cfg config.GPUConfig) Metrics {
+	m := Metrics{Name: a.Name, Cycles: a.Cycles(), ThreadInstructions: a.ThreadInstructions}
+	if c := a.Cycles(); c > 0 {
+		m.IPC = float64(a.ThreadInstructions) / float64(c)
+		m.MemBandwidthGBps = cfg.BytesPerCycleToGBps(float64(a.DRAMBytes) / float64(c))
+		m.L2ToL1GBps = cfg.BytesPerCycleToGBps(float64(a.L2ToL1Bytes) / float64(c))
+	}
+	if a.WarpInstructions > 0 {
+		m.R = float64(a.MemWarpInstructions) / float64(a.WarpInstructions)
+	}
+	if a.L1Accesses > 0 {
+		m.L1HitRate = float64(a.L1Hits) / float64(a.L1Accesses)
+	}
+	return m
+}
+
+// String renders one Table 3.2-style row.
+func (m Metrics) String() string {
+	return fmt.Sprintf("%-6s MB=%7.2fGB/s L2->L1=%7.2fGB/s IPC=%8.1f R=%.3f L1hit=%.2f cycles=%d",
+		m.Name, m.MemBandwidthGBps, m.L2ToL1GBps, m.IPC, m.R, m.L1HitRate, m.Cycles)
+}
+
+// Device aggregates a whole run.
+type Device struct {
+	// Cycles is the simulated makespan.
+	Cycles uint64
+	// ThreadInstructions sums every application's retired instructions.
+	ThreadInstructions uint64
+	// Apps holds per-application counters in launch order.
+	Apps []App
+}
+
+// Throughput returns device throughput per Equation 1.1: total
+// instructions over total cycles.
+func (d Device) Throughput() float64 {
+	if d.Cycles == 0 {
+		return 0
+	}
+	return float64(d.ThreadInstructions) / float64(d.Cycles)
+}
+
+// Utilization returns throughput normalized to the device's peak
+// thread-IPC (Section 1.2.2).
+func (d Device) Utilization(cfg config.GPUConfig) float64 {
+	peak := cfg.PeakIPC() * float64(cfg.WarpSize)
+	if peak == 0 {
+		return 0
+	}
+	return d.Throughput() / peak
+}

@@ -1,0 +1,72 @@
+package stats
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/config"
+)
+
+func TestDeriveBasics(t *testing.T) {
+	cfg := config.GTX480()
+	a := App{
+		Name:                "X",
+		WarpInstructions:    1000,
+		ThreadInstructions:  32000,
+		MemWarpInstructions: 125,
+		StartCycle:          100,
+		EndCycle:            1100,
+		DRAMBytes:           70000,
+		L2ToL1Bytes:         140000,
+		L1Accesses:          200,
+		L1Hits:              50,
+	}
+	m := a.Derive(cfg)
+	if m.IPC != 32 {
+		t.Fatalf("IPC = %v, want 32", m.IPC)
+	}
+	if math.Abs(m.R-0.125) > 1e-12 {
+		t.Fatalf("R = %v, want 0.125", m.R)
+	}
+	if math.Abs(m.L1HitRate-0.25) > 1e-12 {
+		t.Fatalf("L1 hit rate = %v", m.L1HitRate)
+	}
+	wantMB := cfg.BytesPerCycleToGBps(70.0)
+	if math.Abs(m.MemBandwidthGBps-wantMB) > 1e-9 {
+		t.Fatalf("MB = %v, want %v", m.MemBandwidthGBps, wantMB)
+	}
+	if m.L2ToL1GBps <= m.MemBandwidthGBps {
+		t.Fatal("L2->L1 should be double MB here")
+	}
+}
+
+func TestDeriveZeroWindow(t *testing.T) {
+	m := App{Name: "Z"}.Derive(config.GTX480())
+	if m.IPC != 0 || m.MemBandwidthGBps != 0 || m.R != 0 {
+		t.Fatalf("zero-window metrics nonzero: %+v", m)
+	}
+}
+
+func TestCyclesClampsInvertedWindow(t *testing.T) {
+	a := App{StartCycle: 10, EndCycle: 5}
+	if a.Cycles() != 0 {
+		t.Fatalf("inverted window cycles = %d", a.Cycles())
+	}
+}
+
+func TestDeviceThroughputAndUtilization(t *testing.T) {
+	cfg := config.GTX480()
+	d := Device{Cycles: 1000, ThreadInstructions: 384000}
+	if d.Throughput() != 384 {
+		t.Fatalf("throughput = %v", d.Throughput())
+	}
+	util := d.Utilization(cfg)
+	want := 384.0 / (cfg.PeakIPC() * float64(cfg.WarpSize))
+	if math.Abs(util-want) > 1e-12 {
+		t.Fatalf("utilization = %v, want %v", util, want)
+	}
+	var empty Device
+	if empty.Throughput() != 0 || empty.Utilization(cfg) != 0 {
+		t.Fatal("empty device stats nonzero")
+	}
+}

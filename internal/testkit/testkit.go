@@ -1,0 +1,59 @@
+// Package testkit provides miniature workloads and devices for unit and
+// integration tests: a scaled-down GPU (8 SMs) and a four-application
+// universe with one representative of each class shape. Full-suite
+// calibration lives in internal/workloads; testkit trades fidelity for
+// speed so package tests finish in milliseconds.
+package testkit
+
+import (
+	"repro/internal/config"
+	"repro/internal/kernel"
+)
+
+// Config returns the small test device.
+func Config() config.GPUConfig { return config.Small() }
+
+// MiniM is a streaming, bandwidth-saturating kernel (class M shape).
+func MiniM() kernel.Params {
+	return kernel.Params{
+		Name: "miniM", CTAs: 24, WarpsPerCTA: 4, InstrsPerWarp: 96,
+		MemEvery: 6, StoreFraction: 0.2,
+		Pattern: kernel.PatternStream, CoalescedLines: 16,
+		FootprintBytes: 16 << 20, Seed: 0x11,
+	}
+}
+
+// MiniMC is a partially cached, bandwidth-hungry kernel (class MC shape).
+func MiniMC() kernel.Params {
+	return kernel.Params{
+		Name: "miniMC", CTAs: 32, WarpsPerCTA: 4, InstrsPerWarp: 160,
+		MemEvery: 8, StoreFraction: 0.2,
+		Pattern: kernel.PatternHotset, HotBytes: 16 << 10, HotFraction: 0.55,
+		CoalescedLines: 4, FootprintBytes: 16 << 20, Seed: 0x22,
+	}
+}
+
+// MiniC is an L2-resident, L1-thrashing kernel (class C shape).
+func MiniC() kernel.Params {
+	return kernel.Params{
+		Name: "miniC", CTAs: 24, WarpsPerCTA: 4, InstrsPerWarp: 120,
+		MemEvery: 4,
+		Pattern:  kernel.PatternHotset, HotBytes: 32 << 10, HotFraction: 0.97,
+		CoalescedLines: 4, FootprintBytes: 8 << 20, Seed: 0x33,
+	}
+}
+
+// MiniA is a compute-bound kernel (class A shape).
+func MiniA() kernel.Params {
+	return kernel.Params{
+		Name: "miniA", CTAs: 32, WarpsPerCTA: 4, InstrsPerWarp: 400,
+		MemEvery: 40, SFUFraction: 0.2,
+		Pattern: kernel.PatternHotset, HotBytes: 4 << 10, HotFraction: 0.97,
+		CoalescedLines: 1, FootprintBytes: 1 << 20, Seed: 0x44,
+	}
+}
+
+// Universe returns the four mini applications.
+func Universe() []kernel.Params {
+	return []kernel.Params{MiniM(), MiniMC(), MiniC(), MiniA()}
+}

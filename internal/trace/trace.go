@@ -1,0 +1,122 @@
+// Package trace records windowed time series from a running device:
+// per-application IPC and DRAM bandwidth sampled every N cycles. The
+// paper's Algorithm 1 makes its decisions from exactly these windowed
+// signals, so the tracer is the tool for inspecting *why* the SM
+// reallocator moved cores — and for visualizing co-run phase behaviour
+// in general.
+package trace
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strconv"
+
+	"repro/internal/gpu"
+	"repro/internal/stats"
+)
+
+// Sample is one application's activity over one window.
+type Sample struct {
+	// Cycle is the window's end cycle.
+	Cycle uint64
+	// App is the application handle.
+	App gpu.AppHandle
+	// IPC is thread instructions per cycle within the window.
+	IPC float64
+	// DRAMBytesPerCycle is data-bus traffic per cycle within the window.
+	DRAMBytesPerCycle float64
+	// SMs is the number of cores owned at sampling time.
+	SMs int
+}
+
+// Tracer samples a device as it is stepped.
+type Tracer struct {
+	d       *gpu.Device
+	every   uint64
+	apps    []gpu.AppHandle
+	prev    []stats.App
+	last    uint64
+	samples []Sample
+}
+
+// New builds a tracer over the given applications, sampling every
+// `every` cycles.
+func New(d *gpu.Device, apps []gpu.AppHandle, every uint64) (*Tracer, error) {
+	if d == nil {
+		return nil, fmt.Errorf("trace: nil device")
+	}
+	if every == 0 {
+		return nil, fmt.Errorf("trace: zero sampling window")
+	}
+	if len(apps) == 0 {
+		return nil, fmt.Errorf("trace: no applications to trace")
+	}
+	t := &Tracer{d: d, every: every, apps: apps, prev: make([]stats.App, len(apps)), last: d.Cycle()}
+	for i, h := range apps {
+		t.prev[i] = d.AppStats(h)
+	}
+	return t, nil
+}
+
+// Tick must be called after every device step; it emits one sample per
+// application at each window boundary.
+func (t *Tracer) Tick() {
+	now := t.d.Cycle()
+	if now-t.last < t.every {
+		return
+	}
+	window := float64(now - t.last)
+	t.last = now
+	for i, h := range t.apps {
+		cur := t.d.AppStats(h)
+		t.samples = append(t.samples, Sample{
+			Cycle:             now,
+			App:               h,
+			IPC:               float64(cur.ThreadInstructions-t.prev[i].ThreadInstructions) / window,
+			DRAMBytesPerCycle: float64(cur.DRAMBytes-t.prev[i].DRAMBytes) / window,
+			SMs:               len(t.d.SMsOwnedBy(h)),
+		})
+		t.prev[i] = cur
+	}
+}
+
+// Samples returns the recorded series in emission order.
+func (t *Tracer) Samples() []Sample { return t.samples }
+
+// Run steps the device until every application retires or maxCycles
+// elapse, sampling along the way.
+func (t *Tracer) Run(maxCycles uint64) error {
+	start := t.d.Cycle()
+	for !t.d.AllDone() {
+		if t.d.Cycle()-start >= maxCycles {
+			return fmt.Errorf("trace: run exceeded %d cycles", maxCycles)
+		}
+		t.d.Step()
+		t.Tick()
+	}
+	t.Tick()
+	return nil
+}
+
+// WriteCSV renders the series as CSV (cycle, app, ipc, dram_bpc, sms).
+func (t *Tracer) WriteCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"cycle", "app", "ipc", "dram_bytes_per_cycle", "sms"}); err != nil {
+		return fmt.Errorf("trace: write csv header: %w", err)
+	}
+	for _, s := range t.samples {
+		rec := []string{
+			strconv.FormatUint(s.Cycle, 10),
+			strconv.Itoa(int(s.App)),
+			strconv.FormatFloat(s.IPC, 'g', 6, 64),
+			strconv.FormatFloat(s.DRAMBytesPerCycle, 'g', 6, 64),
+			strconv.Itoa(s.SMs),
+		}
+		if err := cw.Write(rec); err != nil {
+			return fmt.Errorf("trace: write csv row: %w", err)
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}

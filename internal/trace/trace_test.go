@@ -1,0 +1,107 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/gpu"
+	"repro/internal/kernel"
+	"repro/internal/testkit"
+)
+
+func tracedDevice(t *testing.T) (*gpu.Device, []gpu.AppHandle) {
+	t.Helper()
+	cfg := testkit.Config()
+	d := gpu.MustNew(cfg)
+	k1, err := kernel.New(testkit.MiniA(), cfg.L1.LineBytes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	k2, err := kernel.New(testkit.MiniM(), cfg.L1.LineBytes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	k2.BaseAddr = 1 << 40
+	half := cfg.NumSMs / 2
+	sms := func(lo, hi int) []int {
+		var out []int
+		for i := lo; i < hi; i++ {
+			out = append(out, i)
+		}
+		return out
+	}
+	h1, err := d.Launch(k1, sms(0, half))
+	if err != nil {
+		t.Fatal(err)
+	}
+	h2, err := d.Launch(k2, sms(half, cfg.NumSMs))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d, []gpu.AppHandle{h1, h2}
+}
+
+func TestTracerSamplesWindows(t *testing.T) {
+	d, apps := tracedDevice(t)
+	tr, err := New(d, apps, 500)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tr.Run(5_000_000); err != nil {
+		t.Fatal(err)
+	}
+	samples := tr.Samples()
+	if len(samples) < 4 {
+		t.Fatalf("only %d samples", len(samples))
+	}
+	var sawComputeIPC, sawMemTraffic bool
+	for _, s := range samples {
+		if s.SMs < 0 || s.IPC < 0 || s.DRAMBytesPerCycle < 0 {
+			t.Fatalf("negative sample: %+v", s)
+		}
+		if s.App == apps[0] && s.IPC > 1 {
+			sawComputeIPC = true
+		}
+		if s.App == apps[1] && s.DRAMBytesPerCycle > 1 {
+			sawMemTraffic = true
+		}
+	}
+	if !sawComputeIPC {
+		t.Error("compute app never showed IPC in any window")
+	}
+	if !sawMemTraffic {
+		t.Error("memory app never showed DRAM traffic in any window")
+	}
+}
+
+func TestTracerCSV(t *testing.T) {
+	d, apps := tracedDevice(t)
+	tr, err := New(d, apps, 1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tr.Run(5_000_000); err != nil {
+		t.Fatal(err)
+	}
+	var b strings.Builder
+	if err := tr.WriteCSV(&b); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Count(b.String(), "\n")
+	if lines != len(tr.Samples())+1 {
+		t.Fatalf("csv has %d lines for %d samples", lines, len(tr.Samples()))
+	}
+}
+
+func TestTracerValidation(t *testing.T) {
+	d, apps := tracedDevice(t)
+	if _, err := New(nil, apps, 100); err == nil {
+		t.Error("nil device accepted")
+	}
+	if _, err := New(d, nil, 100); err == nil {
+		t.Error("no apps accepted")
+	}
+	if _, err := New(d, apps, 0); err == nil {
+		t.Error("zero window accepted")
+	}
+}

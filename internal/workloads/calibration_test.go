@@ -1,0 +1,26 @@
+package workloads
+
+import (
+	"testing"
+
+	"repro/internal/config"
+	"repro/internal/profile"
+)
+
+// TestCalibrationTable prints the measured Table 3.2 signature of every
+// benchmark on the full device. It is the primary tuning aid for the
+// synthetic suite; assertions live in the classify package tests.
+func TestCalibrationTable(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full-device calibration is slow")
+	}
+	cfg := config.GTX480()
+	p := profile.New(cfg)
+	for _, params := range All() {
+		r, err := p.Run(params, 0)
+		if err != nil {
+			t.Fatalf("%s: %v", params.Name, err)
+		}
+		t.Logf("%s (expect class %s)", r, ExpectedClass[params.Name])
+	}
+}

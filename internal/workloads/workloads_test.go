@@ -1,0 +1,82 @@
+package workloads
+
+import (
+	"testing"
+
+	"repro/internal/classify"
+	"repro/internal/config"
+	"repro/internal/kernel"
+	"repro/internal/profile"
+)
+
+func TestAllParamsValid(t *testing.T) {
+	cfg := config.GTX480()
+	for _, p := range All() {
+		if err := p.Validate(); err != nil {
+			t.Errorf("%s: %v", p.Name, err)
+		}
+		if _, err := kernel.New(p, cfg.L1.LineBytes); err != nil {
+			t.Errorf("%s: %v", p.Name, err)
+		}
+	}
+}
+
+func TestNamesCoverSuiteExactly(t *testing.T) {
+	if len(Names) != 14 {
+		t.Fatalf("suite has %d names, want 14", len(Names))
+	}
+	seen := map[string]bool{}
+	for _, n := range Names {
+		if seen[n] {
+			t.Fatalf("duplicate name %s", n)
+		}
+		seen[n] = true
+		if _, err := Params(n); err != nil {
+			t.Fatalf("%s: %v", n, err)
+		}
+		if _, ok := ExpectedClass[n]; !ok {
+			t.Fatalf("%s has no expected class", n)
+		}
+	}
+	if _, err := Params("NOPE"); err == nil {
+		t.Fatal("unknown benchmark accepted")
+	}
+}
+
+func TestByClassPartition(t *testing.T) {
+	total := 0
+	for _, c := range []string{"M", "MC", "C", "A"} {
+		total += len(ByClass(c))
+	}
+	if total != 14 {
+		t.Fatalf("ByClass covers %d benchmarks", total)
+	}
+	// The paper's composition: 2 M, 5 MC, 2 C, 5 A.
+	if len(ByClass("M")) != 2 || len(ByClass("MC")) != 5 ||
+		len(ByClass("C")) != 2 || len(ByClass("A")) != 5 {
+		t.Fatalf("class sizes: M=%d MC=%d C=%d A=%d",
+			len(ByClass("M")), len(ByClass("MC")), len(ByClass("C")), len(ByClass("A")))
+	}
+}
+
+// TestClassificationMatchesPaper is the headline calibration assertion:
+// the synthetic suite, profiled on the default device with calibrated
+// thresholds, reproduces every class of Table 3.2.
+func TestClassificationMatchesPaper(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full-device profiling is slow")
+	}
+	cfg := config.GTX480()
+	prof := profile.New(cfg)
+	profiles, err := prof.RunAll(All(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	th := classify.CalibrateThresholds(cfg, profiles)
+	for _, c := range classify.Table(th, profiles) {
+		want := ExpectedClass[c.Name]
+		if c.Class.String() != want {
+			t.Errorf("%s classified %s, paper reports %s (%s)", c.Name, c.Class, want, c.Metrics)
+		}
+	}
+}
