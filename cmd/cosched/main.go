@@ -4,8 +4,10 @@
 //
 // Usage:
 //
+//	cosched -list
 //	cosched -queue BLK,HS,GUPS,SAD -nc 2 -policy ilp-smra
 //	cosched -queue BLK,HS,GUPS,SAD,SPMV,LUD -nc 3 -policy ilp
+//	cosched -queue BLK,HS,GUPS,SAD -seed 7   # deterministic shuffle
 package main
 
 import (
@@ -17,45 +19,44 @@ import (
 
 	"repro/internal/config"
 	"repro/internal/core"
+	"repro/internal/rng"
 	"repro/internal/sched"
 	"repro/internal/workloads"
 )
-
-func parsePolicy(s string) (sched.Policy, error) {
-	switch strings.ToLower(s) {
-	case "serial":
-		return sched.Serial, nil
-	case "fcfs", "even":
-		return sched.FCFS, nil
-	case "profile", "profile-based":
-		return sched.ProfileBased, nil
-	case "ilp":
-		return sched.ILP, nil
-	case "ilp-smra", "smra":
-		return sched.ILPSMRA, nil
-	default:
-		return 0, fmt.Errorf("unknown policy %q (serial, fcfs, profile, ilp, ilp-smra)", s)
-	}
-}
 
 func main() {
 	log.SetFlags(0)
 	queueFlag := flag.String("queue", "", "comma-separated benchmark names")
 	nc := flag.Int("nc", 2, "concurrent applications per group")
 	policyFlag := flag.String("policy", "ilp-smra", "serial | fcfs | profile | ilp | ilp-smra")
+	seed := flag.Uint64("seed", 0, "shuffle the queue deterministically (0 keeps the given order)")
+	list := flag.Bool("list", false, "print the available benchmark names and exit")
 	flag.Parse()
 
+	if *list {
+		fmt.Println("available benchmarks (paper's expected class in parentheses):")
+		for _, name := range workloads.Names {
+			fmt.Printf("  %-5s (%s)\n", name, workloads.ExpectedClass[name])
+		}
+		return
+	}
 	if *queueFlag == "" {
-		log.Fatal("need -queue (e.g. -queue BLK,HS,GUPS,SAD)")
+		log.Fatal("need -queue (e.g. -queue BLK,HS,GUPS,SAD); run cosched -list for names")
 	}
 	names := strings.Split(*queueFlag, ",")
 	for i := range names {
 		names[i] = strings.TrimSpace(names[i])
 		if _, err := workloads.Params(names[i]); err != nil {
-			log.Fatal(err)
+			log.Fatalf("%v (run cosched -list for the available names)", err)
 		}
 	}
-	policy, err := parsePolicy(*policyFlag)
+	if *seed != 0 {
+		rng.NewStream(*seed).Shuffle(len(names), func(i, j int) {
+			names[i], names[j] = names[j], names[i]
+		})
+		log.Printf("queue shuffled with seed %d: %s", *seed, strings.Join(names, ","))
+	}
+	policy, err := sched.ParsePolicy(*policyFlag)
 	if err != nil {
 		log.Fatal(err)
 	}

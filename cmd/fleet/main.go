@@ -1,0 +1,127 @@
+// Command fleet runs the online, arrival-driven co-scheduler: jobs
+// arrive over simulated time to a fleet of simulated GPUs, and an
+// online dispatcher forms co-run groups from the live queue with the
+// paper's interference-aware machinery.
+//
+// Usage:
+//
+//	fleet -devices 4 -apps 200 -arrivals poisson -rate 0.5 -nc 2 -policy ilp-smra -seed 1
+//	fleet -devices 2 -arrivals bursty -rate 1 -policy fcfs
+//	fleet -arrivals trace -trace BLK@0,HS@1000,GUPS@2500 -policy ilp
+//
+// The summary is deterministic: the same flags (and seed) produce
+// byte-identical output, whatever the host machine is doing.
+//
+// Calibration (solo profiles + the all-pairs interference campaign) is
+// cached on disk exactly like cmd/experiments — set REPRO_CALIBRATION
+// to choose the path, or to "off" to disable. The group-execution memo
+// is deliberately NOT persisted here, so device-count comparisons
+// measure real simulation work.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"strconv"
+	"strings"
+	"time"
+
+	"repro/internal/config"
+	"repro/internal/core"
+	"repro/internal/fleet"
+	"repro/internal/sched"
+	"repro/internal/workloads"
+)
+
+func main() {
+	log.SetFlags(0)
+	devices := flag.Int("devices", 4, "number of simulated GPUs")
+	apps := flag.Int("apps", 200, "number of arriving jobs (poisson/bursty)")
+	arrivalsFlag := flag.String("arrivals", "poisson", "arrival process: poisson | bursty | trace")
+	rate := flag.Float64("rate", 0.5, "mean arrival rate in jobs per 1000 cycles")
+	nc := flag.Int("nc", 2, "co-run group size per device")
+	policyFlag := flag.String("policy", "ilp-smra", "serial | fcfs | profile | ilp | ilp-smra")
+	seed := flag.Uint64("seed", 1, "arrival-stream seed")
+	window := flag.Int("window", 0, "windowed-ILP queue prefix (0 = default)")
+	traceFlag := flag.String("trace", "", "explicit arrivals as NAME@CYCLE,... (with -arrivals trace)")
+	flag.Parse()
+
+	kind, err := fleet.ParseArrivalKind(*arrivalsFlag)
+	if err != nil {
+		log.Fatal(err)
+	}
+	policy, err := sched.ParsePolicy(*policyFlag)
+	if err != nil {
+		log.Fatal(err)
+	}
+	acfg := fleet.ArrivalConfig{Kind: kind, Jobs: *apps, Rate: *rate, Seed: *seed}
+	if kind == fleet.Trace {
+		acfg.Trace, err = parseTrace(*traceFlag)
+		if err != nil {
+			log.Fatal(err)
+		}
+	}
+	arrivals, err := acfg.Generate(workloads.Names)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	cfg := config.GTX480()
+	pipe := core.MustNew(cfg)
+	start := time.Now()
+	if path := core.CalibrationCachePath(cfg.Name); path != "" && pipe.LoadCalibration(path, workloads.All()) == nil {
+		log.Printf("calibration restored from %s", path)
+	} else {
+		log.Printf("initializing pipeline (solo profiles + all-pairs interference) ...")
+		if err := pipe.Init(workloads.All()); err != nil {
+			log.Fatal(err)
+		}
+		if path != "" {
+			_ = pipe.SaveCalibration(path)
+		}
+		log.Printf("pipeline ready in %v", time.Since(start).Round(time.Second))
+	}
+
+	f, err := fleet.New(pipe, fleet.Config{
+		Devices: *devices,
+		NC:      *nc,
+		Policy:  policy,
+		Window:  *window,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	runStart := time.Now()
+	res, err := f.Run(arrivals)
+	if err != nil {
+		log.Fatal(err)
+	}
+	log.Printf("fleet run finished in %v wall-clock", time.Since(runStart).Round(time.Millisecond))
+	if kind == fleet.Trace {
+		fmt.Printf("arrivals: %v (%d entries)\n", kind, len(acfg.Trace))
+	} else {
+		fmt.Printf("arrivals: %v rate=%.2f/kcycle seed=%d\n", kind, *rate, *seed)
+	}
+	fmt.Print(res.Summary())
+}
+
+// parseTrace parses "BLK@0,HS@1000" into arrivals.
+func parseTrace(s string) ([]fleet.Arrival, error) {
+	if s == "" {
+		return nil, fmt.Errorf("fleet: -arrivals trace needs -trace NAME@CYCLE,...")
+	}
+	var out []fleet.Arrival
+	for _, entry := range strings.Split(s, ",") {
+		name, cycleStr, ok := strings.Cut(strings.TrimSpace(entry), "@")
+		if !ok {
+			return nil, fmt.Errorf("fleet: trace entry %q is not NAME@CYCLE", entry)
+		}
+		cycle, err := strconv.ParseUint(cycleStr, 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("fleet: trace entry %q: %v", entry, err)
+		}
+		out = append(out, fleet.Arrival{Name: name, Cycle: cycle})
+	}
+	return out, nil
+}

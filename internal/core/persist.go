@@ -4,6 +4,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"os"
+	"path/filepath"
 
 	"repro/internal/classify"
 	"repro/internal/interference"
@@ -14,6 +15,23 @@ import (
 
 // calibrationFileVersion guards the on-disk format.
 const calibrationFileVersion = 1
+
+// CalibrationCachePath resolves where a device's calibration cache
+// lives, honoring the REPRO_CALIBRATION environment variable: "off"
+// disables caching (empty return), an explicit value is used verbatim,
+// and by default the cache sits in the OS temp directory keyed by
+// device name. cmd/experiments and cmd/fleet share this resolution so
+// one calibration serves both.
+func CalibrationCachePath(device string) string {
+	switch v := os.Getenv("REPRO_CALIBRATION"); v {
+	case "off":
+		return ""
+	case "":
+		return filepath.Join(os.TempDir(), "repro-calibration-"+device+".json")
+	default:
+		return v
+	}
+}
 
 // Fingerprint summarizes an application universe (names and every
 // parameter) so cached calibrations are invalidated when workloads are

@@ -45,7 +45,7 @@ func NewSuite(cfg config.GPUConfig) (*Suite, error) {
 		return nil, err
 	}
 	apps := workloads.All()
-	path := calibrationCachePath(cfg.Name)
+	path := core.CalibrationCachePath(cfg.Name)
 	loaded := false
 	if path != "" {
 		loaded = p.LoadCalibration(path, apps) == nil
@@ -68,7 +68,7 @@ func NewSuite(cfg config.GPUConfig) (*Suite, error) {
 // groupCachePath resolves the persisted group-execution memo location,
 // tied to the same cache directory and fingerprint as the calibration.
 func groupCachePath(device, fingerprint string) string {
-	base := calibrationCachePath(device)
+	base := core.CalibrationCachePath(device)
 	if base == "" {
 		return ""
 	}
@@ -101,18 +101,6 @@ func (s *Suite) saveGroups() {
 		return
 	}
 	_ = os.WriteFile(s.groupCache, data, 0o644)
-}
-
-// calibrationCachePath resolves the calibration cache location.
-func calibrationCachePath(device string) string {
-	switch v := os.Getenv("REPRO_CALIBRATION"); v {
-	case "off":
-		return ""
-	case "":
-		return filepath.Join(os.TempDir(), "repro-calibration-"+device+".json")
-	default:
-		return v
-	}
 }
 
 // runNames executes a queue given as benchmark names, memoized.
@@ -164,6 +152,7 @@ func (s *Suite) All() ([]Artifact, error) {
 		{"Fig4.11", s.Fig4_11},
 		{"Fig4.12", s.Fig4_12},
 		{"AppendixA", s.AppendixA},
+		{"FleetOnline", s.FleetOnline},
 	}
 	out := make([]Artifact, 0, len(gens))
 	for _, g := range gens {

@@ -1,0 +1,155 @@
+package fleet
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+
+	"repro/internal/rng"
+)
+
+// ArrivalKind selects the arrival process.
+type ArrivalKind int
+
+const (
+	// Poisson draws i.i.d. exponential inter-arrival times at Rate.
+	Poisson ArrivalKind = iota
+	// Bursty is an on-off modulated Poisson process: exponential ON
+	// phases at BurstRate alternate with silent OFF phases, the classic
+	// heavy-traffic stress shape.
+	Bursty
+	// Trace replays an explicit list of (benchmark, cycle) arrivals.
+	Trace
+)
+
+// String names the kind as the CLI spells it.
+func (k ArrivalKind) String() string {
+	switch k {
+	case Poisson:
+		return "poisson"
+	case Bursty:
+		return "bursty"
+	case Trace:
+		return "trace"
+	default:
+		return fmt.Sprintf("ArrivalKind(%d)", int(k))
+	}
+}
+
+// ParseArrivalKind parses the CLI spelling.
+func ParseArrivalKind(s string) (ArrivalKind, error) {
+	switch strings.ToLower(s) {
+	case "poisson":
+		return Poisson, nil
+	case "bursty", "onoff", "on-off":
+		return Bursty, nil
+	case "trace":
+		return Trace, nil
+	default:
+		return 0, fmt.Errorf("fleet: unknown arrival process %q (poisson, bursty, trace)", s)
+	}
+}
+
+// Arrival is one job arrival: which benchmark, and when.
+type Arrival struct {
+	Name  string
+	Cycle uint64
+}
+
+// ArrivalConfig parameterizes a deterministic arrival stream. Rates are
+// expressed in expected arrivals per 1000 simulated cycles, a scale on
+// which the suite's 30k–150k-cycle solo runs give rates near 1 a
+// saturating feel.
+type ArrivalConfig struct {
+	// Kind selects the process.
+	Kind ArrivalKind
+	// Jobs is how many arrivals to generate (Poisson and Bursty).
+	Jobs int
+	// Rate is the mean arrival rate (per kilocycle) for Poisson.
+	Rate float64
+	// BurstRate is the ON-phase rate for Bursty (0 selects 4*Rate).
+	BurstRate float64
+	// MeanOn and MeanOff are the mean ON/OFF phase lengths in cycles
+	// for Bursty (0 selects 20_000 and 60_000).
+	MeanOn, MeanOff float64
+	// Trace is the explicit arrival list for Kind == Trace.
+	Trace []Arrival
+	// Seed drives every random draw; same seed, same stream.
+	Seed uint64
+}
+
+// Generate materializes the arrival stream. universe lists the
+// benchmark names jobs are drawn from (uniformly); it is ignored for
+// Kind == Trace.
+func (c ArrivalConfig) Generate(universe []string) ([]Arrival, error) {
+	switch c.Kind {
+	case Trace:
+		if len(c.Trace) == 0 {
+			return nil, fmt.Errorf("fleet: trace arrivals need a non-empty trace")
+		}
+		out := append([]Arrival(nil), c.Trace...)
+		sort.SliceStable(out, func(i, j int) bool { return out[i].Cycle < out[j].Cycle })
+		return out, nil
+	case Poisson, Bursty:
+	default:
+		return nil, fmt.Errorf("fleet: unknown arrival kind %v", c.Kind)
+	}
+	if len(universe) == 0 {
+		return nil, fmt.Errorf("fleet: empty benchmark universe")
+	}
+	if c.Jobs < 1 {
+		return nil, fmt.Errorf("fleet: need at least one job (got %d)", c.Jobs)
+	}
+	// Bursty only consults Rate as the 4x fallback when BurstRate is
+	// unset, so an explicit BurstRate stands on its own.
+	if c.Rate <= 0 && !(c.Kind == Bursty && c.BurstRate > 0) {
+		return nil, fmt.Errorf("fleet: arrival rate must be positive (got %g)", c.Rate)
+	}
+	stream := rng.NewStream(rng.Hash2(c.Seed, 0xf1ee7))
+	ratePerCycle := c.Rate / 1000
+	out := make([]Arrival, 0, c.Jobs)
+	switch c.Kind {
+	case Poisson:
+		t := 0.0
+		for i := 0; i < c.Jobs; i++ {
+			t += expo(stream) / ratePerCycle
+			out = append(out, Arrival{Name: universe[stream.Intn(len(universe))], Cycle: uint64(t)})
+		}
+	case Bursty:
+		burst := c.BurstRate / 1000
+		if burst <= 0 {
+			burst = 4 * ratePerCycle
+		}
+		meanOn, meanOff := c.MeanOn, c.MeanOff
+		if meanOn <= 0 {
+			meanOn = 20_000
+		}
+		if meanOff <= 0 {
+			meanOff = 60_000
+		}
+		t := 0.0
+		onUntil := expo(stream) * meanOn
+		for i := 0; i < c.Jobs; i++ {
+			t += expo(stream) / burst
+			// Arrivals only land inside ON phases; residual exponential
+			// time that falls past the phase end carries across the OFF
+			// gap into the next ON phase.
+			for t > onUntil {
+				off := expo(stream) * meanOff
+				on := expo(stream) * meanOn
+				t += off
+				onUntil += off + on
+			}
+			out = append(out, Arrival{Name: universe[stream.Intn(len(universe))], Cycle: uint64(t)})
+		}
+	}
+	return out, nil
+}
+
+// expo draws a unit-mean exponential variate.
+func expo(s *rng.Stream) float64 {
+	u := s.Float64()
+	// Float64 is in [0,1); 1-u is in (0,1], so the log is finite.
+	return -math.Log(1 - u)
+}

@@ -1,0 +1,123 @@
+package fleet
+
+import (
+	"testing"
+)
+
+func u() []string { return []string{"A", "B", "C"} }
+
+func TestPoissonArrivalsDeterministicAndOrdered(t *testing.T) {
+	cfg := ArrivalConfig{Kind: Poisson, Jobs: 50, Rate: 1, Seed: 42}
+	a1, err := cfg.Generate(u())
+	if err != nil {
+		t.Fatal(err)
+	}
+	a2, err := cfg.Generate(u())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a1) != 50 {
+		t.Fatalf("len = %d", len(a1))
+	}
+	for i := range a1 {
+		if a1[i] != a2[i] {
+			t.Fatalf("arrival %d differs across identical configs: %v vs %v", i, a1[i], a2[i])
+		}
+		if i > 0 && a1[i].Cycle < a1[i-1].Cycle {
+			t.Fatalf("arrivals out of order at %d: %d < %d", i, a1[i].Cycle, a1[i-1].Cycle)
+		}
+	}
+}
+
+func TestPoissonRateScalesSpacing(t *testing.T) {
+	slow, err := ArrivalConfig{Kind: Poisson, Jobs: 200, Rate: 0.5, Seed: 9}.Generate(u())
+	if err != nil {
+		t.Fatal(err)
+	}
+	fast, err := ArrivalConfig{Kind: Poisson, Jobs: 200, Rate: 5, Seed: 9}.Generate(u())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fast[199].Cycle >= slow[199].Cycle {
+		t.Fatalf("10x rate did not compress the stream: fast end %d, slow end %d",
+			fast[199].Cycle, slow[199].Cycle)
+	}
+}
+
+func TestBurstyArrivalsClump(t *testing.T) {
+	arr, err := ArrivalConfig{Kind: Bursty, Jobs: 200, Rate: 1, Seed: 4}.Generate(u())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// An on-off process must show both tight clumps and long silences:
+	// the largest inter-arrival gap dwarfs the median one.
+	var gaps []uint64
+	for i := 1; i < len(arr); i++ {
+		gaps = append(gaps, arr[i].Cycle-arr[i-1].Cycle)
+	}
+	var max, sum uint64
+	for _, g := range gaps {
+		if g > max {
+			max = g
+		}
+		sum += g
+	}
+	mean := sum / uint64(len(gaps))
+	if max < 5*mean {
+		t.Fatalf("no bursts: max gap %d vs mean %d", max, mean)
+	}
+}
+
+func TestTraceArrivalsSortedAndValidated(t *testing.T) {
+	cfg := ArrivalConfig{Kind: Trace, Trace: []Arrival{
+		{Name: "B", Cycle: 500},
+		{Name: "A", Cycle: 100},
+	}}
+	arr, err := cfg.Generate(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if arr[0].Name != "A" || arr[1].Name != "B" {
+		t.Fatalf("trace not sorted by cycle: %v", arr)
+	}
+	if _, err := (ArrivalConfig{Kind: Trace}).Generate(nil); err == nil {
+		t.Fatal("accepted empty trace")
+	}
+}
+
+func TestBurstyWithExplicitBurstRateNeedsNoBaseRate(t *testing.T) {
+	arr, err := ArrivalConfig{Kind: Bursty, Jobs: 20, BurstRate: 2, Seed: 6}.Generate(u())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(arr) != 20 {
+		t.Fatalf("len = %d", len(arr))
+	}
+	if _, err := (ArrivalConfig{Kind: Bursty, Jobs: 20}).Generate(u()); err == nil {
+		t.Fatal("accepted bursty with neither Rate nor BurstRate")
+	}
+}
+
+func TestArrivalConfigRejectsBadInputs(t *testing.T) {
+	if _, err := (ArrivalConfig{Kind: Poisson, Jobs: 0, Rate: 1}).Generate(u()); err == nil {
+		t.Fatal("accepted zero jobs")
+	}
+	if _, err := (ArrivalConfig{Kind: Poisson, Jobs: 5, Rate: 0}).Generate(u()); err == nil {
+		t.Fatal("accepted zero rate")
+	}
+	if _, err := (ArrivalConfig{Kind: Poisson, Jobs: 5, Rate: 1}).Generate(nil); err == nil {
+		t.Fatal("accepted empty universe")
+	}
+}
+
+func TestParseArrivalKindRoundTrips(t *testing.T) {
+	for _, k := range []ArrivalKind{Poisson, Bursty, Trace} {
+		got, err := ParseArrivalKind(k.String())
+		if err != nil || got != k {
+			t.Fatalf("round trip %v: got %v, err %v", k, got, err)
+		}
+	}
+	if _, err := ParseArrivalKind("uniform"); err == nil {
+		t.Fatal("accepted unknown kind")
+	}
+}

@@ -1,0 +1,161 @@
+package fleet
+
+import (
+	"sort"
+
+	"repro/internal/classify"
+	"repro/internal/match"
+	"repro/internal/sched"
+)
+
+// formGroup pops the next co-run group from the live queue (jobs that
+// have arrived and are not yet dispatched, FIFO order). It returns the
+// members and whether the windowed ILP made the choice.
+//
+// Serial and FCFS reproduce the paper's baselines online. The ILP
+// policies adapt the offline matcher to the arrival setting:
+//
+//   - shallow queue (fewer than GreedyBelow waiting): greedy formation
+//     seeded with the oldest job, adding whichever waiting job
+//     maximizes the group's Equation 3.4 efficiency. A deep
+//     optimization over two jobs is pointless, and dispatching the
+//     oldest job immediately keeps latency low.
+//   - deep queue: solve the paper's ILP over the first Window jobs'
+//     class composition and materialize the single best pattern that
+//     includes the oldest job's class. Requiring the oldest job to be
+//     schedulable guards against starvation — the ILP alone would
+//     happily strand an awkward class forever while fresher arrivals
+//     overtake it.
+func (f *Fleet) formGroup(queue *[]*job) (members []*job, usedILP bool) {
+	q := *queue
+	switch f.cfg.Policy {
+	case sched.Serial:
+		*queue = q[1:]
+		return q[:1], false
+	case sched.FCFS, sched.ProfileBased:
+		n := f.cfg.NC
+		if n > len(q) {
+			n = len(q)
+		}
+		*queue = q[n:]
+		return q[:n], false
+	}
+	// ILP / ILPSMRA.
+	if len(q) >= f.cfg.GreedyBelow && len(q) >= f.cfg.NC {
+		if g := f.formILPGroup(queue); g != nil {
+			return g, true
+		}
+	}
+	return f.formGreedyGroup(queue), false
+}
+
+// formGreedyGroup starts from the oldest waiting job and repeatedly
+// adds the job whose inclusion yields the highest pattern efficiency.
+// Candidates come from the same window prefix the ILP would see, so a
+// deep queue does not make dispatch linear in the backlog.
+func (f *Fleet) formGreedyGroup(queue *[]*job) []*job {
+	q := *queue
+	window := q
+	if len(window) > f.cfg.Window {
+		window = window[:f.cfg.Window]
+	}
+	members := []*job{q[0]}
+	taken := map[*job]bool{q[0]: true}
+	for len(members) < f.cfg.NC {
+		var best *job
+		bestEff := -1.0
+		for _, cand := range window {
+			if taken[cand] {
+				continue
+			}
+			eff := match.Efficiency(f.pipe.Matrix(), pattern(members, cand))
+			// Strict > keeps the earliest-arrived candidate on ties.
+			if eff > bestEff {
+				best, bestEff = cand, eff
+			}
+		}
+		if best == nil {
+			break
+		}
+		members = append(members, best)
+		taken[best] = true
+	}
+	*queue = removeJobs(q, taken)
+	return members
+}
+
+// formILPGroup solves the matcher over the queue's Window-prefix and
+// materializes one group. It returns nil when the ILP cannot produce a
+// pattern containing the oldest job's class (the caller falls back to
+// greedy formation).
+func (f *Fleet) formILPGroup(queue *[]*job) []*job {
+	q := *queue
+	window := q
+	if len(window) > f.cfg.Window {
+		window = window[:f.cfg.Window]
+	}
+	var counts [classify.NumClasses]int
+	for _, j := range window {
+		counts[j.app.Class]++
+	}
+	res, err := match.Solve(f.pipe.Matrix(), counts, f.cfg.NC)
+	if err != nil {
+		return nil
+	}
+	// Among the patterns the ILP selected, take the most efficient one
+	// that can dispatch the oldest waiting job.
+	oldest := q[0].app.Class
+	best := -1
+	for k, n := range res.Counts {
+		if n == 0 || res.Patterns[k].Count(oldest) == 0 {
+			continue
+		}
+		if best < 0 || res.Eff[k] > res.Eff[best] {
+			best = k
+		}
+	}
+	if best < 0 {
+		return nil
+	}
+	// Materialize with the oldest waiting job of each required class.
+	taken := make(map[*job]bool, f.cfg.NC)
+	var members []*job
+	for _, cls := range res.Patterns[best] {
+		found := false
+		for _, cand := range window {
+			if cand.app.Class == cls && !taken[cand] {
+				members = append(members, cand)
+				taken[cand] = true
+				found = true
+				break
+			}
+		}
+		if !found {
+			return nil // matcher over-committed; should not happen
+		}
+	}
+	*queue = removeJobs(q, taken)
+	return members
+}
+
+// pattern builds the sorted class multiset of members plus one extra.
+func pattern(members []*job, extra *job) match.Pattern {
+	p := make(match.Pattern, 0, len(members)+1)
+	for _, m := range members {
+		p = append(p, m.app.Class)
+	}
+	p = append(p, extra.app.Class)
+	sort.Slice(p, func(i, j int) bool { return p[i] < p[j] })
+	return p
+}
+
+// removeJobs filters taken jobs out of the queue, preserving order.
+func removeJobs(q []*job, taken map[*job]bool) []*job {
+	out := q[:0]
+	for _, j := range q {
+		if !taken[j] {
+			out = append(out, j)
+		}
+	}
+	return out
+}

@@ -1,0 +1,128 @@
+// Package fleet is the online layer of the reproduction: jobs arrive
+// over simulated time to a fleet of N simulated GPUs, and the paper's
+// classification / interference / matching machinery is applied
+// incrementally to the live queue instead of to a static batch.
+//
+// The paper's evaluation (and internal/sched) is offline: the whole
+// queue is known up front, groups are formed once and run to
+// completion. A production deployment sees neither — applications
+// arrive continuously, and a device that frees up must choose its next
+// co-run group from whatever is waiting *now*. Package fleet models
+// exactly that as a deterministic discrete-event simulation:
+//
+//   - arrival processes (Poisson, bursty on-off, fixed trace) generate
+//     a deterministic stream of jobs from a seed (arrivals.go);
+//   - whenever a device frees up, an online dispatcher forms the next
+//     co-run group from the current queue — greedily when the queue is
+//     shallow (latency matters more than packing) and with a windowed
+//     ILP over the queue prefix when it is deep (dispatch.go);
+//   - group executions run concurrently on a worker pool, one in-flight
+//     group per device, through sched.Scheduler.RunGroup — the same
+//     single-group path the offline scheduler uses (sim.go);
+//   - per-job latency (wait, turnaround) and per-device utilization are
+//     accounted and summarized with stats.Summarize (report.go).
+//
+// Everything is a pure function of the seed and configuration: two runs
+// with the same inputs produce byte-identical summaries, regardless of
+// how the host schedules the worker goroutines.
+package fleet
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/sched"
+)
+
+// Config parameterizes the fleet.
+type Config struct {
+	// Devices is the number of simulated GPUs (all share the pipeline's
+	// device configuration).
+	Devices int
+	// NC is the co-run group size (applications per device). Serial
+	// policy forces 1.
+	NC int
+	// Policy selects how the dispatcher forms groups: Serial and FCFS
+	// ignore the interference matrix; ILP and ILPSMRA use the paper's
+	// matcher on the live queue.
+	Policy sched.Policy
+	// Window bounds how much of the queue prefix the windowed ILP
+	// considers (0 selects DefaultWindow).
+	Window int
+	// GreedyBelow is the queue depth under which ILP policies fall back
+	// to greedy group formation (0 selects 2*NC). The windowed ILP only
+	// pays off once the queue offers real choice.
+	GreedyBelow int
+
+	// forceSpec makes the event loop pre-simulate likely next groups
+	// even on a single-CPU host, where speculation otherwise only burns
+	// cycles. Tests use it to exercise the speculative path; results
+	// are identical either way.
+	forceSpec bool
+}
+
+// DefaultWindow is the ILP window when Config.Window is zero: large
+// enough that the matcher sees a representative class mix, small enough
+// that dispatch stays cheap at deep queues.
+const DefaultWindow = 16
+
+// withDefaults resolves zero fields.
+func (c Config) withDefaults() Config {
+	if c.Policy == sched.Serial {
+		c.NC = 1
+	}
+	if c.Window == 0 {
+		c.Window = DefaultWindow
+	}
+	if c.GreedyBelow == 0 {
+		c.GreedyBelow = 2 * c.NC
+	}
+	return c
+}
+
+// validate rejects impossible configurations.
+func (c Config) validate() error {
+	if c.Devices < 1 {
+		return fmt.Errorf("fleet: need at least one device (got %d)", c.Devices)
+	}
+	if c.NC < 1 {
+		return fmt.Errorf("fleet: group size %d", c.NC)
+	}
+	if c.Window < 1 {
+		return fmt.Errorf("fleet: ILP window %d", c.Window)
+	}
+	if c.GreedyBelow < 1 {
+		return fmt.Errorf("fleet: greedy threshold %d", c.GreedyBelow)
+	}
+	switch c.Policy {
+	case sched.Serial, sched.FCFS, sched.ProfileBased, sched.ILP, sched.ILPSMRA:
+	default:
+		return fmt.Errorf("fleet: unknown policy %v", c.Policy)
+	}
+	return nil
+}
+
+// Fleet dispatches an arrival stream onto N simulated devices using an
+// initialized pipeline's classes, interference matrix and scheduler.
+type Fleet struct {
+	pipe *core.Pipeline
+	cfg  Config
+}
+
+// New builds a fleet over an initialized pipeline.
+func New(pipe *core.Pipeline, cfg Config) (*Fleet, error) {
+	cfg = cfg.withDefaults()
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	if pipe == nil || pipe.Scheduler() == nil {
+		return nil, fmt.Errorf("fleet: pipeline not initialized")
+	}
+	if (cfg.Policy == sched.ILP || cfg.Policy == sched.ILPSMRA) && pipe.Matrix() == nil {
+		return nil, fmt.Errorf("fleet: %v policy requires an interference matrix", cfg.Policy)
+	}
+	return &Fleet{pipe: pipe, cfg: cfg}, nil
+}
+
+// Config returns the resolved configuration.
+func (f *Fleet) Config() Config { return f.cfg }

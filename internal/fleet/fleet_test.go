@@ -1,0 +1,264 @@
+package fleet
+
+import (
+	"strings"
+	"sync"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/sched"
+	"repro/internal/testkit"
+)
+
+var (
+	pipeOnce sync.Once
+	pipe     *core.Pipeline
+	pipeErr  error
+)
+
+// testPipeline initializes one shared pipeline over the miniature
+// testkit universe (4 apps, 8-SM device) — the expensive part of every
+// fleet test.
+func testPipeline(t *testing.T) *core.Pipeline {
+	t.Helper()
+	pipeOnce.Do(func() {
+		p, err := core.New(testkit.Config())
+		if err != nil {
+			pipeErr = err
+			return
+		}
+		if err := p.Init(testkit.Universe()); err != nil {
+			pipeErr = err
+			return
+		}
+		pipe = p
+	})
+	if pipeErr != nil {
+		t.Fatal(pipeErr)
+	}
+	return pipe
+}
+
+func testNames() []string {
+	return []string{"miniM", "miniMC", "miniC", "miniA"}
+}
+
+func testArrivals(t *testing.T, jobs int, seed uint64) []Arrival {
+	t.Helper()
+	arr, err := ArrivalConfig{Kind: Poisson, Jobs: jobs, Rate: 2, Seed: seed}.Generate(testNames())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return arr
+}
+
+func TestFleetRunAccountsEveryJob(t *testing.T) {
+	p := testPipeline(t)
+	f, err := New(p, Config{Devices: 2, NC: 2, Policy: sched.ILP})
+	if err != nil {
+		t.Fatal(err)
+	}
+	arr := testArrivals(t, 12, 7)
+	res, err := f.Run(arr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Jobs) != 12 {
+		t.Fatalf("jobs = %d, want 12", len(res.Jobs))
+	}
+	for _, j := range res.Jobs {
+		if j.Dispatch < j.Arrival {
+			t.Errorf("job %d dispatched at %d before arrival %d", j.ID, j.Dispatch, j.Arrival)
+		}
+		if j.Complete <= j.Dispatch {
+			t.Errorf("job %d complete %d not after dispatch %d", j.ID, j.Complete, j.Dispatch)
+		}
+		if j.Device < 0 || j.Device >= 2 {
+			t.Errorf("job %d on device %d", j.ID, j.Device)
+		}
+		if j.Complete > res.Makespan {
+			t.Errorf("job %d completes at %d past makespan %d", j.ID, j.Complete, res.Makespan)
+		}
+	}
+	if res.Groups == 0 || res.ThreadInstructions == 0 {
+		t.Fatalf("empty accounting: %+v", res)
+	}
+	if res.Throughput() <= 0 {
+		t.Fatalf("throughput = %v", res.Throughput())
+	}
+}
+
+// TestFleetDeterminism is the reproducibility contract: two runs with
+// the same seed produce byte-identical summaries. The second run hits
+// the scheduler's group memo everywhere the first one simulated, so
+// this also checks warm and cold caches agree.
+func TestFleetDeterminism(t *testing.T) {
+	p := testPipeline(t)
+	arr := testArrivals(t, 16, 3)
+	var summaries []string
+	for i := 0; i < 2; i++ {
+		f, err := New(p, Config{Devices: 3, NC: 2, Policy: sched.ILPSMRA})
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := f.Run(arr)
+		if err != nil {
+			t.Fatal(err)
+		}
+		summaries = append(summaries, res.Summary())
+	}
+	if summaries[0] != summaries[1] {
+		t.Fatalf("summaries differ:\n--- run 1 ---\n%s--- run 2 ---\n%s", summaries[0], summaries[1])
+	}
+}
+
+// TestFleetSpeculationDoesNotChangeResults runs the same stream with
+// and without speculative pre-simulation (forced on, since the test
+// host may have one CPU): summaries must be byte-identical — the memo
+// is keyed by group content and simulations are pure, so speculation
+// can only move work in time.
+func TestFleetSpeculationDoesNotChangeResults(t *testing.T) {
+	p := testPipeline(t)
+	arr := testArrivals(t, 16, 3)
+	var summaries []string
+	for _, spec := range []bool{false, true} {
+		f, err := New(p, Config{Devices: 3, NC: 2, Policy: sched.ILP, forceSpec: spec})
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := f.Run(arr)
+		if err != nil {
+			t.Fatal(err)
+		}
+		summaries = append(summaries, res.Summary())
+	}
+	if summaries[0] != summaries[1] {
+		t.Fatalf("speculation changed results:\n--- off ---\n%s--- on ---\n%s", summaries[0], summaries[1])
+	}
+}
+
+func TestFleetSeedChangesArrivals(t *testing.T) {
+	a1 := testArrivals(t, 16, 1)
+	a2 := testArrivals(t, 16, 2)
+	same := true
+	for i := range a1 {
+		if a1[i] != a2[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced identical arrival streams")
+	}
+}
+
+func TestFleetUsesAllDevices(t *testing.T) {
+	p := testPipeline(t)
+	f, err := New(p, Config{Devices: 2, NC: 2, Policy: sched.FCFS})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Everything arrives at once, so both devices must pick up work.
+	var arr []Arrival
+	for i := 0; i < 8; i++ {
+		arr = append(arr, Arrival{Name: testNames()[i%4], Cycle: 0})
+	}
+	res, err := f.Run(arr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	used := map[int]bool{}
+	for _, j := range res.Jobs {
+		used[j.Device] = true
+	}
+	if len(used) != 2 {
+		t.Fatalf("devices used = %v, want both", used)
+	}
+	if res.DeviceBusy[0] == 0 || res.DeviceBusy[1] == 0 {
+		t.Fatalf("device busy = %v", res.DeviceBusy)
+	}
+}
+
+func TestFleetSerialRunsAlone(t *testing.T) {
+	p := testPipeline(t)
+	f, err := New(p, Config{Devices: 1, NC: 3, Policy: sched.Serial})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.Config().NC != 1 {
+		t.Fatalf("serial NC = %d, want 1", f.Config().NC)
+	}
+	res, err := f.Run(testArrivals(t, 6, 5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Groups != 6 {
+		t.Fatalf("serial groups = %d, want one per job", res.Groups)
+	}
+}
+
+// TestFleetDeepQueueUsesILP floods the queue so the windowed matcher,
+// not the greedy path, forms groups.
+func TestFleetDeepQueueUsesILP(t *testing.T) {
+	p := testPipeline(t)
+	f, err := New(p, Config{Devices: 1, NC: 2, Policy: sched.ILP})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var arr []Arrival
+	for i := 0; i < 12; i++ {
+		arr = append(arr, Arrival{Name: testNames()[i%4], Cycle: 0})
+	}
+	res, err := f.Run(arr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.ILPGroups == 0 {
+		t.Fatalf("no ILP-formed groups in a deep queue: %+v", res)
+	}
+}
+
+func TestFleetRejectsBadConfig(t *testing.T) {
+	p := testPipeline(t)
+	if _, err := New(p, Config{Devices: 0, NC: 2, Policy: sched.FCFS}); err == nil {
+		t.Fatal("accepted zero devices")
+	}
+	if _, err := New(p, Config{Devices: 1, NC: 2, Policy: sched.Policy(99)}); err == nil {
+		t.Fatal("accepted unknown policy")
+	}
+	if _, err := New(p, Config{Devices: 1, NC: 2, Policy: sched.ILP, Window: -1}); err == nil {
+		t.Fatal("accepted negative ILP window")
+	}
+	if _, err := New(p, Config{Devices: 1, NC: 2, Policy: sched.ILP, GreedyBelow: -1}); err == nil {
+		t.Fatal("accepted negative greedy threshold")
+	}
+}
+
+func TestFleetRejectsUnknownBenchmark(t *testing.T) {
+	p := testPipeline(t)
+	f, err := New(p, Config{Devices: 1, NC: 2, Policy: sched.FCFS})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Run([]Arrival{{Name: "nope", Cycle: 0}}); err == nil {
+		t.Fatal("accepted unknown benchmark")
+	}
+}
+
+func TestSummaryMentionsEveryDevice(t *testing.T) {
+	p := testPipeline(t)
+	f, err := New(p, Config{Devices: 2, NC: 2, Policy: sched.FCFS})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := f.Run(testArrivals(t, 6, 11))
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := res.Summary()
+	for _, want := range []string{"d0=", "d1=", "throughput", "turnaround"} {
+		if !strings.Contains(s, want) {
+			t.Fatalf("summary missing %q:\n%s", want, s)
+		}
+	}
+}

@@ -1,0 +1,131 @@
+package fleet
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/classify"
+	"repro/internal/sched"
+	"repro/internal/stats"
+)
+
+// JobRecord is one job's lifecycle in fleet time (cycles).
+type JobRecord struct {
+	// ID is the arrival index.
+	ID int
+	// Name and Class identify the application.
+	Name  string
+	Class classify.Class
+	// Arrival, Dispatch and Complete are absolute fleet cycles.
+	Arrival  uint64
+	Dispatch uint64
+	Complete uint64
+	// Device is which GPU ran the job.
+	Device int
+}
+
+// Wait is the queueing delay before dispatch.
+func (j JobRecord) Wait() uint64 { return j.Dispatch - j.Arrival }
+
+// Turnaround is arrival to completion.
+func (j JobRecord) Turnaround() uint64 { return j.Complete - j.Arrival }
+
+// Result is a whole fleet run's accounting.
+type Result struct {
+	Policy  sched.Policy
+	Devices int
+	NC      int
+	// Jobs holds every job in arrival order.
+	Jobs []JobRecord
+	// Makespan is when the last device went idle.
+	Makespan uint64
+	// ThreadInstructions sums retired instructions across the fleet.
+	ThreadInstructions uint64
+	// DeviceBusy is per-device busy cycles.
+	DeviceBusy []uint64
+	// Groups counts dispatches; GreedyGroups/ILPGroups split them by
+	// how the group was formed.
+	Groups       int
+	GreedyGroups int
+	ILPGroups    int
+	// SMMoves counts completed SM reallocations (ILPSMRA only).
+	SMMoves int
+}
+
+// Throughput is the fleet analogue of Equation 1.1: retired thread
+// instructions over the fleet makespan. Devices run in parallel, so
+// with N busy devices this approaches N times a single device's rate.
+func (r Result) Throughput() float64 {
+	if r.Makespan == 0 {
+		return 0
+	}
+	return float64(r.ThreadInstructions) / float64(r.Makespan)
+}
+
+// Utilization is the fraction of the makespan device d spent executing.
+func (r Result) Utilization(d int) float64 {
+	if r.Makespan == 0 || d < 0 || d >= len(r.DeviceBusy) {
+		return 0
+	}
+	return float64(r.DeviceBusy[d]) / float64(r.Makespan)
+}
+
+// MeanUtilization averages Utilization over the fleet.
+func (r Result) MeanUtilization() float64 {
+	if len(r.DeviceBusy) == 0 {
+		return 0
+	}
+	sum := 0.0
+	for d := range r.DeviceBusy {
+		sum += r.Utilization(d)
+	}
+	return sum / float64(len(r.DeviceBusy))
+}
+
+// Waits returns every job's queueing delay in kilocycles.
+func (r Result) Waits() []float64 {
+	out := make([]float64, len(r.Jobs))
+	for i, j := range r.Jobs {
+		out[i] = float64(j.Wait()) / 1000
+	}
+	return out
+}
+
+// Turnarounds returns every job's turnaround in kilocycles.
+func (r Result) Turnarounds() []float64 {
+	out := make([]float64, len(r.Jobs))
+	for i, j := range r.Jobs {
+		out[i] = float64(j.Turnaround()) / 1000
+	}
+	return out
+}
+
+// WaitSummary summarizes queueing delay (kilocycles).
+func (r Result) WaitSummary() stats.Summary { return stats.Summarize(r.Waits()) }
+
+// TurnaroundSummary summarizes turnaround (kilocycles).
+func (r Result) TurnaroundSummary() stats.Summary { return stats.Summarize(r.Turnarounds()) }
+
+// Summary renders the run as a deterministic multi-line report: two
+// runs with the same seed and configuration produce byte-identical
+// output (the reproducibility contract cmd/fleet and the tests rely
+// on).
+func (r Result) Summary() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "fleet: policy=%v devices=%d nc=%d jobs=%d\n", r.Policy, r.Devices, r.NC, len(r.Jobs))
+	fmt.Fprintf(&b, "makespan    %d cycles\n", r.Makespan)
+	fmt.Fprintf(&b, "throughput  %.2f instructions/cycle\n", r.Throughput())
+	fmt.Fprintf(&b, "groups      %d (greedy %d, ilp %d)", r.Groups, r.GreedyGroups, r.ILPGroups)
+	if r.SMMoves > 0 {
+		fmt.Fprintf(&b, ", %d SM moves", r.SMMoves)
+	}
+	b.WriteByte('\n')
+	b.WriteString("device util")
+	for d := range r.DeviceBusy {
+		fmt.Fprintf(&b, " d%d=%.1f%%", d, 100*r.Utilization(d))
+	}
+	fmt.Fprintf(&b, " mean=%.1f%%\n", 100*r.MeanUtilization())
+	fmt.Fprintf(&b, "wait        (kcycles) %v\n", r.WaitSummary())
+	fmt.Fprintf(&b, "turnaround  (kcycles) %v\n", r.TurnaroundSummary())
+	return b.String()
+}

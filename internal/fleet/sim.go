@@ -1,0 +1,355 @@
+package fleet
+
+import (
+	"fmt"
+	"math"
+	"runtime"
+	"sync"
+
+	"repro/internal/sched"
+)
+
+// job is the dispatcher's mutable per-job state.
+type job struct {
+	id       int
+	app      sched.QueuedApp
+	arrival  uint64
+	dispatch uint64
+	complete uint64
+	device   int
+}
+
+// inflight is one group executing on one device. The simulation result
+// (rep) is computed on a worker goroutine; the event loop learns the
+// group's completion time by waiting on done — but only when it has to,
+// thanks to the earliest lower bound below.
+type inflight struct {
+	device   int
+	dispatch uint64
+	// earliest is a sound lower bound on the completion cycle, known at
+	// dispatch time without simulating: the device cannot retire warp
+	// instructions faster than its peak issue rate. It lets the event
+	// loop commit to arrivals and already-resolved completions that
+	// provably precede this group's completion while the simulation is
+	// still running on its worker — the pipelining that makes a 4-device
+	// fleet measurably faster than 4 sequential sims.
+	earliest uint64
+	jobs     []*job
+	ilp      bool
+
+	done     chan struct{}
+	rep      sched.GroupReport
+	err      error
+	resolved bool
+	complete uint64
+}
+
+// lowerBoundCycles bounds a group's makespan from below without
+// simulating. Two sound bounds, take the tighter:
+//
+//   - issue rate: every member must issue all of its warp instructions,
+//     and even owning the whole device it cannot issue more than
+//     NumSMs*SchedulersPerSM per cycle. Weak for memory-bound kernels,
+//     which run far below peak issue.
+//   - solo profile: a member co-running on an SM partition with memory
+//     contention cannot finish faster than its solo run on the whole
+//     device. Calibration memoizes every universe member's solo
+//     profile, so Peek is free; half the solo duration leaves margin
+//     for simulator nonmonotonicities (partitioning shifts cache and
+//     DRAM row locality in both directions).
+//
+// The bound's only job is to be sound and large enough that the event
+// loop can commit to other devices' completions while this group is
+// still simulating — that is where the fleet's wall-clock concurrency
+// comes from.
+func (f *Fleet) lowerBoundCycles(members []*job) uint64 {
+	peak := f.pipe.Config().PeakIPC()
+	bound := 1.0
+	for _, m := range members {
+		lb := float64(m.app.Params.TotalInstrs()) / peak
+		if r, ok := f.pipe.Profiler().Peek(m.app.Params.Name, 0); ok {
+			if solo := float64(r.Cycles) / 2; solo > lb {
+				lb = solo
+			}
+		}
+		if lb > bound {
+			bound = lb
+		}
+	}
+	return uint64(bound)
+}
+
+// Run executes the arrival stream on the fleet and returns the per-job
+// and per-device accounting. The loop is a discrete-event simulation
+// over three event sources — job arrivals (known in advance), resolved
+// group completions, and unresolved in-flight groups (whose completion
+// is bounded below) — and always processes the provably-earliest event,
+// so the outcome is independent of worker timing.
+func (f *Fleet) Run(arrivals []Arrival) (Result, error) {
+	if len(arrivals) == 0 {
+		return Result{}, fmt.Errorf("fleet: empty arrival stream")
+	}
+	jobs, err := f.resolve(arrivals)
+	if err != nil {
+		return Result{}, err
+	}
+
+	res := Result{
+		Policy:     f.cfg.Policy,
+		Devices:    f.cfg.Devices,
+		NC:         f.cfg.NC,
+		DeviceBusy: make([]uint64, f.cfg.Devices),
+	}
+	idle := make([]bool, f.cfg.Devices)
+	for d := range idle {
+		idle[d] = true
+	}
+	// The pool holds one slot per device for the in-flight groups plus
+	// as many again for speculative pre-simulation, capped by the host.
+	workers := 2 * f.cfg.Devices
+	if n := runtime.NumCPU(); workers > n {
+		workers = n
+	}
+	if workers < 2 {
+		workers = 2
+	}
+	sem := make(chan struct{}, workers)
+	var specWG sync.WaitGroup
+	defer specWG.Wait()
+	speculated := make(map[string]bool)
+
+	const inf = math.MaxUint64
+	var (
+		flights   []*inflight
+		queue     []*job
+		now       uint64
+		nextArr   int
+		remaining = len(jobs)
+	)
+	for remaining > 0 {
+		// Admit arrivals due by now.
+		for nextArr < len(jobs) && jobs[nextArr].arrival <= now {
+			queue = append(queue, jobs[nextArr])
+			nextArr++
+		}
+		// Dispatch to idle devices while work is waiting.
+		for len(queue) > 0 {
+			d := -1
+			for i, ok := range idle {
+				if ok {
+					d = i
+					break
+				}
+			}
+			if d < 0 {
+				break
+			}
+			members, usedILP := f.formGroup(&queue)
+			idle[d] = false
+			fl := &inflight{
+				device:   d,
+				dispatch: now,
+				earliest: now + f.lowerBoundCycles(members),
+				jobs:     members,
+				ilp:      usedILP,
+				done:     make(chan struct{}),
+			}
+			flights = append(flights, fl)
+			go func(fl *inflight) {
+				sem <- struct{}{}
+				defer func() { <-sem }()
+				g := make(sched.Group, len(fl.jobs))
+				for i, m := range fl.jobs {
+					g[i] = m.app
+				}
+				fl.rep, fl.err = f.pipe.Scheduler().RunGroup(g, f.cfg.Policy)
+				close(fl.done)
+			}(fl)
+		}
+		// Pick the provably-earliest next event. Ties go to arrivals
+		// first (a job landing the instant a device frees still queues
+		// before the dispatch decision), then to the lowest device id.
+		tArr := uint64(inf)
+		if nextArr < len(jobs) {
+			tArr = jobs[nextArr].arrival
+		}
+		var cBest, uBest *inflight
+		cTime, uTime := uint64(inf), uint64(inf)
+		for _, fl := range flights {
+			if fl.resolved {
+				if fl.complete < cTime || (fl.complete == cTime && fl.device < cBest.device) {
+					cBest, cTime = fl, fl.complete
+				}
+			} else {
+				if fl.earliest < uTime {
+					uBest, uTime = fl, fl.earliest
+				}
+			}
+		}
+		switch {
+		case tArr != inf && tArr <= cTime && tArr <= uTime:
+			now = tArr
+		case cBest != nil && cTime <= uTime:
+			now = cTime
+			f.retire(cBest, &res)
+			remaining -= len(cBest.jobs)
+			idle[cBest.device] = true
+			flights = removeFlight(flights, cBest)
+		case uBest != nil:
+			// The unresolved group with the earliest possible completion
+			// might be the next event; block until its worker reports.
+			// Every other in-flight simulation keeps running meanwhile —
+			// and so do speculative runs of the groups the still-busy
+			// devices will most likely dispatch when they free up.
+			// Group formation is a pure function of queue content, so
+			// in drained-arrival phases the prediction is exact and the
+			// real dispatch later finds its simulation already done (or
+			// in flight — the scheduler dedups identical executions).
+			if runtime.NumCPU() > 1 || f.cfg.forceSpec {
+				busy := 0
+				for _, ok := range idle {
+					if !ok {
+						busy++
+					}
+				}
+				f.speculate(queue, busy, sem, &specWG, speculated)
+			}
+			<-uBest.done
+			if uBest.err != nil {
+				f.drain(flights)
+				return Result{}, uBest.err
+			}
+			uBest.resolved = true
+			uBest.complete = uBest.dispatch + uBest.rep.Cycles
+			if uBest.complete < uBest.earliest {
+				// The bound was not sound after all — fail loudly rather
+				// than silently reorder events.
+				f.drain(flights)
+				return Result{}, fmt.Errorf("fleet: completion %d before lower bound %d for group on device %d",
+					uBest.complete, uBest.earliest, uBest.device)
+			}
+		default:
+			return Result{}, fmt.Errorf("fleet: no dispatchable work with %d jobs outstanding", remaining)
+		}
+	}
+
+	for _, j := range jobs {
+		res.Jobs = append(res.Jobs, JobRecord{
+			ID:       j.id,
+			Name:     j.app.Params.Name,
+			Class:    j.app.Class,
+			Arrival:  j.arrival,
+			Dispatch: j.dispatch,
+			Complete: j.complete,
+			Device:   j.device,
+		})
+	}
+	return res, nil
+}
+
+// speculate warms the scheduler's group memo with the next k groups
+// the dispatcher would form from the current queue. Results and errors
+// are deliberately dropped: this only moves simulation work off the
+// critical path, it never changes what the real dispatch computes (the
+// memo is keyed by group content and simulations are pure). A wrong
+// guess — arrivals landing in the window before the device actually
+// frees — costs one wasted simulation, never correctness.
+func (f *Fleet) speculate(queue []*job, k int, sem chan struct{}, wg *sync.WaitGroup, seen map[string]bool) {
+	if k <= 0 || len(queue) == 0 {
+		return
+	}
+	// formGroup filters the queue in place, so work on a copy.
+	spec := append([]*job(nil), queue...)
+	for i := 0; i < k && len(spec) > 0; i++ {
+		members, _ := f.formGroup(&spec)
+		sig := ""
+		for _, m := range members {
+			sig += m.app.Params.Name + "|"
+		}
+		if seen[sig] {
+			continue
+		}
+		seen[sig] = true
+		g := make(sched.Group, len(members))
+		for j, m := range members {
+			g[j] = m.app
+		}
+		wg.Add(1)
+		go func(g sched.Group) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			_, _ = f.pipe.Scheduler().RunGroup(g, f.cfg.Policy)
+		}(g)
+	}
+}
+
+// resolve materializes jobs from the arrival stream using the
+// pipeline's workload definitions and classes.
+func (f *Fleet) resolve(arrivals []Arrival) ([]*job, error) {
+	names := make([]string, len(arrivals))
+	for i, a := range arrivals {
+		names[i] = a.Name
+	}
+	queued, err := f.pipe.Queue(names)
+	if err != nil {
+		return nil, err
+	}
+	jobs := make([]*job, len(arrivals))
+	for i := range arrivals {
+		if i > 0 && arrivals[i].Cycle < arrivals[i-1].Cycle {
+			return nil, fmt.Errorf("fleet: arrivals not in cycle order (job %d at %d after %d)",
+				i, arrivals[i].Cycle, arrivals[i-1].Cycle)
+		}
+		jobs[i] = &job{id: i, app: queued[i], arrival: arrivals[i].Cycle}
+	}
+	return jobs, nil
+}
+
+// retire records a completed group into the result and its jobs.
+func (f *Fleet) retire(fl *inflight, res *Result) {
+	for i, j := range fl.jobs {
+		j.dispatch = fl.dispatch
+		j.device = fl.device
+		end := fl.rep.Cycles
+		if i < len(fl.rep.Stats) && fl.rep.Stats[i].EndCycle > 0 {
+			end = fl.rep.Stats[i].EndCycle
+		}
+		j.complete = fl.dispatch + end
+	}
+	res.DeviceBusy[fl.device] += fl.rep.Cycles
+	if devEnd := fl.dispatch + fl.rep.Cycles; devEnd > res.Makespan {
+		res.Makespan = devEnd
+	}
+	for _, st := range fl.rep.Stats {
+		res.ThreadInstructions += st.ThreadInstructions
+	}
+	res.Groups++
+	if fl.ilp {
+		res.ILPGroups++
+	} else {
+		res.GreedyGroups++
+	}
+	res.SMMoves += fl.rep.SMMoves
+}
+
+// drain waits out every outstanding worker before an error return, so
+// no goroutine outlives the run.
+func (f *Fleet) drain(flights []*inflight) {
+	for _, fl := range flights {
+		if !fl.resolved {
+			<-fl.done
+		}
+	}
+}
+
+// removeFlight drops one element, preserving order.
+func removeFlight(flights []*inflight, target *inflight) []*inflight {
+	out := flights[:0]
+	for _, fl := range flights {
+		if fl != target {
+			out = append(out, fl)
+		}
+	}
+	return out
+}

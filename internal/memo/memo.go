@@ -1,0 +1,94 @@
+// Package memo provides a concurrency-safe memoization table for
+// deterministic computations: each key is computed at most once, with
+// concurrent requests for an in-flight key waiting on the single
+// computation instead of duplicating it (singleflight with permanent
+// memoization). Errors are memoized too — a deterministic computation
+// that failed once fails identically forever.
+package memo
+
+import "sync"
+
+// Table memoizes a deterministic computation by string key.
+type Table[V any] struct {
+	mu    sync.Mutex
+	ok    map[string]V
+	fails map[string]error
+	// inflight holds one channel per key being computed; it is closed
+	// when the result is published.
+	inflight map[string]chan struct{}
+}
+
+// NewTable returns an empty table.
+func NewTable[V any]() *Table[V] {
+	return &Table[V]{
+		ok:       make(map[string]V),
+		fails:    make(map[string]error),
+		inflight: make(map[string]chan struct{}),
+	}
+}
+
+// Do returns the memoized result for key, computing it with compute if
+// absent. Concurrent calls for the same key share one computation.
+func (t *Table[V]) Do(key string, compute func() (V, error)) (V, error) {
+	for {
+		t.mu.Lock()
+		if v, ok := t.ok[key]; ok {
+			t.mu.Unlock()
+			return v, nil
+		}
+		if err, ok := t.fails[key]; ok {
+			t.mu.Unlock()
+			var zero V
+			return zero, err
+		}
+		wait, busy := t.inflight[key]
+		if !busy {
+			done := make(chan struct{})
+			t.inflight[key] = done
+			t.mu.Unlock()
+			v, err := compute()
+			t.mu.Lock()
+			if err == nil {
+				t.ok[key] = v
+			} else {
+				t.fails[key] = err
+			}
+			delete(t.inflight, key)
+			close(done)
+			t.mu.Unlock()
+			return v, err
+		}
+		t.mu.Unlock()
+		// Another goroutine is computing this key; wait for it to
+		// publish and re-check.
+		<-wait
+	}
+}
+
+// Get returns the memoized success value for key, if present. It never
+// computes.
+func (t *Table[V]) Get(key string) (V, bool) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	v, ok := t.ok[key]
+	return v, ok
+}
+
+// Put seeds the table with an externally obtained value (restored
+// snapshots, primed calibrations).
+func (t *Table[V]) Put(key string, v V) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.ok[key] = v
+}
+
+// Snapshot returns a copy of every memoized success value.
+func (t *Table[V]) Snapshot() map[string]V {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	out := make(map[string]V, len(t.ok))
+	for k, v := range t.ok {
+		out[k] = v
+	}
+	return out
+}

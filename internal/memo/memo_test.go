@@ -1,0 +1,73 @@
+package memo
+
+import (
+	"errors"
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+func TestDoComputesOncePerKey(t *testing.T) {
+	tab := NewTable[int]()
+	var calls atomic.Int32
+	var wg sync.WaitGroup
+	for i := 0; i < 16; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			v, err := tab.Do("k", func() (int, error) {
+				calls.Add(1)
+				return 42, nil
+			})
+			if err != nil || v != 42 {
+				t.Errorf("Do = %d, %v", v, err)
+			}
+		}()
+	}
+	wg.Wait()
+	if calls.Load() != 1 {
+		t.Fatalf("compute ran %d times, want 1", calls.Load())
+	}
+}
+
+func TestDoMemoizesErrors(t *testing.T) {
+	tab := NewTable[int]()
+	boom := errors.New("boom")
+	var calls atomic.Int32
+	for i := 0; i < 3; i++ {
+		if _, err := tab.Do("k", func() (int, error) {
+			calls.Add(1)
+			return 0, boom
+		}); !errors.Is(err, boom) {
+			t.Fatalf("err = %v, want boom", err)
+		}
+	}
+	if calls.Load() != 1 {
+		t.Fatalf("failing compute ran %d times, want 1", calls.Load())
+	}
+	if _, ok := tab.Get("k"); ok {
+		t.Fatal("Get returned a value for a failed key")
+	}
+}
+
+func TestPutGetSnapshot(t *testing.T) {
+	tab := NewTable[string]()
+	tab.Put("a", "x")
+	if v, ok := tab.Get("a"); !ok || v != "x" {
+		t.Fatalf("Get = %q, %v", v, ok)
+	}
+	if _, ok := tab.Get("b"); ok {
+		t.Fatal("Get hit for absent key")
+	}
+	snap := tab.Snapshot()
+	delete(snap, "a")
+	if _, ok := tab.Get("a"); !ok {
+		t.Fatal("mutating a snapshot drained the table")
+	}
+	if _, err := tab.Do("a", func() (string, error) {
+		t.Fatal("compute ran despite Put-seeded value")
+		return "", nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+}

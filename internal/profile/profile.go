@@ -3,7 +3,10 @@
 // 3.2.1): DRAM bandwidth, L2→L1 bandwidth, IPC, memory-to-compute ratio
 // and device utilization. Results are memoized per (benchmark, SM
 // count), since the experiment suite re-reads the same profiles many
-// times.
+// times. The profiler is safe for concurrent use: the online fleet
+// dispatcher profiles from many scheduling goroutines at once, and
+// duplicate concurrent requests for the same profile share one
+// simulation.
 package profile
 
 import (
@@ -12,6 +15,7 @@ import (
 	"repro/internal/config"
 	"repro/internal/gpu"
 	"repro/internal/kernel"
+	"repro/internal/memo"
 	"repro/internal/stats"
 )
 
@@ -36,12 +40,12 @@ const MaxRunCycles = 50_000_000
 // Profiler memoizes solo runs on one device configuration.
 type Profiler struct {
 	cfg  config.GPUConfig
-	memo map[string]Result
+	runs *memo.Table[Result]
 }
 
 // New builds a profiler for the configuration.
 func New(cfg config.GPUConfig) *Profiler {
-	return &Profiler{cfg: cfg, memo: make(map[string]Result)}
+	return &Profiler{cfg: cfg, runs: memo.NewTable[Result]()}
 }
 
 // Config returns the profiler's device configuration.
@@ -57,7 +61,17 @@ func (p *Profiler) Prime(name string, r Result) {
 	if numSMs <= 0 || numSMs > p.cfg.NumSMs {
 		numSMs = p.cfg.NumSMs
 	}
-	p.memo[key(name, numSMs)] = r
+	p.runs.Put(key(name, numSMs), r)
+}
+
+// Peek returns the memoized profile for (name, numSMs) without ever
+// simulating (numSMs <= 0 selects all cores). The online fleet
+// dispatcher uses it to bound group completion times cheaply.
+func (p *Profiler) Peek(name string, numSMs int) (Result, bool) {
+	if numSMs <= 0 || numSMs > p.cfg.NumSMs {
+		numSMs = p.cfg.NumSMs
+	}
+	return p.runs.Get(key(name, numSMs))
 }
 
 // Run profiles params solo on the first numSMs cores of the device
@@ -66,9 +80,13 @@ func (p *Profiler) Run(params kernel.Params, numSMs int) (Result, error) {
 	if numSMs <= 0 || numSMs > p.cfg.NumSMs {
 		numSMs = p.cfg.NumSMs
 	}
-	if r, ok := p.memo[key(params.Name, numSMs)]; ok {
-		return r, nil
-	}
+	return p.runs.Do(key(params.Name, numSMs), func() (Result, error) {
+		return p.simulate(params, numSMs)
+	})
+}
+
+// simulate performs the actual solo run (no memoization).
+func (p *Profiler) simulate(params kernel.Params, numSMs int) (Result, error) {
 	d, err := gpu.New(p.cfg)
 	if err != nil {
 		return Result{}, err
@@ -88,13 +106,11 @@ func (p *Profiler) Run(params kernel.Params, numSMs int) (Result, error) {
 	if err := d.Run(MaxRunCycles); err != nil {
 		return Result{}, fmt.Errorf("profile %s on %d SMs: %w", params.Name, numSMs, err)
 	}
-	r := Result{
+	return Result{
 		Metrics:     d.AppMetrics(h),
 		Utilization: d.DeviceStats().Utilization(p.cfg),
 		NumSMs:      numSMs,
-	}
-	p.memo[key(params.Name, numSMs)] = r
-	return r, nil
+	}, nil
 }
 
 // RunAll profiles a list of kernels at one core count.

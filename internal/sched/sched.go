@@ -19,6 +19,7 @@ import (
 	"fmt"
 	"runtime"
 	"sort"
+	"strings"
 	"sync"
 
 	"repro/internal/classify"
@@ -27,6 +28,7 @@ import (
 	"repro/internal/interference"
 	"repro/internal/kernel"
 	"repro/internal/match"
+	"repro/internal/memo"
 	"repro/internal/profile"
 	"repro/internal/stats"
 )
@@ -65,6 +67,24 @@ func (p Policy) String() string {
 		return "ILP-SMRA"
 	default:
 		return fmt.Sprintf("Policy(%d)", int(p))
+	}
+}
+
+// ParsePolicy parses the CLI spelling of a policy name.
+func ParsePolicy(s string) (Policy, error) {
+	switch strings.ToLower(s) {
+	case "serial":
+		return Serial, nil
+	case "fcfs", "even":
+		return FCFS, nil
+	case "profile", "profile-based":
+		return ProfileBased, nil
+	case "ilp":
+		return ILP, nil
+	case "ilp-smra", "smra":
+		return ILPSMRA, nil
+	default:
+		return 0, fmt.Errorf("unknown policy %q (serial, fcfs, profile, ilp, ilp-smra)", s)
 	}
 }
 
@@ -143,14 +163,17 @@ type Scheduler struct {
 	matrix *interference.Matrix
 	smra   SMRAConfig
 	// satPoints memoizes profile-based SM demands per benchmark.
+	satMu     sync.Mutex
 	satPoints map[string]int
-	// groupMemo caches group executions. Simulations are fully
-	// deterministic, so a group with the same members, the same SM
-	// partition and the same dynamic-reallocation mode always produces
-	// the same result; distribution queues repeat such groups many times
-	// across policies and figures.
-	groupMu   sync.Mutex
-	groupMemo map[string]GroupReport
+	// groups caches group executions, deduplicating concurrent runs of
+	// the same group. Simulations are fully deterministic, so a group
+	// with the same members, the same SM partition and the same
+	// dynamic-reallocation mode always produces the same result;
+	// distribution queues repeat such groups many times across policies
+	// and figures, and the fleet dispatcher leans on the dedup to
+	// pre-simulate likely next groups speculatively without ever
+	// doubling work.
+	groups *memo.Table[GroupReport]
 }
 
 // New builds a scheduler. matrix may be nil when only Serial/FCFS/
@@ -162,7 +185,7 @@ func New(cfg config.GPUConfig, prof *profile.Profiler, matrix *interference.Matr
 		matrix:    matrix,
 		smra:      DefaultSMRAConfig(cfg),
 		satPoints: make(map[string]int),
-		groupMemo: make(map[string]GroupReport),
+		groups:    memo.NewTable[GroupReport](),
 	}
 }
 
@@ -172,13 +195,7 @@ func (s *Scheduler) SetSMRAConfig(c SMRAConfig) { s.smra = c }
 // SnapshotGroups returns a copy of the deterministic group-execution
 // memo, for persistence across processes.
 func (s *Scheduler) SnapshotGroups() map[string]GroupReport {
-	s.groupMu.Lock()
-	defer s.groupMu.Unlock()
-	out := make(map[string]GroupReport, len(s.groupMemo))
-	for k, v := range s.groupMemo {
-		out[k] = v
-	}
-	return out
+	return s.groups.Snapshot()
 }
 
 // RestoreGroups seeds the group-execution memo with previously captured
@@ -186,10 +203,8 @@ func (s *Scheduler) SnapshotGroups() map[string]GroupReport {
 // with identical workload definitions and device configuration (see
 // core.Fingerprint).
 func (s *Scheduler) RestoreGroups(groups map[string]GroupReport) {
-	s.groupMu.Lock()
-	defer s.groupMu.Unlock()
 	for k, v := range groups {
-		s.groupMemo[k] = v
+		s.groups.Put(k, v)
 	}
 }
 
@@ -208,26 +223,12 @@ func (s *Scheduler) Run(queue []QueuedApp, nc int, policy Policy) (Report, error
 	if err != nil {
 		return Report{}, err
 	}
-	// Warm profiler memos sequentially; group execution below runs in
-	// parallel and the profiler is not goroutine-safe.
-	for _, g := range groups {
-		for _, a := range g {
-			if policy == ProfileBased {
-				if _, err := s.saturationPoint(a.Params); err != nil {
-					return Report{}, err
-				}
-			}
-			if len(g) == 1 && s.prof != nil {
-				if _, err := s.prof.Run(a.Params, 0); err != nil {
-					return Report{}, err
-				}
-			}
-		}
-	}
 	// Groups execute one after another on the real device, so the queue
 	// makespan is the sum of group makespans — but each group runs on a
 	// fresh simulated device, so the simulations themselves are
-	// independent and run concurrently here.
+	// independent and run concurrently here. The profiler dedups
+	// concurrent requests for the same solo profile, so no sequential
+	// warming pass is needed.
 	reports := make([]GroupReport, len(groups))
 	errs := make([]error, len(groups))
 	var wg sync.WaitGroup
@@ -238,7 +239,7 @@ func (s *Scheduler) Run(queue []QueuedApp, nc int, policy Policy) (Report, error
 			defer wg.Done()
 			sem <- struct{}{}
 			defer func() { <-sem }()
-			reports[i], errs[i] = s.runGroup(g, policy)
+			reports[i], errs[i] = s.RunGroup(g, policy)
 		}(i, g)
 	}
 	wg.Wait()
@@ -381,8 +382,14 @@ func (s *Scheduler) groupKey(g Group, smSets [][]int, policy Policy) string {
 	return key
 }
 
-// runGroup launches one group and simulates it to completion.
-func (s *Scheduler) runGroup(g Group, policy Policy) (GroupReport, error) {
+// RunGroup launches one group and simulates it to completion. It is the
+// single-group execution path shared by the batch Run above and the
+// online fleet dispatcher (internal/fleet); it is safe for concurrent
+// use and memoizes deterministic executions.
+func (s *Scheduler) RunGroup(g Group, policy Policy) (GroupReport, error) {
+	if len(g) == 0 {
+		return GroupReport{}, fmt.Errorf("sched: empty group")
+	}
 	if len(g) == 1 && s.prof != nil {
 		// A single-application group on the full device is exactly a
 		// solo profile; reuse the memoized run instead of resimulating.
@@ -406,13 +413,13 @@ func (s *Scheduler) runGroup(g Group, policy Policy) (GroupReport, error) {
 	if err != nil {
 		return GroupReport{}, err
 	}
-	key := s.groupKey(g, smSets, policy)
-	s.groupMu.Lock()
-	if gr, ok := s.groupMemo[key]; ok {
-		s.groupMu.Unlock()
-		return gr, nil
-	}
-	s.groupMu.Unlock()
+	return s.groups.Do(s.groupKey(g, smSets, policy), func() (GroupReport, error) {
+		return s.simulateGroup(g, smSets, policy)
+	})
+}
+
+// simulateGroup performs the actual co-run simulation (no memoization).
+func (s *Scheduler) simulateGroup(g Group, smSets [][]int, policy Policy) (GroupReport, error) {
 	d, err := gpu.New(s.cfg)
 	if err != nil {
 		return GroupReport{}, err
@@ -453,9 +460,6 @@ func (s *Scheduler) runGroup(g Group, policy Policy) (GroupReport, error) {
 		gr.Classes = append(gr.Classes, g[i].Class)
 		gr.Stats = append(gr.Stats, st)
 	}
-	s.groupMu.Lock()
-	s.groupMemo[key] = gr
-	s.groupMu.Unlock()
 	return gr, nil
 }
 
@@ -517,7 +521,10 @@ func (s *Scheduler) partition(g Group, policy Policy) ([][]int, error) {
 // and returns the smallest count achieving 90% of its full-device IPC —
 // the offline demand estimate the profile-based policy allocates by.
 func (s *Scheduler) saturationPoint(params kernel.Params) (int, error) {
-	if v, ok := s.satPoints[params.Name]; ok {
+	s.satMu.Lock()
+	v, ok := s.satPoints[params.Name]
+	s.satMu.Unlock()
+	if ok {
 		return v, nil
 	}
 	full, err := s.prof.Run(params, 0)
@@ -539,6 +546,8 @@ func (s *Scheduler) saturationPoint(params kernel.Params) (int, error) {
 			break
 		}
 	}
+	s.satMu.Lock()
 	s.satPoints[params.Name] = point
+	s.satMu.Unlock()
 	return point, nil
 }
