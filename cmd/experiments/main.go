@@ -45,25 +45,26 @@ func main() {
 	suite.Seed = *seed
 	log.Printf("pipeline ready in %v", time.Since(start).Round(time.Second))
 
-	arts, err := suite.All()
-	if err != nil {
-		log.Fatal(err)
-	}
-	matched := false
-	for _, a := range arts {
-		if *only != "" && !strings.EqualFold(a.ID, *only) {
-			continue
+	var arts []experiments.Artifact
+	if *only != "" {
+		a, err := suite.Run(*only)
+		if err != nil {
+			log.Fatal(err)
 		}
-		matched = true
+		arts = []experiments.Artifact{a}
+	} else {
+		arts, err = suite.All()
+		if err != nil {
+			log.Fatal(err)
+		}
+	}
+	for _, a := range arts {
 		fmt.Println(a)
 		if *csvDir != "" {
 			if err := writeCSV(*csvDir, a); err != nil {
 				log.Fatal(err)
 			}
 		}
-	}
-	if *only != "" && !matched {
-		log.Fatalf("no artifact named %q", *only)
 	}
 	log.Printf("done in %v", time.Since(start).Round(time.Second))
 	_ = os.Stdout.Sync()

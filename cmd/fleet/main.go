@@ -6,17 +6,25 @@
 // Usage:
 //
 //	fleet -devices 4 -apps 200 -arrivals poisson -rate 0.5 -nc 2 -policy ilp-smra -seed 1
-//	fleet -devices 2 -arrivals bursty -rate 1 -policy fcfs
+//	fleet -fleet "2xGTX480,2xSmall-8SM" -policy ilp-smra -seed 1
+//	fleet -devices 2 -arrivals bursty -rate 1 -burst-rate 6 -mean-on 15000 -mean-off 45000 -policy fcfs
 //	fleet -arrivals trace -trace BLK@0,HS@1000,GUPS@2500 -policy ilp
+//
+// The fleet may be heterogeneous: -fleet takes a roster of
+// COUNTxCONFIG elements (configs from internal/config: GTX480, Small),
+// each device type gets its own calibration, and the dispatcher scores
+// candidate groups with the matrix of the device type that will run
+// them. When -fleet is unset, -devices N selects a homogeneous GTX480
+// fleet as before.
 //
 // The summary is deterministic: the same flags (and seed) produce
 // byte-identical output, whatever the host machine is doing.
 //
 // Calibration (solo profiles + the all-pairs interference campaign) is
-// cached on disk exactly like cmd/experiments — set REPRO_CALIBRATION
-// to choose the path, or to "off" to disable. The group-execution memo
-// is deliberately NOT persisted here, so device-count comparisons
-// measure real simulation work.
+// cached on disk per device configuration exactly like cmd/experiments
+// — set REPRO_CALIBRATION to choose the path, or to "off" to disable.
+// The group-execution memo is deliberately NOT persisted here, so
+// device-count comparisons measure real simulation work.
 package main
 
 import (
@@ -27,8 +35,6 @@ import (
 	"strings"
 	"time"
 
-	"repro/internal/config"
-	"repro/internal/core"
 	"repro/internal/fleet"
 	"repro/internal/sched"
 	"repro/internal/workloads"
@@ -36,14 +42,19 @@ import (
 
 func main() {
 	log.SetFlags(0)
-	devices := flag.Int("devices", 4, "number of simulated GPUs")
+	devices := flag.Int("devices", 4, "number of simulated GPUs (homogeneous GTX480; ignored with -fleet)")
+	rosterFlag := flag.String("fleet", "", "heterogeneous roster as COUNTxCONFIG,... (e.g. \"2xGTX480,2xSmall-8SM\")")
 	apps := flag.Int("apps", 200, "number of arriving jobs (poisson/bursty)")
 	arrivalsFlag := flag.String("arrivals", "poisson", "arrival process: poisson | bursty | trace")
 	rate := flag.Float64("rate", 0.5, "mean arrival rate in jobs per 1000 cycles")
+	burstRate := flag.Float64("burst-rate", 0, "bursty ON-phase rate in jobs per 1000 cycles (0 = 4x -rate)")
+	meanOn := flag.Float64("mean-on", 0, "bursty mean ON-phase length in cycles (0 = default)")
+	meanOff := flag.Float64("mean-off", 0, "bursty mean OFF-phase length in cycles (0 = default)")
 	nc := flag.Int("nc", 2, "co-run group size per device")
 	policyFlag := flag.String("policy", "ilp-smra", "serial | fcfs | profile | ilp | ilp-smra")
 	seed := flag.Uint64("seed", 1, "arrival-stream seed")
 	window := flag.Int("window", 0, "windowed-ILP queue prefix (0 = default)")
+	greedyBelow := flag.Int("greedy-below", 0, "queue depth under which ILP policies dispatch greedily (0 = 2*nc)")
 	traceFlag := flag.String("trace", "", "explicit arrivals as NAME@CYCLE,... (with -arrivals trace)")
 	flag.Parse()
 
@@ -55,39 +66,74 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	acfg := fleet.ArrivalConfig{Kind: kind, Jobs: *apps, Rate: *rate, Seed: *seed}
+	// Reject flags the chosen arrival process or policy would silently
+	// ignore.
+	set := map[string]bool{}
+	flag.Visit(func(f *flag.Flag) { set[f.Name] = true })
+	if kind != fleet.Bursty {
+		for _, name := range []string{"burst-rate", "mean-on", "mean-off"} {
+			if set[name] {
+				log.Fatalf("fleet: -%s only applies to -arrivals bursty (got %v)", name, kind)
+			}
+		}
+	}
 	if kind == fleet.Trace {
+		for _, name := range []string{"rate", "apps"} {
+			if set[name] {
+				log.Fatalf("fleet: -%s has no effect with -arrivals trace; the trace stands on its own", name)
+			}
+		}
+	} else if set["trace"] {
+		log.Fatalf("fleet: -trace requires -arrivals trace (got %v)", kind)
+	}
+	if policy != sched.ILP && policy != sched.ILPSMRA {
+		for _, name := range []string{"greedy-below", "window"} {
+			if set[name] {
+				log.Fatalf("fleet: -%s only applies to the ILP policies (got %v)", name, policy)
+			}
+		}
+	}
+	acfg := fleet.ArrivalConfig{Kind: kind, Seed: *seed}
+	if kind == fleet.Trace {
+		// Jobs/Rate stay zero: a trace stands on its own.
 		acfg.Trace, err = parseTrace(*traceFlag)
 		if err != nil {
 			log.Fatal(err)
 		}
+	} else {
+		acfg.Jobs = *apps
+		acfg.Rate = *rate
+		acfg.BurstRate = *burstRate
+		acfg.MeanOn = *meanOn
+		acfg.MeanOff = *meanOff
 	}
 	arrivals, err := acfg.Generate(workloads.Names)
 	if err != nil {
 		log.Fatal(err)
 	}
 
-	cfg := config.GTX480()
-	pipe := core.MustNew(cfg)
-	start := time.Now()
-	if path := core.CalibrationCachePath(cfg.Name); path != "" && pipe.LoadCalibration(path, workloads.All()) == nil {
-		log.Printf("calibration restored from %s", path)
-	} else {
-		log.Printf("initializing pipeline (solo profiles + all-pairs interference) ...")
-		if err := pipe.Init(workloads.All()); err != nil {
-			log.Fatal(err)
-		}
-		if path != "" {
-			_ = pipe.SaveCalibration(path)
-		}
-		log.Printf("pipeline ready in %v", time.Since(start).Round(time.Second))
+	spec := *rosterFlag
+	if spec == "" {
+		spec = fmt.Sprintf("%dxGTX480", *devices)
 	}
+	entries, err := fleet.ParseRoster(spec)
+	if err != nil {
+		log.Fatal(err)
+	}
+	start := time.Now()
+	log.Printf("calibrating roster %s (cached per device config) ...", spec)
+	roster, err := fleet.BuildRoster(entries, workloads.All())
+	if err != nil {
+		log.Fatal(err)
+	}
+	log.Printf("roster ready in %v", time.Since(start).Round(time.Second))
 
-	f, err := fleet.New(pipe, fleet.Config{
-		Devices: *devices,
-		NC:      *nc,
-		Policy:  policy,
-		Window:  *window,
+	f, err := fleet.New(fleet.Config{
+		Devices:     roster,
+		NC:          *nc,
+		Policy:      policy,
+		Window:      *window,
+		GreedyBelow: *greedyBelow,
 	})
 	if err != nil {
 		log.Fatal(err)
@@ -98,9 +144,14 @@ func main() {
 		log.Fatal(err)
 	}
 	log.Printf("fleet run finished in %v wall-clock", time.Since(runStart).Round(time.Millisecond))
-	if kind == fleet.Trace {
+	switch kind {
+	case fleet.Trace:
 		fmt.Printf("arrivals: %v (%d entries)\n", kind, len(acfg.Trace))
-	} else {
+	case fleet.Bursty:
+		r := acfg.Resolved()
+		fmt.Printf("arrivals: %v rate=%.2f/kcycle burst-rate=%.2f/kcycle mean-on=%.0f mean-off=%.0f seed=%d\n",
+			kind, r.Rate, r.BurstRate, r.MeanOn, r.MeanOff, *seed)
+	default:
 		fmt.Printf("arrivals: %v rate=%.2f/kcycle seed=%d\n", kind, *rate, *seed)
 	}
 	fmt.Print(res.Summary())

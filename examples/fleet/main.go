@@ -1,12 +1,18 @@
-// Fleet walkthrough: jobs arrive over simulated time to a small fleet
-// of simulated GPUs, and the online dispatcher forms co-run groups from
-// the live queue — the paper's machinery applied in an arrival-driven
-// setting rather than to a static batch.
+// Fleet walkthrough: jobs arrive over simulated time to a small
+// heterogeneous fleet of simulated GPUs, and the online dispatcher
+// forms co-run groups from the live queue — the paper's machinery
+// applied in an arrival-driven setting, across mixed hardware
+// generations rather than on a single device model.
 //
-// The example initializes the pipeline on the full workload suite,
-// generates a deterministic Poisson arrival stream, runs it under FCFS
-// and under the windowed-ILP policy, and prints both summaries plus a
-// per-job latency trace for the ILP run.
+// The example calibrates two device types on the full workload suite
+// (a big GTX480-class device and a small 8-SM one; calibration is
+// disk-cached per config name), generates a deterministic Poisson
+// arrival stream, runs the mixed roster under FCFS and under the
+// placement-aware windowed-ILP policy, and prints both summaries plus
+// a per-job latency trace for the ILP run. Note the per-device
+// utilization labels: each device reports under its own config name,
+// and the dispatcher scored each device's groups with that device
+// type's interference matrix.
 package main
 
 import (
@@ -23,18 +29,21 @@ import (
 
 func main() {
 	log.SetFlags(0)
-	cfg := config.GTX480()
-	pipe := core.MustNew(cfg)
-	log.Printf("initializing pipeline on %s ...", cfg.Name)
 	start := time.Now()
-	if err := pipe.Init(workloads.All()); err != nil {
-		log.Fatal(err)
+	var roster []fleet.DeviceSpec
+	for _, cfg := range []config.GPUConfig{config.GTX480(), config.Small()} {
+		log.Printf("calibrating %s ...", cfg.Name)
+		pipe, err := core.LoadOrInit(cfg, workloads.All())
+		if err != nil {
+			log.Fatal(err)
+		}
+		roster = append(roster, fleet.DeviceSpec{Pipe: pipe, Count: 1})
 	}
-	log.Printf("ready in %v", time.Since(start).Round(time.Second))
+	log.Printf("roster ready in %v", time.Since(start).Round(time.Second))
 
 	// 48 jobs drawn uniformly from the suite, Poisson arrivals at one
-	// job per 1250 cycles — enough pressure that a 2-device fleet keeps
-	// a real queue.
+	// job per 1250 cycles — enough pressure that the 2-device mixed
+	// fleet keeps a real queue.
 	arrivals, err := fleet.ArrivalConfig{
 		Kind: fleet.Poisson, Jobs: 48, Rate: 0.8, Seed: 2018,
 	}.Generate(workloads.Names)
@@ -43,7 +52,7 @@ func main() {
 	}
 
 	for _, policy := range []sched.Policy{sched.FCFS, sched.ILPSMRA} {
-		f, err := fleet.New(pipe, fleet.Config{Devices: 2, NC: 2, Policy: policy})
+		f, err := fleet.New(fleet.Config{Devices: roster, NC: 2, Policy: policy})
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -56,8 +65,8 @@ func main() {
 		if policy == sched.ILPSMRA {
 			fmt.Println("first jobs of the ILP-SMRA run:")
 			for _, j := range res.Jobs[:8] {
-				fmt.Printf("  job %2d %-5s (%v) dev%d arrive=%7d wait=%7d turnaround=%7d\n",
-					j.ID, j.Name, j.Class, j.Device, j.Arrival, j.Wait(), j.Turnaround())
+				fmt.Printf("  job %2d %-5s (%v) dev%d[%s] arrive=%7d wait=%7d turnaround=%7d\n",
+					j.ID, j.Name, j.Class, j.Device, res.DeviceConfig[j.Device], j.Arrival, j.Wait(), j.Turnaround())
 			}
 		}
 	}

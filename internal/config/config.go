@@ -11,7 +11,10 @@
 // the numbers the paper reports.
 package config
 
-import "fmt"
+import (
+	"fmt"
+	"strings"
+)
 
 // WarpSchedPolicy selects the per-SM warp scheduling discipline.
 type WarpSchedPolicy int
@@ -290,6 +293,21 @@ func Small() GPUConfig {
 	c.L2.SizeBytes = 64 * 1024
 	c.Icnt.BytesPerCycle = 64
 	return c
+}
+
+// ByName resolves a device configuration from its registered name, for
+// CLI roster flags and experiment specs. Both the full config name
+// ("GTX480-60SM") and the constructor shorthand ("GTX480") are
+// accepted, case-insensitively.
+func ByName(name string) (GPUConfig, error) {
+	switch strings.ToLower(name) {
+	case "gtx480", "gtx480-60sm":
+		return GTX480(), nil
+	case "small", "small-8sm":
+		return Small(), nil
+	default:
+		return GPUConfig{}, fmt.Errorf("config: unknown device %q (GTX480, Small)", name)
+	}
 }
 
 // Validate checks the full configuration for internal consistency.

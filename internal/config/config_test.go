@@ -88,3 +88,26 @@ func TestRowMissLatency(t *testing.T) {
 		t.Fatal("row miss latency wrong")
 	}
 }
+
+func TestByName(t *testing.T) {
+	for name, want := range map[string]string{
+		"GTX480":      "GTX480-60SM",
+		"gtx480-60sm": "GTX480-60SM",
+		"Small":       "Small-8SM",
+		"small-8sm":   "Small-8SM",
+	} {
+		cfg, err := ByName(name)
+		if err != nil {
+			t.Fatalf("ByName(%q): %v", name, err)
+		}
+		if cfg.Name != want {
+			t.Fatalf("ByName(%q).Name = %q, want %q", name, cfg.Name, want)
+		}
+		if err := cfg.Validate(); err != nil {
+			t.Fatalf("ByName(%q) returns invalid config: %v", name, err)
+		}
+	}
+	if _, err := ByName("H100"); err == nil {
+		t.Fatal("accepted unregistered device name")
+	}
+}

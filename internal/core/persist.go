@@ -7,6 +7,7 @@ import (
 	"path/filepath"
 
 	"repro/internal/classify"
+	"repro/internal/config"
 	"repro/internal/interference"
 	"repro/internal/kernel"
 	"repro/internal/profile"
@@ -31,6 +32,33 @@ func CalibrationCachePath(device string) string {
 	default:
 		return v
 	}
+}
+
+// LoadOrInit returns an initialized pipeline for cfg over apps: it
+// restores the disk-cached calibration when one matches (same device
+// name, same workload fingerprint) and otherwise runs the expensive
+// Init — solo profiles plus the all-pairs interference campaign — and
+// saves the result best-effort. REPRO_CALIBRATION governs the cache
+// location ("off" disables it). cmd/experiments, cmd/fleet and
+// heterogeneous fleet rosters all share this path, so one calibration
+// per device name serves them all.
+func LoadOrInit(cfg config.GPUConfig, apps []kernel.Params) (*Pipeline, error) {
+	p, err := New(cfg)
+	if err != nil {
+		return nil, err
+	}
+	path := CalibrationCachePath(cfg.Name)
+	if path != "" && p.LoadCalibration(path, apps) == nil {
+		return p, nil
+	}
+	if err := p.Init(apps); err != nil {
+		return nil, err
+	}
+	if path != "" {
+		// Best-effort: a read-only filesystem only costs the cache.
+		_ = p.SaveCalibration(path)
+	}
+	return p, nil
 }
 
 // Fingerprint summarizes an application universe (names and every

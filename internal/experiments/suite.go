@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"strings"
 	"sync"
 
 	"repro/internal/config"
@@ -40,24 +41,10 @@ type Suite struct {
 // the figures within one environment skip it. Set REPRO_CALIBRATION to
 // choose the cache path, or to "off" to disable caching.
 func NewSuite(cfg config.GPUConfig) (*Suite, error) {
-	p, err := core.New(cfg)
+	apps := workloads.All()
+	p, err := core.LoadOrInit(cfg, apps)
 	if err != nil {
 		return nil, err
-	}
-	apps := workloads.All()
-	path := core.CalibrationCachePath(cfg.Name)
-	loaded := false
-	if path != "" {
-		loaded = p.LoadCalibration(path, apps) == nil
-	}
-	if !loaded {
-		if err := p.Init(apps); err != nil {
-			return nil, err
-		}
-		if path != "" {
-			// Best-effort: a read-only filesystem only costs the cache.
-			_ = p.SaveCalibration(path)
-		}
 	}
 	s := &Suite{P: p, Seed: DefaultSeed, queueMemo: make(map[string]sched.Report)}
 	s.groupCache = groupCachePath(cfg.Name, core.Fingerprint(apps))
@@ -127,13 +114,15 @@ func (s *Suite) runNames(key string, names []string, nc int, policy sched.Policy
 	return rep, nil
 }
 
-// All runs every experiment and returns the artifacts in paper order.
-func (s *Suite) All() ([]Artifact, error) {
-	type gen struct {
-		name string
-		fn   func() (Artifact, error)
-	}
-	gens := []gen{
+// gen is one named artifact generator.
+type gen struct {
+	name string
+	fn   func() (Artifact, error)
+}
+
+// gens lists the artifact generators in paper order.
+func (s *Suite) gens() []gen {
+	return []gen{
 		{"Fig1.2", s.Fig1_2},
 		{"Table3.2", s.Table3_2},
 		{"Fig3.4", s.Fig3_4},
@@ -153,7 +142,13 @@ func (s *Suite) All() ([]Artifact, error) {
 		{"Fig4.12", s.Fig4_12},
 		{"AppendixA", s.AppendixA},
 		{"FleetOnline", s.FleetOnline},
+		{"FleetHetero", s.FleetHetero},
 	}
+}
+
+// All runs every experiment and returns the artifacts in paper order.
+func (s *Suite) All() ([]Artifact, error) {
+	gens := s.gens()
 	out := make([]Artifact, 0, len(gens))
 	for _, g := range gens {
 		a, err := g.fn()
@@ -163,4 +158,19 @@ func (s *Suite) All() ([]Artifact, error) {
 		out = append(out, a)
 	}
 	return out, nil
+}
+
+// Run generates a single artifact by ID (case-insensitive), without
+// computing the rest of the suite.
+func (s *Suite) Run(id string) (Artifact, error) {
+	for _, g := range s.gens() {
+		if strings.EqualFold(g.name, id) {
+			a, err := g.fn()
+			if err != nil {
+				return Artifact{}, fmt.Errorf("%s: %w", g.name, err)
+			}
+			return a, nil
+		}
+	}
+	return Artifact{}, fmt.Errorf("no artifact named %q", id)
 }

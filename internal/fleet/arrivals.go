@@ -79,18 +79,40 @@ type ArrivalConfig struct {
 	Seed uint64
 }
 
+// DefaultMeanOn and DefaultMeanOff are the bursty process's mean ON/OFF
+// phase lengths (cycles) when the config leaves them zero.
+const (
+	DefaultMeanOn  = 20_000
+	DefaultMeanOff = 60_000
+)
+
+// Resolved fills the bursty defaults — BurstRate 0 selects 4*Rate,
+// MeanOn/MeanOff 0 select DefaultMeanOn/DefaultMeanOff — so callers
+// (the CLI header, logs) can report the parameters Generate actually
+// uses. Non-bursty kinds are returned unchanged.
+func (c ArrivalConfig) Resolved() ArrivalConfig {
+	if c.Kind != Bursty {
+		return c
+	}
+	if c.BurstRate <= 0 {
+		c.BurstRate = 4 * c.Rate
+	}
+	if c.MeanOn <= 0 {
+		c.MeanOn = DefaultMeanOn
+	}
+	if c.MeanOff <= 0 {
+		c.MeanOff = DefaultMeanOff
+	}
+	return c
+}
+
 // Generate materializes the arrival stream. universe lists the
-// benchmark names jobs are drawn from (uniformly); it is ignored for
-// Kind == Trace.
+// benchmark names jobs are drawn from (uniformly); for Kind == Trace it
+// is the validation set the trace's names must come from.
 func (c ArrivalConfig) Generate(universe []string) ([]Arrival, error) {
 	switch c.Kind {
 	case Trace:
-		if len(c.Trace) == 0 {
-			return nil, fmt.Errorf("fleet: trace arrivals need a non-empty trace")
-		}
-		out := append([]Arrival(nil), c.Trace...)
-		sort.SliceStable(out, func(i, j int) bool { return out[i].Cycle < out[j].Cycle })
-		return out, nil
+		return c.generateTrace(universe)
 	case Poisson, Bursty:
 	default:
 		return nil, fmt.Errorf("fleet: unknown arrival kind %v", c.Kind)
@@ -107,44 +129,82 @@ func (c ArrivalConfig) Generate(universe []string) ([]Arrival, error) {
 		return nil, fmt.Errorf("fleet: arrival rate must be positive (got %g)", c.Rate)
 	}
 	stream := rng.NewStream(rng.Hash2(c.Seed, 0xf1ee7))
+	if c.Kind == Bursty {
+		out, _ := c.Resolved().burstyGen(stream, universe)
+		return out, nil
+	}
 	ratePerCycle := c.Rate / 1000
 	out := make([]Arrival, 0, c.Jobs)
-	switch c.Kind {
-	case Poisson:
-		t := 0.0
-		for i := 0; i < c.Jobs; i++ {
-			t += expo(stream) / ratePerCycle
-			out = append(out, Arrival{Name: universe[stream.Intn(len(universe))], Cycle: uint64(t)})
-		}
-	case Bursty:
-		burst := c.BurstRate / 1000
-		if burst <= 0 {
-			burst = 4 * ratePerCycle
-		}
-		meanOn, meanOff := c.MeanOn, c.MeanOff
-		if meanOn <= 0 {
-			meanOn = 20_000
-		}
-		if meanOff <= 0 {
-			meanOff = 60_000
-		}
-		t := 0.0
-		onUntil := expo(stream) * meanOn
-		for i := 0; i < c.Jobs; i++ {
-			t += expo(stream) / burst
-			// Arrivals only land inside ON phases; residual exponential
-			// time that falls past the phase end carries across the OFF
-			// gap into the next ON phase.
-			for t > onUntil {
-				off := expo(stream) * meanOff
-				on := expo(stream) * meanOn
-				t += off
-				onUntil += off + on
-			}
-			out = append(out, Arrival{Name: universe[stream.Intn(len(universe))], Cycle: uint64(t)})
-		}
+	t := 0.0
+	for i := 0; i < c.Jobs; i++ {
+		t += expo(stream) / ratePerCycle
+		out = append(out, Arrival{Name: universe[stream.Intn(len(universe))], Cycle: uint64(t)})
 	}
 	return out, nil
+}
+
+// generateTrace validates and sorts an explicit arrival list. Unknown
+// or empty benchmark names fail here, with the offending entry named —
+// not deep inside Fleet.resolve after calibration already ran — and a
+// trace must stand on its own: setting Jobs or Rate alongside one is
+// rejected as ambiguous rather than silently ignored.
+func (c ArrivalConfig) generateTrace(universe []string) ([]Arrival, error) {
+	if len(c.Trace) == 0 {
+		return nil, fmt.Errorf("fleet: trace arrivals need a non-empty trace")
+	}
+	if c.Jobs != 0 || c.Rate != 0 {
+		return nil, fmt.Errorf("fleet: Jobs/Rate have no effect with a trace (got Jobs=%d Rate=%g); leave them zero",
+			c.Jobs, c.Rate)
+	}
+	if len(universe) == 0 {
+		return nil, fmt.Errorf("fleet: empty benchmark universe")
+	}
+	known := make(map[string]bool, len(universe))
+	for _, n := range universe {
+		known[n] = true
+	}
+	for i, a := range c.Trace {
+		if a.Name == "" {
+			return nil, fmt.Errorf("fleet: trace entry %d has an empty benchmark name", i)
+		}
+		if !known[a.Name] {
+			return nil, fmt.Errorf("fleet: trace entry %d names unknown benchmark %q", i, a.Name)
+		}
+	}
+	out := append([]Arrival(nil), c.Trace...)
+	sort.SliceStable(out, func(i, j int) bool { return out[i].Cycle < out[j].Cycle })
+	return out, nil
+}
+
+// onPhase is one ON interval of the bursty on-off process, in exact
+// (float) cycle time. Exposed to tests so they can assert arrivals
+// never land in OFF gaps.
+type onPhase struct{ start, end float64 }
+
+// burstyGen draws the on-off modulated stream. The receiver must be
+// Resolved. It returns the arrivals plus the ON phases that were
+// materialized while drawing them.
+func (c ArrivalConfig) burstyGen(stream *rng.Stream, universe []string) ([]Arrival, []onPhase) {
+	burst := c.BurstRate / 1000
+	out := make([]Arrival, 0, c.Jobs)
+	t := 0.0
+	onUntil := expo(stream) * c.MeanOn
+	phases := []onPhase{{start: 0, end: onUntil}}
+	for i := 0; i < c.Jobs; i++ {
+		t += expo(stream) / burst
+		// Arrivals only land inside ON phases; residual exponential
+		// time that falls past the phase end carries across the OFF
+		// gap into the next ON phase.
+		for t > onUntil {
+			off := expo(stream) * c.MeanOff
+			on := expo(stream) * c.MeanOn
+			t += off
+			phases = append(phases, onPhase{start: onUntil + off, end: onUntil + off + on})
+			onUntil += off + on
+		}
+		out = append(out, Arrival{Name: universe[stream.Intn(len(universe))], Cycle: uint64(t)})
+	}
+	return out, phases
 }
 
 // expo draws a unit-mean exponential variate.

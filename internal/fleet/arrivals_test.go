@@ -2,6 +2,8 @@ package fleet
 
 import (
 	"testing"
+
+	"repro/internal/rng"
 )
 
 func u() []string { return []string{"A", "B", "C"} }
@@ -73,15 +75,41 @@ func TestTraceArrivalsSortedAndValidated(t *testing.T) {
 		{Name: "B", Cycle: 500},
 		{Name: "A", Cycle: 100},
 	}}
-	arr, err := cfg.Generate(nil)
+	arr, err := cfg.Generate(u())
 	if err != nil {
 		t.Fatal(err)
 	}
 	if arr[0].Name != "A" || arr[1].Name != "B" {
 		t.Fatalf("trace not sorted by cycle: %v", arr)
 	}
-	if _, err := (ArrivalConfig{Kind: Trace}).Generate(nil); err == nil {
+	if _, err := (ArrivalConfig{Kind: Trace}).Generate(u()); err == nil {
 		t.Fatal("accepted empty trace")
+	}
+}
+
+// TestTraceArrivalsRejectBadEntries guards the up-front validation:
+// unknown or empty benchmark names and stray Poisson parameters fail in
+// Generate with the offending entry named, not later inside the fleet
+// run with a confusing error.
+func TestTraceArrivalsRejectBadEntries(t *testing.T) {
+	good := []Arrival{{Name: "A", Cycle: 0}}
+	if _, err := (ArrivalConfig{Kind: Trace, Trace: []Arrival{{Name: "nope", Cycle: 0}}}).Generate(u()); err == nil {
+		t.Fatal("accepted a trace naming an unknown benchmark")
+	}
+	if _, err := (ArrivalConfig{Kind: Trace, Trace: []Arrival{{Name: "", Cycle: 0}}}).Generate(u()); err == nil {
+		t.Fatal("accepted a trace entry with an empty name")
+	}
+	if _, err := (ArrivalConfig{Kind: Trace, Trace: good}).Generate(nil); err == nil {
+		t.Fatal("accepted a trace with no universe to validate against")
+	}
+	if _, err := (ArrivalConfig{Kind: Trace, Trace: good, Jobs: 5}).Generate(u()); err == nil {
+		t.Fatal("accepted Jobs set alongside a trace")
+	}
+	if _, err := (ArrivalConfig{Kind: Trace, Trace: good, Rate: 1}).Generate(u()); err == nil {
+		t.Fatal("accepted Rate set alongside a trace")
+	}
+	if _, err := (ArrivalConfig{Kind: Trace, Trace: good}).Generate(u()); err != nil {
+		t.Fatalf("rejected a valid trace: %v", err)
 	}
 }
 
@@ -107,6 +135,53 @@ func TestArrivalConfigRejectsBadInputs(t *testing.T) {
 	}
 	if _, err := (ArrivalConfig{Kind: Poisson, Jobs: 5, Rate: 1}).Generate(nil); err == nil {
 		t.Fatal("accepted empty universe")
+	}
+}
+
+// TestBurstyArrivalsLandInOnPhases drives the generator directly and
+// asserts every arrival falls inside one of the ON intervals the
+// process materialized — none leak into OFF gaps (the carry-across-gap
+// logic's contract). Cycles are floored floats, so the phase-start
+// comparison allows one cycle of truncation slack; OFF gaps average
+// tens of thousands of cycles, so the slack cannot mask a real leak.
+func TestBurstyArrivalsLandInOnPhases(t *testing.T) {
+	cfg := ArrivalConfig{Kind: Bursty, Jobs: 300, Rate: 1, Seed: 17}.Resolved()
+	stream := rng.NewStream(rng.Hash2(cfg.Seed, 0xf1ee7))
+	arr, phases := cfg.burstyGen(stream, u())
+	if len(arr) != 300 {
+		t.Fatalf("len = %d", len(arr))
+	}
+	if len(phases) < 2 {
+		t.Fatalf("only %d ON phases over 300 arrivals", len(phases))
+	}
+	for i, a := range arr {
+		inside := false
+		for _, ph := range phases {
+			if float64(a.Cycle) >= ph.start-1 && float64(a.Cycle) <= ph.end {
+				inside = true
+				break
+			}
+		}
+		if !inside {
+			t.Fatalf("arrival %d at cycle %d lands outside every ON phase %v", i, a.Cycle, phases)
+		}
+	}
+}
+
+// TestResolvedFillsBurstDefaults pins the documented fallbacks the CLI
+// header reports.
+func TestResolvedFillsBurstDefaults(t *testing.T) {
+	r := ArrivalConfig{Kind: Bursty, Jobs: 10, Rate: 0.5}.Resolved()
+	if r.BurstRate != 2 || r.MeanOn != DefaultMeanOn || r.MeanOff != DefaultMeanOff {
+		t.Fatalf("resolved = %+v", r)
+	}
+	explicit := ArrivalConfig{Kind: Bursty, Jobs: 10, Rate: 0.5, BurstRate: 9, MeanOn: 1, MeanOff: 2}.Resolved()
+	if explicit.BurstRate != 9 || explicit.MeanOn != 1 || explicit.MeanOff != 2 {
+		t.Fatalf("explicit values overridden: %+v", explicit)
+	}
+	p := ArrivalConfig{Kind: Poisson, Jobs: 10, Rate: 0.5}
+	if r := p.Resolved(); r.BurstRate != 0 || r.MeanOn != 0 || r.MeanOff != 0 {
+		t.Fatalf("poisson config changed by Resolved: %+v", r)
 	}
 }
 

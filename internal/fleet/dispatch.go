@@ -9,11 +9,16 @@ import (
 )
 
 // formGroup pops the next co-run group from the live queue (jobs that
-// have arrived and are not yet dispatched, FIFO order). It returns the
-// members and whether the windowed ILP made the choice.
+// have arrived and are not yet dispatched, FIFO order) for a device of
+// type t. It returns the members and whether the windowed ILP made the
+// choice.
 //
-// Serial and FCFS reproduce the paper's baselines online. The ILP
-// policies adapt the offline matcher to the arrival setting:
+// Serial and FCFS reproduce the paper's baselines online; they ignore
+// the device type (naive placement). The ILP policies adapt the offline
+// matcher to the arrival setting and are placement-aware: classes and
+// the interference matrix are the ones calibrated on type t's hardware,
+// so the same queue can yield different groups for different device
+// generations:
 //
 //   - shallow queue (fewer than GreedyBelow waiting): greedy formation
 //     seeded with the oldest job, adding whichever waiting job
@@ -26,7 +31,7 @@ import (
 //     schedulable guards against starvation — the ILP alone would
 //     happily strand an awkward class forever while fresher arrivals
 //     overtake it.
-func (f *Fleet) formGroup(queue *[]*job) (members []*job, usedILP bool) {
+func (f *Fleet) formGroup(queue *[]*job, t int) (members []*job, usedILP bool) {
 	q := *queue
 	switch f.cfg.Policy {
 	case sched.Serial:
@@ -42,19 +47,21 @@ func (f *Fleet) formGroup(queue *[]*job) (members []*job, usedILP bool) {
 	}
 	// ILP / ILPSMRA.
 	if len(q) >= f.cfg.GreedyBelow && len(q) >= f.cfg.NC {
-		if g := f.formILPGroup(queue); g != nil {
+		if g := f.formILPGroup(queue, t); g != nil {
 			return g, true
 		}
 	}
-	return f.formGreedyGroup(queue), false
+	return f.formGreedyGroup(queue, t), false
 }
 
 // formGreedyGroup starts from the oldest waiting job and repeatedly
-// adds the job whose inclusion yields the highest pattern efficiency.
-// Candidates come from the same window prefix the ILP would see, so a
-// deep queue does not make dispatch linear in the backlog.
-func (f *Fleet) formGreedyGroup(queue *[]*job) []*job {
+// adds the job whose inclusion yields the highest pattern efficiency on
+// device type t's interference matrix. Candidates come from the same
+// window prefix the ILP would see, so a deep queue does not make
+// dispatch linear in the backlog.
+func (f *Fleet) formGreedyGroup(queue *[]*job, t int) []*job {
 	q := *queue
+	matrix := f.types[t].Matrix()
 	window := q
 	if len(window) > f.cfg.Window {
 		window = window[:f.cfg.Window]
@@ -68,7 +75,7 @@ func (f *Fleet) formGreedyGroup(queue *[]*job) []*job {
 			if taken[cand] {
 				continue
 			}
-			eff := match.Efficiency(f.pipe.Matrix(), pattern(members, cand))
+			eff := match.Efficiency(matrix, pattern(members, cand, t))
 			// Strict > keeps the earliest-arrived candidate on ties.
 			if eff > bestEff {
 				best, bestEff = cand, eff
@@ -84,27 +91,28 @@ func (f *Fleet) formGreedyGroup(queue *[]*job) []*job {
 	return members
 }
 
-// formILPGroup solves the matcher over the queue's Window-prefix and
-// materializes one group. It returns nil when the ILP cannot produce a
-// pattern containing the oldest job's class (the caller falls back to
-// greedy formation).
-func (f *Fleet) formILPGroup(queue *[]*job) []*job {
+// formILPGroup solves the matcher over the queue's Window-prefix class
+// composition as seen by device type t and materializes one group. It
+// returns nil when the ILP cannot produce a pattern containing the
+// oldest job's class (the caller falls back to greedy formation).
+func (f *Fleet) formILPGroup(queue *[]*job, t int) []*job {
 	q := *queue
+	matrix := f.types[t].Matrix()
 	window := q
 	if len(window) > f.cfg.Window {
 		window = window[:f.cfg.Window]
 	}
 	var counts [classify.NumClasses]int
 	for _, j := range window {
-		counts[j.app.Class]++
+		counts[j.apps[t].Class]++
 	}
-	res, err := match.Solve(f.pipe.Matrix(), counts, f.cfg.NC)
+	res, err := match.Solve(matrix, counts, f.cfg.NC)
 	if err != nil {
 		return nil
 	}
 	// Among the patterns the ILP selected, take the most efficient one
 	// that can dispatch the oldest waiting job.
-	oldest := q[0].app.Class
+	oldest := q[0].apps[t].Class
 	best := -1
 	for k, n := range res.Counts {
 		if n == 0 || res.Patterns[k].Count(oldest) == 0 {
@@ -123,7 +131,7 @@ func (f *Fleet) formILPGroup(queue *[]*job) []*job {
 	for _, cls := range res.Patterns[best] {
 		found := false
 		for _, cand := range window {
-			if cand.app.Class == cls && !taken[cand] {
+			if cand.apps[t].Class == cls && !taken[cand] {
 				members = append(members, cand)
 				taken[cand] = true
 				found = true
@@ -138,13 +146,14 @@ func (f *Fleet) formILPGroup(queue *[]*job) []*job {
 	return members
 }
 
-// pattern builds the sorted class multiset of members plus one extra.
-func pattern(members []*job, extra *job) match.Pattern {
+// pattern builds the sorted class multiset of members plus one extra,
+// with classes as device type t sees them.
+func pattern(members []*job, extra *job, t int) match.Pattern {
 	p := make(match.Pattern, 0, len(members)+1)
 	for _, m := range members {
-		p = append(p, m.app.Class)
+		p = append(p, m.apps[t].Class)
 	}
-	p = append(p, extra.app.Class)
+	p = append(p, extra.apps[t].Class)
 	sort.Slice(p, func(i, j int) bool { return p[i] < p[j] })
 	return p
 }

@@ -22,6 +22,18 @@
 //   - per-job latency (wait, turnaround) and per-device utilization are
 //     accounted and summarized with stats.Summarize (report.go).
 //
+// The fleet may be heterogeneous: the roster (Config.Devices) is a list
+// of DeviceSpec entries, each contributing Count devices of one device
+// type backed by its own calibrated core.Pipeline. Classification,
+// interference matrices and solo profiles are all per device type —
+// the same application can fall in different classes on different
+// generations — so the dispatcher is placement-aware: when a device
+// frees, group formation scores candidate groups with that device
+// type's matrix, and the event loop's completion lower bounds use that
+// device's peak issue rate and solo profiles. Devices are offered work
+// fastest-first (descending peak IPC, ties by device index), so heavy
+// backlogs drain through the big devices first.
+//
 // Everything is a pure function of the seed and configuration: two runs
 // with the same inputs produce byte-identical summaries, regardless of
 // how the host schedules the worker goroutines.
@@ -29,16 +41,28 @@ package fleet
 
 import (
 	"fmt"
+	"sort"
+	"strings"
 
 	"repro/internal/core"
 	"repro/internal/sched"
 )
 
+// DeviceSpec is one roster entry: Count identical devices of the type
+// calibrated by Pipe. The pipeline carries everything placement needs —
+// device configuration, solo profiles, classes and the interference
+// matrix measured on that hardware generation.
+type DeviceSpec struct {
+	Pipe  *core.Pipeline
+	Count int
+}
+
 // Config parameterizes the fleet.
 type Config struct {
-	// Devices is the number of simulated GPUs (all share the pipeline's
-	// device configuration).
-	Devices int
+	// Devices is the fleet roster. Each entry contributes Count devices
+	// of one calibrated device type; a single entry is the homogeneous
+	// fleet of earlier revisions.
+	Devices []DeviceSpec
 	// NC is the co-run group size (applications per device). Serial
 	// policy forces 1.
 	NC int
@@ -80,10 +104,41 @@ func (c Config) withDefaults() Config {
 	return c
 }
 
+// TotalDevices sums the roster counts.
+func (c Config) TotalDevices() int {
+	n := 0
+	for _, s := range c.Devices {
+		n += s.Count
+	}
+	return n
+}
+
+// RosterString renders the roster as the CLI spells it, e.g.
+// "2xGTX480-60SM,2xSmall-8SM".
+func (c Config) RosterString() string {
+	parts := make([]string, len(c.Devices))
+	for i, s := range c.Devices {
+		name := "?"
+		if s.Pipe != nil {
+			name = s.Pipe.Config().Name
+		}
+		parts[i] = fmt.Sprintf("%dx%s", s.Count, name)
+	}
+	return strings.Join(parts, ",")
+}
+
 // validate rejects impossible configurations.
 func (c Config) validate() error {
-	if c.Devices < 1 {
-		return fmt.Errorf("fleet: need at least one device (got %d)", c.Devices)
+	if len(c.Devices) == 0 || c.TotalDevices() < 1 {
+		return fmt.Errorf("fleet: need at least one device in the roster")
+	}
+	for i, s := range c.Devices {
+		if s.Count < 1 {
+			return fmt.Errorf("fleet: roster entry %d has count %d", i, s.Count)
+		}
+		if s.Pipe == nil || s.Pipe.Scheduler() == nil {
+			return fmt.Errorf("fleet: roster entry %d has an uninitialized pipeline", i)
+		}
 	}
 	if c.NC < 1 {
 		return fmt.Errorf("fleet: group size %d", c.NC)
@@ -99,30 +154,80 @@ func (c Config) validate() error {
 	default:
 		return fmt.Errorf("fleet: unknown policy %v", c.Policy)
 	}
+	if c.Policy == sched.ILP || c.Policy == sched.ILPSMRA {
+		for i, s := range c.Devices {
+			if s.Pipe.Matrix() == nil {
+				return fmt.Errorf("fleet: %v policy requires an interference matrix (roster entry %d)", c.Policy, i)
+			}
+		}
+	}
+	// Every device type must be calibrated over the same application
+	// universe — names AND kernel parameters (a same-named workload with
+	// different tuning is a different job), which is exactly what
+	// core.Fingerprint hashes.
+	base := core.Fingerprint(c.Devices[0].Pipe.Apps())
+	for i, s := range c.Devices[1:] {
+		if fp := core.Fingerprint(s.Pipe.Apps()); fp != base {
+			return fmt.Errorf("fleet: roster entry %d is calibrated over a different universe (fingerprint %s, entry 0 has %s)",
+				i+1, fp, base)
+		}
+	}
 	return nil
 }
 
-// Fleet dispatches an arrival stream onto N simulated devices using an
-// initialized pipeline's classes, interference matrix and scheduler.
+// Fleet dispatches an arrival stream onto the roster's devices using
+// each device type's calibrated classes, interference matrix and
+// scheduler.
 type Fleet struct {
-	pipe *core.Pipeline
-	cfg  Config
+	cfg Config
+	// types holds one pipeline per roster entry (device type).
+	types []*core.Pipeline
+	// devType maps flat device index -> type index; devices are
+	// numbered in roster order.
+	devType []int
+	// order is the placement scan order: device indices sorted by
+	// descending peak IPC (ties by index), so idle fast devices are
+	// offered work before idle slow ones.
+	order []int
 }
 
-// New builds a fleet over an initialized pipeline.
-func New(pipe *core.Pipeline, cfg Config) (*Fleet, error) {
+// New builds a fleet over the configured roster.
+func New(cfg Config) (*Fleet, error) {
 	cfg = cfg.withDefaults()
 	if err := cfg.validate(); err != nil {
 		return nil, err
 	}
-	if pipe == nil || pipe.Scheduler() == nil {
-		return nil, fmt.Errorf("fleet: pipeline not initialized")
+	f := &Fleet{cfg: cfg}
+	for t, s := range cfg.Devices {
+		f.types = append(f.types, s.Pipe)
+		for i := 0; i < s.Count; i++ {
+			f.devType = append(f.devType, t)
+		}
 	}
-	if (cfg.Policy == sched.ILP || cfg.Policy == sched.ILPSMRA) && pipe.Matrix() == nil {
-		return nil, fmt.Errorf("fleet: %v policy requires an interference matrix", cfg.Policy)
+	f.order = make([]int, len(f.devType))
+	for i := range f.order {
+		f.order[i] = i
 	}
-	return &Fleet{pipe: pipe, cfg: cfg}, nil
+	// Stable sort keeps ascending device index within equal peak IPC.
+	sort.SliceStable(f.order, func(a, b int) bool {
+		pa := f.types[f.devType[f.order[a]]].Config().PeakIPC()
+		pb := f.types[f.devType[f.order[b]]].Config().PeakIPC()
+		return pa > pb
+	})
+	return f, nil
+}
+
+// NewHomogeneous builds a fleet of count identical devices over one
+// calibrated pipeline — the single-generation special case.
+func NewHomogeneous(pipe *core.Pipeline, count int, cfg Config) (*Fleet, error) {
+	cfg.Devices = []DeviceSpec{{Pipe: pipe, Count: count}}
+	return New(cfg)
 }
 
 // Config returns the resolved configuration.
 func (f *Fleet) Config() Config { return f.cfg }
+
+// deviceName returns the config name of device d's type.
+func (f *Fleet) deviceName(d int) string {
+	return f.types[f.devType[d]].Config().Name
+}

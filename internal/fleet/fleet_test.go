@@ -5,38 +5,60 @@ import (
 	"sync"
 	"testing"
 
+	"repro/internal/config"
 	"repro/internal/core"
 	"repro/internal/sched"
 	"repro/internal/testkit"
 )
 
+// pipes shares calibrated pipelines across tests, keyed by config name
+// and built lazily so a targeted `go test -run` only pays for the
+// device configs it touches. Package tests run sequentially (none call
+// t.Parallel), so a plain map with a mutex suffices.
 var (
-	pipeOnce sync.Once
-	pipe     *core.Pipeline
-	pipeErr  error
+	pipeMu sync.Mutex
+	pipes  = map[string]*core.Pipeline{}
 )
 
-// testPipeline initializes one shared pipeline over the miniature
-// testkit universe (4 apps, 8-SM device) — the expensive part of every
-// fleet test.
-func testPipeline(t *testing.T) *core.Pipeline {
+// pipelineFor initializes (once, shared across tests) a pipeline for
+// one device configuration over the miniature testkit universe — the
+// expensive part of every fleet test. The mini kernels are small enough
+// that even the full 60-SM device calibrates in well under a second.
+func pipelineFor(t *testing.T, cfg config.GPUConfig) *core.Pipeline {
 	t.Helper()
-	pipeOnce.Do(func() {
-		p, err := core.New(testkit.Config())
-		if err != nil {
-			pipeErr = err
-			return
-		}
-		if err := p.Init(testkit.Universe()); err != nil {
-			pipeErr = err
-			return
-		}
-		pipe = p
-	})
-	if pipeErr != nil {
-		t.Fatal(pipeErr)
+	pipeMu.Lock()
+	defer pipeMu.Unlock()
+	if p, ok := pipes[cfg.Name]; ok {
+		return p
 	}
-	return pipe
+	p, err := core.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Init(testkit.Universe()); err != nil {
+		t.Fatal(err)
+	}
+	pipes[cfg.Name] = p
+	return p
+}
+
+// testPipeline returns the default (Small-8SM) test pipeline.
+func testPipeline(t *testing.T) *core.Pipeline {
+	return pipelineFor(t, testkit.Config())
+}
+
+// tinyConfig is a second, slower device generation for heterogeneous
+// tests: half the SMs of the Small test device.
+func tinyConfig() config.GPUConfig {
+	c := config.Small()
+	c.Name = "Tiny-4SM"
+	c.NumSMs = 4
+	return c
+}
+
+// homo wraps the single-type roster the pre-heterogeneity tests used.
+func homo(pipe *core.Pipeline, count int) []DeviceSpec {
+	return []DeviceSpec{{Pipe: pipe, Count: count}}
 }
 
 func testNames() []string {
@@ -54,7 +76,7 @@ func testArrivals(t *testing.T, jobs int, seed uint64) []Arrival {
 
 func TestFleetRunAccountsEveryJob(t *testing.T) {
 	p := testPipeline(t)
-	f, err := New(p, Config{Devices: 2, NC: 2, Policy: sched.ILP})
+	f, err := New(Config{Devices: homo(p, 2), NC: 2, Policy: sched.ILP})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -97,7 +119,7 @@ func TestFleetDeterminism(t *testing.T) {
 	arr := testArrivals(t, 16, 3)
 	var summaries []string
 	for i := 0; i < 2; i++ {
-		f, err := New(p, Config{Devices: 3, NC: 2, Policy: sched.ILPSMRA})
+		f, err := New(Config{Devices: homo(p, 3), NC: 2, Policy: sched.ILPSMRA})
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -109,6 +131,150 @@ func TestFleetDeterminism(t *testing.T) {
 	}
 	if summaries[0] != summaries[1] {
 		t.Fatalf("summaries differ:\n--- run 1 ---\n%s--- run 2 ---\n%s", summaries[0], summaries[1])
+	}
+	// The SM-moves field is part of the stable summary shape, whatever
+	// its value, so ILPSMRA and ILP outputs stay line-diffable.
+	if !strings.Contains(summaries[0], "SM moves") {
+		t.Fatalf("summary missing the SM moves field:\n%s", summaries[0])
+	}
+}
+
+// TestFleetHeterogeneousDeterminism extends the reproducibility
+// contract to mixed rosters: same seed + same roster (two device
+// generations with independent calibrations) must give byte-identical
+// summaries run to run.
+func TestFleetHeterogeneousDeterminism(t *testing.T) {
+	small := pipelineFor(t, testkit.Config())
+	tiny := pipelineFor(t, tinyConfig())
+	arr := testArrivals(t, 16, 9)
+	var summaries []string
+	for i := 0; i < 2; i++ {
+		f, err := New(Config{
+			Devices: []DeviceSpec{{Pipe: small, Count: 1}, {Pipe: tiny, Count: 2}},
+			NC:      2,
+			Policy:  sched.ILPSMRA,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := f.Run(arr)
+		if err != nil {
+			t.Fatal(err)
+		}
+		summaries = append(summaries, res.Summary())
+	}
+	if summaries[0] != summaries[1] {
+		t.Fatalf("mixed-roster summaries differ:\n--- run 1 ---\n%s--- run 2 ---\n%s", summaries[0], summaries[1])
+	}
+	for _, want := range []string{"1xSmall-8SM,2xTiny-4SM", "d0[Small-8SM]=", "d1[Tiny-4SM]=", "d2[Tiny-4SM]=", "SM moves"} {
+		if !strings.Contains(summaries[0], want) {
+			t.Fatalf("mixed-roster summary missing %q:\n%s", want, summaries[0])
+		}
+	}
+}
+
+// TestFleetHeterogeneousPlacement checks the structural pieces of
+// placement-aware dispatch on a mixed roster: every job runs on a real
+// device, device labels follow the roster, and the faster generation is
+// offered work first when everything arrives at once.
+func TestFleetHeterogeneousPlacement(t *testing.T) {
+	small := pipelineFor(t, testkit.Config())
+	tiny := pipelineFor(t, tinyConfig())
+	f, err := New(Config{
+		Devices: []DeviceSpec{{Pipe: tiny, Count: 1}, {Pipe: small, Count: 1}},
+		NC:      2,
+		Policy:  sched.FCFS,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The roster lists the slow device first, so placement order must
+	// override roster order: with a single group of work, the faster
+	// Small-8SM device (index 1) takes it.
+	arr := []Arrival{{Name: "miniA", Cycle: 0}, {Name: "miniC", Cycle: 0}}
+	res, err := f.Run(arr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, j := range res.Jobs {
+		if j.Device != 1 {
+			t.Errorf("job %d ran on device %d (%s), want the faster device 1",
+				j.ID, j.Device, res.DeviceConfig[j.Device])
+		}
+	}
+	if res.DeviceConfig[0] != "Tiny-4SM" || res.DeviceConfig[1] != "Small-8SM" {
+		t.Fatalf("device configs = %v", res.DeviceConfig)
+	}
+}
+
+// TestFleetRejectsMismatchedUniverses guards roster validation: device
+// types calibrated over different application universes cannot form one
+// fleet.
+func TestFleetRejectsMismatchedUniverses(t *testing.T) {
+	small := pipelineFor(t, testkit.Config())
+	other, err := core.New(tinyConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := other.Init(testkit.Universe()[:2]); err != nil {
+		t.Fatal(err)
+	}
+	_, err = New(Config{
+		Devices: []DeviceSpec{{Pipe: small, Count: 1}, {Pipe: other, Count: 1}},
+		NC:      2,
+		Policy:  sched.FCFS,
+	})
+	if err == nil {
+		t.Fatal("accepted a roster with mismatched universes")
+	}
+}
+
+// TestLowerBoundCyclesSound asserts the event loop's pipelining
+// invariant on both device generations: for every universe member (and
+// every pair), dispatch + lowerBoundCycles never exceeds the cycle the
+// group actually completes at. This is the guard against the
+// warp-vs-thread instruction unit trap — PeakIPC counts issue slots
+// (warp instructions per cycle), so a bound computed from thread
+// instructions would be ~WarpSize too high and the loop would commit to
+// events that precede the group's real completion.
+func TestLowerBoundCyclesSound(t *testing.T) {
+	for _, cfg := range []config.GPUConfig{config.GTX480(), config.Small()} {
+		p := pipelineFor(t, cfg)
+		f, err := New(Config{Devices: homo(p, 1), NC: 2, Policy: sched.FCFS})
+		if err != nil {
+			t.Fatal(err)
+		}
+		names := testNames()
+		for i := 0; i < len(names); i++ {
+			for j := i - 1; j < len(names); j++ {
+				var arr []Arrival
+				if j < i {
+					arr = []Arrival{{Name: names[i], Cycle: 0}} // solo
+				} else {
+					arr = []Arrival{{Name: names[i], Cycle: 0}, {Name: names[j], Cycle: 0}}
+				}
+				jobs, err := f.resolve(arr)
+				if err != nil {
+					t.Fatal(err)
+				}
+				bound := f.lowerBoundCycles(jobs, 0)
+				g := make(sched.Group, len(jobs))
+				for k, m := range jobs {
+					g[k] = m.apps[0]
+				}
+				rep, err := p.Scheduler().RunGroup(g, sched.FCFS)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if bound > rep.Cycles {
+					t.Errorf("%s: group %v bound %d exceeds actual completion %d",
+						cfg.Name, arr, bound, rep.Cycles)
+				}
+				if bound == 0 {
+					t.Errorf("%s: group %v has a vacuous zero bound", cfg.Name, arr)
+				}
+			}
+		}
 	}
 }
 
@@ -122,7 +288,7 @@ func TestFleetSpeculationDoesNotChangeResults(t *testing.T) {
 	arr := testArrivals(t, 16, 3)
 	var summaries []string
 	for _, spec := range []bool{false, true} {
-		f, err := New(p, Config{Devices: 3, NC: 2, Policy: sched.ILP, forceSpec: spec})
+		f, err := New(Config{Devices: homo(p, 3), NC: 2, Policy: sched.ILP, forceSpec: spec})
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -154,7 +320,7 @@ func TestFleetSeedChangesArrivals(t *testing.T) {
 
 func TestFleetUsesAllDevices(t *testing.T) {
 	p := testPipeline(t)
-	f, err := New(p, Config{Devices: 2, NC: 2, Policy: sched.FCFS})
+	f, err := New(Config{Devices: homo(p, 2), NC: 2, Policy: sched.FCFS})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -181,7 +347,7 @@ func TestFleetUsesAllDevices(t *testing.T) {
 
 func TestFleetSerialRunsAlone(t *testing.T) {
 	p := testPipeline(t)
-	f, err := New(p, Config{Devices: 1, NC: 3, Policy: sched.Serial})
+	f, err := New(Config{Devices: homo(p, 1), NC: 3, Policy: sched.Serial})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -201,7 +367,7 @@ func TestFleetSerialRunsAlone(t *testing.T) {
 // not the greedy path, forms groups.
 func TestFleetDeepQueueUsesILP(t *testing.T) {
 	p := testPipeline(t)
-	f, err := New(p, Config{Devices: 1, NC: 2, Policy: sched.ILP})
+	f, err := New(Config{Devices: homo(p, 1), NC: 2, Policy: sched.ILP})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -220,23 +386,29 @@ func TestFleetDeepQueueUsesILP(t *testing.T) {
 
 func TestFleetRejectsBadConfig(t *testing.T) {
 	p := testPipeline(t)
-	if _, err := New(p, Config{Devices: 0, NC: 2, Policy: sched.FCFS}); err == nil {
-		t.Fatal("accepted zero devices")
+	if _, err := New(Config{NC: 2, Policy: sched.FCFS}); err == nil {
+		t.Fatal("accepted an empty roster")
 	}
-	if _, err := New(p, Config{Devices: 1, NC: 2, Policy: sched.Policy(99)}); err == nil {
+	if _, err := New(Config{Devices: homo(p, 0), NC: 2, Policy: sched.FCFS}); err == nil {
+		t.Fatal("accepted a zero-count roster entry")
+	}
+	if _, err := New(Config{Devices: []DeviceSpec{{Pipe: nil, Count: 1}}, NC: 2, Policy: sched.FCFS}); err == nil {
+		t.Fatal("accepted a nil pipeline")
+	}
+	if _, err := New(Config{Devices: homo(p, 1), NC: 2, Policy: sched.Policy(99)}); err == nil {
 		t.Fatal("accepted unknown policy")
 	}
-	if _, err := New(p, Config{Devices: 1, NC: 2, Policy: sched.ILP, Window: -1}); err == nil {
+	if _, err := New(Config{Devices: homo(p, 1), NC: 2, Policy: sched.ILP, Window: -1}); err == nil {
 		t.Fatal("accepted negative ILP window")
 	}
-	if _, err := New(p, Config{Devices: 1, NC: 2, Policy: sched.ILP, GreedyBelow: -1}); err == nil {
+	if _, err := New(Config{Devices: homo(p, 1), NC: 2, Policy: sched.ILP, GreedyBelow: -1}); err == nil {
 		t.Fatal("accepted negative greedy threshold")
 	}
 }
 
 func TestFleetRejectsUnknownBenchmark(t *testing.T) {
 	p := testPipeline(t)
-	f, err := New(p, Config{Devices: 1, NC: 2, Policy: sched.FCFS})
+	f, err := New(Config{Devices: homo(p, 1), NC: 2, Policy: sched.FCFS})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -247,7 +419,7 @@ func TestFleetRejectsUnknownBenchmark(t *testing.T) {
 
 func TestSummaryMentionsEveryDevice(t *testing.T) {
 	p := testPipeline(t)
-	f, err := New(p, Config{Devices: 2, NC: 2, Policy: sched.FCFS})
+	f, err := New(Config{Devices: homo(p, 2), NC: 2, Policy: sched.FCFS})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -256,9 +428,30 @@ func TestSummaryMentionsEveryDevice(t *testing.T) {
 		t.Fatal(err)
 	}
 	s := res.Summary()
-	for _, want := range []string{"d0=", "d1=", "throughput", "turnaround"} {
+	for _, want := range []string{"d0[Small-8SM]=", "d1[Small-8SM]=", "[2xSmall-8SM]", "throughput", "turnaround", "SM moves"} {
 		if !strings.Contains(s, want) {
 			t.Fatalf("summary missing %q:\n%s", want, s)
+		}
+	}
+}
+
+func TestParseRoster(t *testing.T) {
+	entries, err := ParseRoster("2xGTX480, 2xSmall-8SM")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 2 || entries[0].Count != 2 || entries[1].Count != 2 {
+		t.Fatalf("entries = %+v", entries)
+	}
+	if entries[0].Name != "GTX480" || entries[1].Name != "Small-8SM" {
+		t.Fatalf("entries = %+v", entries)
+	}
+	if _, err := ParseRoster("Small"); err != nil {
+		t.Fatalf("bare name rejected: %v", err)
+	}
+	for _, bad := range []string{"", "0xGTX480", "2xNoSuchGPU", "GTX480,,Small"} {
+		if _, err := ParseRoster(bad); err == nil {
+			t.Fatalf("accepted roster %q", bad)
 		}
 	}
 }

@@ -32,7 +32,11 @@ func (j JobRecord) Turnaround() uint64 { return j.Complete - j.Arrival }
 
 // Result is a whole fleet run's accounting.
 type Result struct {
-	Policy  sched.Policy
+	Policy sched.Policy
+	// Roster is the fleet composition as the CLI spells it, e.g.
+	// "2xGTX480-60SM,2xSmall-8SM".
+	Roster string
+	// Devices is the total device count across the roster.
 	Devices int
 	NC      int
 	// Jobs holds every job in arrival order.
@@ -43,6 +47,9 @@ type Result struct {
 	ThreadInstructions uint64
 	// DeviceBusy is per-device busy cycles.
 	DeviceBusy []uint64
+	// DeviceConfig is each device's configuration name, indexed like
+	// DeviceBusy (heterogeneous rosters mix names).
+	DeviceConfig []string
 	// Groups counts dispatches; GreedyGroups/ILPGroups split them by
 	// how the group was formed.
 	Groups       int
@@ -106,23 +113,29 @@ func (r Result) WaitSummary() stats.Summary { return stats.Summarize(r.Waits()) 
 // TurnaroundSummary summarizes turnaround (kilocycles).
 func (r Result) TurnaroundSummary() stats.Summary { return stats.Summarize(r.Turnarounds()) }
 
+// deviceLabel names device d's configuration ("?" when unknown).
+func (r Result) deviceLabel(d int) string {
+	if d < len(r.DeviceConfig) {
+		return r.DeviceConfig[d]
+	}
+	return "?"
+}
+
 // Summary renders the run as a deterministic multi-line report: two
 // runs with the same seed and configuration produce byte-identical
 // output (the reproducibility contract cmd/fleet and the tests rely
 // on).
 func (r Result) Summary() string {
 	var b strings.Builder
-	fmt.Fprintf(&b, "fleet: policy=%v devices=%d nc=%d jobs=%d\n", r.Policy, r.Devices, r.NC, len(r.Jobs))
+	fmt.Fprintf(&b, "fleet: policy=%v devices=%d [%s] nc=%d jobs=%d\n", r.Policy, r.Devices, r.Roster, r.NC, len(r.Jobs))
 	fmt.Fprintf(&b, "makespan    %d cycles\n", r.Makespan)
 	fmt.Fprintf(&b, "throughput  %.2f instructions/cycle\n", r.Throughput())
-	fmt.Fprintf(&b, "groups      %d (greedy %d, ilp %d)", r.Groups, r.GreedyGroups, r.ILPGroups)
-	if r.SMMoves > 0 {
-		fmt.Fprintf(&b, ", %d SM moves", r.SMMoves)
-	}
-	b.WriteByte('\n')
+	// SM moves is printed unconditionally — zero for non-SMRA policies —
+	// so summaries keep one shape across policies and stay line-diffable.
+	fmt.Fprintf(&b, "groups      %d (greedy %d, ilp %d), %d SM moves\n", r.Groups, r.GreedyGroups, r.ILPGroups, r.SMMoves)
 	b.WriteString("device util")
 	for d := range r.DeviceBusy {
-		fmt.Fprintf(&b, " d%d=%.1f%%", d, 100*r.Utilization(d))
+		fmt.Fprintf(&b, " d%d[%s]=%.1f%%", d, r.deviceLabel(d), 100*r.Utilization(d))
 	}
 	fmt.Fprintf(&b, " mean=%.1f%%\n", 100*r.MeanUtilization())
 	fmt.Fprintf(&b, "wait        (kcycles) %v\n", r.WaitSummary())

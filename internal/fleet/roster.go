@@ -1,0 +1,76 @@
+package fleet
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"repro/internal/config"
+	"repro/internal/core"
+	"repro/internal/kernel"
+)
+
+// RosterEntry is one parsed roster element: Count devices of the device
+// configuration registered under Name (see config.ByName).
+type RosterEntry struct {
+	Name  string
+	Count int
+}
+
+// ParseRoster parses the CLI roster spelling, e.g.
+// "2xGTX480,2xSmall-8SM": comma-separated COUNTxNAME elements, where a
+// bare NAME means one device. Names are resolved (and validated)
+// against config.ByName.
+func ParseRoster(s string) ([]RosterEntry, error) {
+	if strings.TrimSpace(s) == "" {
+		return nil, fmt.Errorf("fleet: empty roster")
+	}
+	var out []RosterEntry
+	for _, elem := range strings.Split(s, ",") {
+		elem = strings.TrimSpace(elem)
+		if elem == "" {
+			return nil, fmt.Errorf("fleet: empty roster element in %q", s)
+		}
+		count := 1
+		name := elem
+		if cStr, rest, ok := strings.Cut(elem, "x"); ok {
+			if n, err := strconv.Atoi(cStr); err == nil {
+				if n < 1 {
+					return nil, fmt.Errorf("fleet: roster element %q: count must be at least 1", elem)
+				}
+				count, name = n, rest
+			}
+		}
+		if _, err := config.ByName(name); err != nil {
+			return nil, fmt.Errorf("fleet: roster element %q: %w", elem, err)
+		}
+		out = append(out, RosterEntry{Name: name, Count: count})
+	}
+	return out, nil
+}
+
+// BuildRoster resolves and calibrates the parsed roster over the
+// application universe: one core.Pipeline per distinct configuration
+// name (calibration is disk-cached per config name via
+// core.LoadOrInit, exactly like the homogeneous path), shared across
+// entries that repeat a name.
+func BuildRoster(entries []RosterEntry, apps []kernel.Params) ([]DeviceSpec, error) {
+	pipes := make(map[string]*core.Pipeline)
+	var out []DeviceSpec
+	for _, e := range entries {
+		cfg, err := config.ByName(e.Name)
+		if err != nil {
+			return nil, err
+		}
+		pipe, ok := pipes[cfg.Name]
+		if !ok {
+			pipe, err = core.LoadOrInit(cfg, apps)
+			if err != nil {
+				return nil, fmt.Errorf("fleet: calibrate %s: %w", cfg.Name, err)
+			}
+			pipes[cfg.Name] = pipe
+		}
+		out = append(out, DeviceSpec{Pipe: pipe, Count: e.Count})
+	}
+	return out, nil
+}

@@ -9,15 +9,20 @@ import (
 	"repro/internal/sched"
 )
 
-// job is the dispatcher's mutable per-job state.
+// job is the dispatcher's mutable per-job state. A job's class (and the
+// QueuedApp handed to the scheduler) depends on which hardware
+// generation runs it, so apps is indexed by device type.
 type job struct {
 	id       int
-	app      sched.QueuedApp
+	apps     []sched.QueuedApp
 	arrival  uint64
 	dispatch uint64
 	complete uint64
 	device   int
 }
+
+// name returns the application name (identical across device types).
+func (j *job) name() string { return j.apps[0].Params.Name }
 
 // inflight is one group executing on one device. The simulation result
 // (rep) is computed on a worker goroutine; the event loop learns the
@@ -25,6 +30,7 @@ type job struct {
 // thanks to the earliest lower bound below.
 type inflight struct {
 	device   int
+	typ      int
 	dispatch uint64
 	// earliest is a sound lower bound on the completion cycle, known at
 	// dispatch time without simulating: the device cannot retire warp
@@ -44,30 +50,36 @@ type inflight struct {
 	complete uint64
 }
 
-// lowerBoundCycles bounds a group's makespan from below without
-// simulating. Two sound bounds, take the tighter:
+// lowerBoundCycles bounds a group's makespan on device type t from
+// below without simulating. Two sound bounds, take the tighter:
 //
 //   - issue rate: every member must issue all of its warp instructions,
-//     and even owning the whole device it cannot issue more than
-//     NumSMs*SchedulersPerSM per cycle. Weak for memory-bound kernels,
-//     which run far below peak issue.
+//     and even owning the whole device it cannot issue more than that
+//     type's NumSMs*SchedulersPerSM per cycle. Weak for memory-bound
+//     kernels, which run far below peak issue. (Warp instructions, not
+//     thread instructions: PeakIPC counts issue slots, and one issued
+//     instruction covers a whole warp.)
 //   - solo profile: a member co-running on an SM partition with memory
 //     contention cannot finish faster than its solo run on the whole
-//     device. Calibration memoizes every universe member's solo
-//     profile, so Peek is free; half the solo duration leaves margin
-//     for simulator nonmonotonicities (partitioning shifts cache and
-//     DRAM row locality in both directions).
+//     device of the same type. Calibration memoizes every universe
+//     member's solo profile per type, so Peek is free; half the solo
+//     duration leaves margin for simulator nonmonotonicities
+//     (partitioning shifts cache and DRAM row locality in both
+//     directions).
 //
-// The bound's only job is to be sound and large enough that the event
-// loop can commit to other devices' completions while this group is
-// still simulating — that is where the fleet's wall-clock concurrency
-// comes from.
-func (f *Fleet) lowerBoundCycles(members []*job) uint64 {
-	peak := f.pipe.Config().PeakIPC()
+// On a heterogeneous roster the bound must come from the device that
+// will actually run the group — a big device's peak issue rate is not
+// sound for a small one. The bound's only job is to be sound and large
+// enough that the event loop can commit to other devices' completions
+// while this group is still simulating — that is where the fleet's
+// wall-clock concurrency comes from.
+func (f *Fleet) lowerBoundCycles(members []*job, t int) uint64 {
+	peak := f.types[t].Config().PeakIPC()
+	prof := f.types[t].Profiler()
 	bound := 1.0
 	for _, m := range members {
-		lb := float64(m.app.Params.TotalInstrs()) / peak
-		if r, ok := f.pipe.Profiler().Peek(m.app.Params.Name, 0); ok {
+		lb := float64(m.apps[t].Params.TotalInstrs()) / peak
+		if r, ok := prof.Peek(m.name(), 0); ok {
 			if solo := float64(r.Cycles) / 2; solo > lb {
 				lb = solo
 			}
@@ -94,19 +106,24 @@ func (f *Fleet) Run(arrivals []Arrival) (Result, error) {
 		return Result{}, err
 	}
 
+	devices := len(f.devType)
 	res := Result{
 		Policy:     f.cfg.Policy,
-		Devices:    f.cfg.Devices,
+		Roster:     f.cfg.RosterString(),
+		Devices:    devices,
 		NC:         f.cfg.NC,
-		DeviceBusy: make([]uint64, f.cfg.Devices),
+		DeviceBusy: make([]uint64, devices),
 	}
-	idle := make([]bool, f.cfg.Devices)
+	for d := range f.devType {
+		res.DeviceConfig = append(res.DeviceConfig, f.deviceName(d))
+	}
+	idle := make([]bool, devices)
 	for d := range idle {
 		idle[d] = true
 	}
 	// The pool holds one slot per device for the in-flight groups plus
 	// as many again for speculative pre-simulation, capped by the host.
-	workers := 2 * f.cfg.Devices
+	workers := 2 * devices
 	if n := runtime.NumCPU(); workers > n {
 		workers = n
 	}
@@ -132,24 +149,28 @@ func (f *Fleet) Run(arrivals []Arrival) (Result, error) {
 			queue = append(queue, jobs[nextArr])
 			nextArr++
 		}
-		// Dispatch to idle devices while work is waiting.
+		// Dispatch to idle devices while work is waiting, fastest device
+		// first: group formation is placement-aware, scoring candidates
+		// with the chosen device type's interference matrix.
 		for len(queue) > 0 {
 			d := -1
-			for i, ok := range idle {
-				if ok {
-					d = i
+			for _, cand := range f.order {
+				if idle[cand] {
+					d = cand
 					break
 				}
 			}
 			if d < 0 {
 				break
 			}
-			members, usedILP := f.formGroup(&queue)
+			t := f.devType[d]
+			members, usedILP := f.formGroup(&queue, t)
 			idle[d] = false
 			fl := &inflight{
 				device:   d,
+				typ:      t,
 				dispatch: now,
-				earliest: now + f.lowerBoundCycles(members),
+				earliest: now + f.lowerBoundCycles(members, t),
 				jobs:     members,
 				ilp:      usedILP,
 				done:     make(chan struct{}),
@@ -160,9 +181,9 @@ func (f *Fleet) Run(arrivals []Arrival) (Result, error) {
 				defer func() { <-sem }()
 				g := make(sched.Group, len(fl.jobs))
 				for i, m := range fl.jobs {
-					g[i] = m.app
+					g[i] = m.apps[fl.typ]
 				}
-				fl.rep, fl.err = f.pipe.Scheduler().RunGroup(g, f.cfg.Policy)
+				fl.rep, fl.err = f.types[fl.typ].Scheduler().RunGroup(g, f.cfg.Policy)
 				close(fl.done)
 			}(fl)
 		}
@@ -201,18 +222,13 @@ func (f *Fleet) Run(arrivals []Arrival) (Result, error) {
 			// Every other in-flight simulation keeps running meanwhile —
 			// and so do speculative runs of the groups the still-busy
 			// devices will most likely dispatch when they free up.
-			// Group formation is a pure function of queue content, so
-			// in drained-arrival phases the prediction is exact and the
-			// real dispatch later finds its simulation already done (or
-			// in flight — the scheduler dedups identical executions).
+			// Group formation is a pure function of queue content and
+			// device type, so in drained-arrival phases the prediction is
+			// exact and the real dispatch later finds its simulation
+			// already done (or in flight — the scheduler dedups identical
+			// executions).
 			if runtime.NumCPU() > 1 || f.cfg.forceSpec {
-				busy := 0
-				for _, ok := range idle {
-					if !ok {
-						busy++
-					}
-				}
-				f.speculate(queue, busy, sem, &specWG, speculated)
+				f.speculate(queue, idle, sem, &specWG, speculated)
 			}
 			<-uBest.done
 			if uBest.err != nil {
@@ -234,10 +250,11 @@ func (f *Fleet) Run(arrivals []Arrival) (Result, error) {
 	}
 
 	for _, j := range jobs {
+		t := f.devType[j.device]
 		res.Jobs = append(res.Jobs, JobRecord{
 			ID:       j.id,
-			Name:     j.app.Params.Name,
-			Class:    j.app.Class,
+			Name:     j.name(),
+			Class:    j.apps[t].Class,
 			Arrival:  j.arrival,
 			Dispatch: j.dispatch,
 			Complete: j.complete,
@@ -247,24 +264,31 @@ func (f *Fleet) Run(arrivals []Arrival) (Result, error) {
 	return res, nil
 }
 
-// speculate warms the scheduler's group memo with the next k groups
-// the dispatcher would form from the current queue. Results and errors
-// are deliberately dropped: this only moves simulation work off the
-// critical path, it never changes what the real dispatch computes (the
-// memo is keyed by group content and simulations are pure). A wrong
-// guess — arrivals landing in the window before the device actually
-// frees — costs one wasted simulation, never correctness.
-func (f *Fleet) speculate(queue []*job, k int, sem chan struct{}, wg *sync.WaitGroup, seen map[string]bool) {
-	if k <= 0 || len(queue) == 0 {
+// speculate warms the schedulers' group memos with the groups each
+// still-busy device would most likely dispatch next from the current
+// queue. Results and errors are deliberately dropped: this only moves
+// simulation work off the critical path, it never changes what the real
+// dispatch computes (the memo is keyed by group content and simulations
+// are pure). A wrong guess — arrivals landing in the window before the
+// device actually frees, or busy devices freeing in a different order —
+// costs one wasted simulation, never correctness.
+func (f *Fleet) speculate(queue []*job, idle []bool, sem chan struct{}, wg *sync.WaitGroup, seen map[string]bool) {
+	if len(queue) == 0 {
 		return
 	}
-	// formGroup filters the queue in place, so work on a copy.
+	// formGroup filters the queue in place, so work on a copy. Busy
+	// devices are predicted in placement order — the same order real
+	// dispatch would offer them work if they all freed at once.
 	spec := append([]*job(nil), queue...)
-	for i := 0; i < k && len(spec) > 0; i++ {
-		members, _ := f.formGroup(&spec)
-		sig := ""
+	for _, d := range f.order {
+		if idle[d] || len(spec) == 0 {
+			continue
+		}
+		t := f.devType[d]
+		members, _ := f.formGroup(&spec, t)
+		sig := fmt.Sprintf("t%d:", t)
 		for _, m := range members {
-			sig += m.app.Params.Name + "|"
+			sig += m.name() + "|"
 		}
 		if seen[sig] {
 			continue
@@ -272,28 +296,34 @@ func (f *Fleet) speculate(queue []*job, k int, sem chan struct{}, wg *sync.WaitG
 		seen[sig] = true
 		g := make(sched.Group, len(members))
 		for j, m := range members {
-			g[j] = m.app
+			g[j] = m.apps[t]
 		}
 		wg.Add(1)
-		go func(g sched.Group) {
+		go func(t int, g sched.Group) {
 			defer wg.Done()
 			sem <- struct{}{}
 			defer func() { <-sem }()
-			_, _ = f.pipe.Scheduler().RunGroup(g, f.cfg.Policy)
-		}(g)
+			_, _ = f.types[t].Scheduler().RunGroup(g, f.cfg.Policy)
+		}(t, g)
 	}
 }
 
-// resolve materializes jobs from the arrival stream using the
-// pipeline's workload definitions and classes.
+// resolve materializes jobs from the arrival stream using each device
+// type's workload definitions and classes: the same application may
+// classify differently across hardware generations, so every job
+// carries one QueuedApp per type.
 func (f *Fleet) resolve(arrivals []Arrival) ([]*job, error) {
 	names := make([]string, len(arrivals))
 	for i, a := range arrivals {
 		names[i] = a.Name
 	}
-	queued, err := f.pipe.Queue(names)
-	if err != nil {
-		return nil, err
+	perType := make([][]sched.QueuedApp, len(f.types))
+	for t, pipe := range f.types {
+		queued, err := pipe.Queue(names)
+		if err != nil {
+			return nil, err
+		}
+		perType[t] = queued
 	}
 	jobs := make([]*job, len(arrivals))
 	for i := range arrivals {
@@ -301,7 +331,11 @@ func (f *Fleet) resolve(arrivals []Arrival) ([]*job, error) {
 			return nil, fmt.Errorf("fleet: arrivals not in cycle order (job %d at %d after %d)",
 				i, arrivals[i].Cycle, arrivals[i-1].Cycle)
 		}
-		jobs[i] = &job{id: i, app: queued[i], arrival: arrivals[i].Cycle}
+		apps := make([]sched.QueuedApp, len(f.types))
+		for t := range f.types {
+			apps[t] = perType[t][i]
+		}
+		jobs[i] = &job{id: i, apps: apps, arrival: arrivals[i].Cycle}
 	}
 	return jobs, nil
 }
