@@ -34,6 +34,13 @@ var (
 
 func sharedSuite(b *testing.B) *experiments.Suite {
 	b.Helper()
+	if testing.Short() {
+		// The shared suite pays full-device calibration plus the
+		// all-pairs interference campaign — minutes of work. The CI
+		// smoke run (-short -benchtime 1x) only needs to prove the
+		// harness still compiles and executes.
+		b.Skip("figure benchmarks need the full experiment suite; skipped in -short")
+	}
 	suiteOnce.Do(func() {
 		suite, suiteErr = experiments.NewSuite(config.GTX480())
 	})
@@ -328,6 +335,9 @@ func BenchmarkSoloProfileMiniKernel(b *testing.B) {
 }
 
 func BenchmarkClassifySuite(b *testing.B) {
+	if testing.Short() {
+		b.Skip("profiles the full workload suite on GTX480; skipped in -short")
+	}
 	cfg := config.GTX480()
 	prof := profile.New(cfg)
 	profiles, err := prof.RunAll(workloads.All(), 0)

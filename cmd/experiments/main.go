@@ -15,6 +15,7 @@ import (
 	"log"
 	"os"
 	"path/filepath"
+	"runtime/pprof"
 	"strings"
 	"time"
 
@@ -28,46 +29,68 @@ func main() {
 	seed := flag.Uint64("seed", experiments.DefaultSeed, "queue shuffle seed")
 	setup := flag.Bool("setup", false, "print the experimental setup (Table 4.1) and exit")
 	csvDir := flag.String("csv", "", "also write each artifact as CSV into this directory")
+	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile of the run to this file")
 	flag.Parse()
 
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			log.Fatal(err)
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if err := run(*only, *seed, *setup, *csvDir); err != nil {
+		// Flush the profile before exiting: log.Fatal's os.Exit would
+		// skip the deferred StopCPUProfile and leave it unparsable.
+		pprof.StopCPUProfile()
+		log.Fatal(err)
+	}
+}
+
+func run(only string, seed uint64, setup bool, csvDir string) error {
 	cfg := config.GTX480()
-	if *setup {
+	if setup {
 		printSetup(cfg)
-		return
+		return nil
 	}
 
 	start := time.Now()
 	log.Printf("initializing pipeline (solo profiles + all-pairs interference) on %s ...", cfg.Name)
 	suite, err := experiments.NewSuite(cfg)
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
-	suite.Seed = *seed
+	suite.Seed = seed
 	log.Printf("pipeline ready in %v", time.Since(start).Round(time.Second))
 
 	var arts []experiments.Artifact
-	if *only != "" {
-		a, err := suite.Run(*only)
+	if only != "" {
+		a, err := suite.Run(only)
 		if err != nil {
-			log.Fatal(err)
+			return err
 		}
 		arts = []experiments.Artifact{a}
 	} else {
 		arts, err = suite.All()
 		if err != nil {
-			log.Fatal(err)
+			return err
 		}
 	}
 	for _, a := range arts {
 		fmt.Println(a)
-		if *csvDir != "" {
-			if err := writeCSV(*csvDir, a); err != nil {
-				log.Fatal(err)
+		if csvDir != "" {
+			if err := writeCSV(csvDir, a); err != nil {
+				return err
 			}
 		}
 	}
 	log.Printf("done in %v", time.Since(start).Round(time.Second))
 	_ = os.Stdout.Sync()
+	return nil
 }
 
 func writeCSV(dir string, a experiments.Artifact) error {

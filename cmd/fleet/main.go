@@ -70,6 +70,9 @@ func main() {
 	// ignore.
 	set := map[string]bool{}
 	flag.Visit(func(f *flag.Flag) { set[f.Name] = true })
+	if set["devices"] && *rosterFlag != "" {
+		log.Fatal("fleet: -devices is ignored with -fleet; size the roster instead (e.g. \"4xGTX480\")")
+	}
 	if kind != fleet.Bursty {
 		for _, name := range []string{"burst-rate", "mean-on", "mean-off"} {
 			if set[name] {

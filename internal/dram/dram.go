@@ -66,6 +66,14 @@ type Controller struct {
 	inflight   []inflight
 	busBusy    uint64
 	stats      Stats
+	// doneBuf backs Tick's completed-request return value so steady-state
+	// ticking performs no allocations.
+	doneBuf []memreq.Request
+	// lastNow is the cycle of the last Tick. Callers may skip ticks
+	// whose timing NextEvent proves irrelevant; the next Tick accounts
+	// for the gap's bus-busy cycles arithmetically (busBusy is constant
+	// across unticked cycles — nothing was scheduled or retired).
+	lastNow uint64
 	// perApp accumulates data-bus bytes per application index; it grows
 	// on demand and ignores unattributed (negative) owners.
 	perApp []uint64
@@ -97,6 +105,10 @@ func MustNew(cfg config.DRAMConfig, lineBytes int) *Controller {
 
 // Stats returns a snapshot of the event counters.
 func (c *Controller) Stats() Stats { return c.stats }
+
+// Progress returns a monotone counter of scheduled commands, for cheap
+// per-cycle activity detection.
+func (c *Controller) Progress() uint64 { return c.stats.Reads + c.stats.Writes }
 
 // AppBytes returns data-bus bytes transferred on behalf of app.
 func (c *Controller) AppBytes(app int16) uint64 {
@@ -167,9 +179,21 @@ func (c *Controller) bankAndRow(line uint64) (int, uint64) {
 
 // Tick advances one core cycle: possibly schedules one queued request
 // and returns the read requests whose data transfer completed this
-// cycle (writes complete silently).
+// cycle (writes complete silently). The returned slice is reused by the
+// next Tick; callers consume it before ticking again.
 func (c *Controller) Tick(now uint64) []memreq.Request {
-	var completed []memreq.Request
+	if now > c.lastNow+1 && c.busBusy > c.lastNow+1 {
+		// Catch up the bus-busy counter over skipped cycles (lastNow+1
+		// through now-1, each of which saw the same busBusy value this
+		// Tick still sees — nothing was scheduled or retired meanwhile).
+		hi := now - 1
+		if c.busBusy-1 < hi {
+			hi = c.busBusy - 1
+		}
+		c.stats.BusyCycles += hi - c.lastNow
+	}
+	c.lastNow = now
+	completed := c.doneBuf[:0]
 	for i := 0; i < len(c.inflight); {
 		if c.inflight[i].done <= now {
 			if c.inflight[i].req.Kind == memreq.Read {
@@ -181,6 +205,7 @@ func (c *Controller) Tick(now uint64) []memreq.Request {
 			i++
 		}
 	}
+	c.doneBuf = completed
 	if c.busBusy > now {
 		c.stats.BusyCycles++
 	}
@@ -293,3 +318,60 @@ func (c *Controller) service(req memreq.Request, now uint64) {
 
 // Pending returns queued plus in-flight requests (drain check).
 func (c *Controller) Pending() int { return len(c.queue) + len(c.writeQ) + len(c.inflight) }
+
+// NoEvent is the NextEvent result of a controller with no outstanding
+// work.
+const NoEvent = ^uint64(0)
+
+// NextEvent returns the earliest future cycle (> now) at which the
+// controller could make progress: an in-flight transfer completes, or a
+// queued request's bank frees up and the request becomes serviceable. A
+// request whose bank is already free is serviceable on the very next
+// tick. The result is a sound lower bound: ticking the controller
+// strictly before it is a no-op (modulo the bus-busy counter, which
+// FastForward accrues arithmetically).
+func (c *Controller) NextEvent(now uint64) uint64 {
+	next := uint64(NoEvent)
+	for i := range c.inflight {
+		if d := c.inflight[i].done; d <= now {
+			return now + 1
+		} else if d < next {
+			next = d
+		}
+	}
+	if t := c.queueNext(c.queue, now); t < next {
+		next = t
+	}
+	if t := c.queueNext(c.writeQ, now); t < next {
+		next = t
+	}
+	return next
+}
+
+// queueNext returns the earliest cycle a request in q could be
+// scheduled. Under FCFS only the head can ever be picked; under FR-FCFS
+// any request whose bank is ready competes.
+func (c *Controller) queueNext(q []queued, now uint64) uint64 {
+	if len(q) == 0 {
+		return NoEvent
+	}
+	if c.cfg.Sched == config.MemFCFS {
+		b, _ := c.bankAndRow(q[0].req.Line)
+		if bu := c.banks[b].busyUntil; bu > now {
+			return bu
+		}
+		return now + 1
+	}
+	next := uint64(NoEvent)
+	for i := range q {
+		b, _ := c.bankAndRow(q[i].req.Line)
+		bu := c.banks[b].busyUntil
+		if bu <= now {
+			return now + 1
+		}
+		if bu < next {
+			next = bu
+		}
+	}
+	return next
+}

@@ -1,0 +1,71 @@
+// Package fifo provides a head-indexed FIFO queue for the simulator's
+// hot loops. The naive idiom q = q[1:] leaks the popped element's slot
+// forever: the backing array can never be reused and every queue that
+// stays non-empty reallocates without bound. Queue instead advances a
+// head index, recycles the backing array outright whenever the queue
+// drains, and compacts in place once the dead prefix dominates, so
+// steady-state push/pop performs no allocations.
+package fifo
+
+// Queue is a FIFO over T with O(1) amortized push/pop and no
+// steady-state allocations. The zero value is an empty queue.
+type Queue[T any] struct {
+	buf  []T
+	head int
+}
+
+// compactAt bounds the dead prefix: once at least compactAt popped slots
+// accumulate and they make up half the backing array, the live tail is
+// copied down. Amortized O(1): each element moves at most once per
+// doubling of the dead prefix.
+const compactAt = 32
+
+// Len returns the number of queued elements.
+func (q *Queue[T]) Len() int { return len(q.buf) - q.head }
+
+// Push appends v to the tail.
+func (q *Queue[T]) Push(v T) {
+	if q.head >= compactAt && q.head*2 >= len(q.buf) {
+		n := copy(q.buf, q.buf[q.head:])
+		clearTail(q.buf[n:])
+		q.buf = q.buf[:n]
+		q.head = 0
+	}
+	q.buf = append(q.buf, v)
+}
+
+// Peek returns a pointer to the head element, or nil when empty. The
+// pointer is invalidated by the next Push or Pop.
+func (q *Queue[T]) Peek() *T {
+	if q.head >= len(q.buf) {
+		return nil
+	}
+	return &q.buf[q.head]
+}
+
+// At returns a pointer to the i-th queued element (0 = head). The
+// pointer is invalidated by the next Push or Pop.
+func (q *Queue[T]) At(i int) *T { return &q.buf[q.head+i] }
+
+// Pop removes and returns the head element. It panics on an empty queue
+// (callers check Len or Peek first).
+func (q *Queue[T]) Pop() T {
+	v := q.buf[q.head]
+	var zero T
+	q.buf[q.head] = zero // release references held by the dead slot
+	q.head++
+	if q.head == len(q.buf) {
+		q.buf = q.buf[:0]
+		q.head = 0
+	}
+	return v
+}
+
+// clearTail zeroes released slots so popped elements do not pin heap
+// objects through the backing array.
+func clearTail[T any](s []T) {
+	var zero T
+	for i := range s {
+		s[i] = zero
+	}
+}

@@ -1,0 +1,97 @@
+package fifo
+
+import "testing"
+
+func TestOrderAndLen(t *testing.T) {
+	var q Queue[int]
+	if q.Len() != 0 || q.Peek() != nil {
+		t.Fatal("zero value must be empty")
+	}
+	for i := 0; i < 100; i++ {
+		q.Push(i)
+	}
+	if q.Len() != 100 {
+		t.Fatalf("Len = %d, want 100", q.Len())
+	}
+	for i := 0; i < 100; i++ {
+		if p := q.Peek(); p == nil || *p != i {
+			t.Fatalf("Peek = %v, want %d", p, i)
+		}
+		if got := q.Pop(); got != i {
+			t.Fatalf("Pop = %d, want %d", got, i)
+		}
+	}
+	if q.Len() != 0 || q.Peek() != nil {
+		t.Fatal("queue must be empty after draining")
+	}
+}
+
+func TestAt(t *testing.T) {
+	var q Queue[int]
+	for i := 0; i < 10; i++ {
+		q.Push(i)
+	}
+	for i := 0; i < 5; i++ {
+		q.Pop()
+	}
+	for i := 0; i < q.Len(); i++ {
+		if got := *q.At(i); got != 5+i {
+			t.Fatalf("At(%d) = %d, want %d", i, got, 5+i)
+		}
+	}
+}
+
+// TestInterleavedNoGrowth drives a never-empty queue long enough to
+// trigger compaction many times and checks FIFO order survives while
+// the backing array stays bounded.
+func TestInterleavedNoGrowth(t *testing.T) {
+	var q Queue[int]
+	next, expect := 0, 0
+	for i := 0; i < 8; i++ {
+		q.Push(next)
+		next++
+	}
+	for round := 0; round < 10000; round++ {
+		q.Push(next)
+		next++
+		if got := q.Pop(); got != expect {
+			t.Fatalf("round %d: Pop = %d, want %d", round, got, expect)
+		}
+		expect++
+	}
+	if c := cap(q.buf); c > 4*compactAt+16 {
+		t.Fatalf("backing array grew to %d for a depth-9 queue", c)
+	}
+}
+
+func TestSteadyStateAllocs(t *testing.T) {
+	var q Queue[int]
+	for i := 0; i < 256; i++ {
+		q.Push(i) // warm capacity
+	}
+	for q.Len() > 0 {
+		q.Pop()
+	}
+	allocs := testing.AllocsPerRun(1000, func() {
+		for i := 0; i < 64; i++ {
+			q.Push(i)
+		}
+		for q.Len() > 0 {
+			q.Pop()
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("steady state allocated %.1f times per run, want 0", allocs)
+	}
+}
+
+func TestPopReleasesReferences(t *testing.T) {
+	var q Queue[*int]
+	v := new(int)
+	q.Push(v)
+	q.Push(new(int))
+	q.Pop()
+	if q.buf[0] != nil {
+		t.Fatal("popped slot must not pin its element")
+	}
+}

@@ -33,6 +33,77 @@ func TestLaunchValidation(t *testing.T) {
 	}
 }
 
+// TestLaunchRollsBackPartialAssignment is the regression test for the
+// partial-failure leak: when a later SM in the launch set is invalid or
+// busy, the SMs already assigned must be returned to their previous
+// owner instead of pointing at an application handle that was never
+// registered.
+func TestLaunchRollsBackPartialAssignment(t *testing.T) {
+	cfg := config.Small()
+	d := MustNew(cfg)
+
+	// Unowned SMs: a launch that fails on its second SM must leave the
+	// first unowned.
+	bad := kernel.MustNew(computeKernel("bad", 4), cfg.L1.LineBytes)
+	if _, err := d.Launch(bad, []int{1, cfg.NumSMs}); err == nil {
+		t.Fatal("launch with out-of-range SM accepted")
+	}
+	if got := d.SMOwner(1); got != -1 {
+		t.Fatalf("SM 1 owned by %d after failed launch, want unowned", got)
+	}
+	if d.Apps() != 0 {
+		t.Fatalf("failed launch registered an app (%d apps)", d.Apps())
+	}
+
+	// Run one app to completion so its SMs are idle but still owned by a
+	// finished application, then fail a launch across them: ownership
+	// must revert to the finished app, not to the ghost handle.
+	k1 := kernel.MustNew(computeKernel("first", 2), cfg.L1.LineBytes)
+	h1, err := d.Launch(k1, []int{0, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Run(1_000_000); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := d.Launch(bad, []int{0, 1, -5}); err == nil {
+		t.Fatal("launch with negative SM accepted")
+	}
+	for _, sm := range []int{0, 1} {
+		if got := d.SMOwner(sm); got != int16(h1) {
+			t.Fatalf("SM %d owned by %d after failed launch, want finished app %d", sm, got, h1)
+		}
+	}
+
+	// Duplicate SM ids snapshot the SM twice (the second time owned by
+	// the handle being rolled back); reverse replay must still land it
+	// on its original owner, not the ghost handle.
+	if _, err := d.Launch(bad, []int{1, 1, -7}); err == nil {
+		t.Fatal("launch with invalid trailing SM accepted")
+	}
+	if got := d.SMOwner(1); got != int16(h1) {
+		t.Fatalf("SM 1 owned by %d after failed duplicate-id launch, want %d", got, h1)
+	}
+
+	// The rolled-back SMs remain fully usable: a subsequent valid launch
+	// must succeed, dispatch and retire.
+	k2 := kernel.MustNew(computeKernel("second", 2), cfg.L1.LineBytes)
+	h2, err := d.Launch(k2, []int{0, 1})
+	if err != nil {
+		t.Fatalf("launch after rollback failed: %v", err)
+	}
+	if err := d.Run(1_000_000); err != nil {
+		t.Fatal(err)
+	}
+	if !d.Done(h2) {
+		t.Fatal("post-rollback launch never finished")
+	}
+	// Utilization accounting stayed consistent: both runs accrued slots.
+	if st := d.AppStats(h2); st.SMCycleSlots == 0 {
+		t.Fatal("post-rollback app accrued no SM-cycle slots")
+	}
+}
+
 func TestReassignValidation(t *testing.T) {
 	cfg := config.Small()
 	d := MustNew(cfg)

@@ -1,0 +1,88 @@
+package gpu
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/config"
+	"repro/internal/kernel"
+	"repro/internal/testkit"
+)
+
+// engineCase is one workload layout to cross-check between the naive
+// per-cycle Step loop and the fast-forward engine.
+type engineCase struct {
+	name    string
+	kernels []kernel.Params
+	split   int // number of SM sets to split the device into
+}
+
+func engineCases() []engineCase {
+	return []engineCase{
+		{name: "soloM", kernels: []kernel.Params{testkit.MiniM()}, split: 1},
+		{name: "soloC", kernels: []kernel.Params{testkit.MiniC()}, split: 1},
+		{name: "soloA", kernels: []kernel.Params{testkit.MiniA()}, split: 1},
+		{name: "pairMC", kernels: []kernel.Params{testkit.MiniM(), testkit.MiniC()}, split: 2},
+	}
+}
+
+// launchCase builds a device and launches the case's kernels on even SM
+// splits, mirroring interference.CoRun.
+func launchCase(t *testing.T, cfg config.GPUConfig, ec engineCase) *Device {
+	t.Helper()
+	d := MustNew(cfg)
+	per := cfg.NumSMs / ec.split
+	for i, params := range ec.kernels {
+		k, err := kernel.New(params, cfg.L1.LineBytes)
+		if err != nil {
+			t.Fatal(err)
+		}
+		k.BaseAddr = uint64(i+1) << 40
+		sms := make([]int, per)
+		for j := range sms {
+			sms[j] = i*per + j
+		}
+		if _, err := d.Launch(k, sms); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return d
+}
+
+// TestEngineEquivalence asserts that the fast-forward engine produces
+// byte-identical results to the naive per-cycle Step loop: same end
+// cycle, same DeviceStats, for one kernel of each class solo and a
+// co-run pair, on both the small test device and the full GTX480
+// configuration.
+func TestEngineEquivalence(t *testing.T) {
+	const maxCycles = 10_000_000
+	configs := []config.GPUConfig{testkit.Config(), config.GTX480()}
+	for _, cfg := range configs {
+		for _, ec := range engineCases() {
+			t.Run(cfg.Name+"/"+ec.name, func(t *testing.T) {
+				naive := launchCase(t, cfg, ec)
+				for !naive.AllDone() {
+					if naive.Cycle() >= maxCycles {
+						t.Fatalf("naive loop exceeded %d cycles", uint64(maxCycles))
+					}
+					naive.Step()
+				}
+				fast := launchCase(t, cfg, ec)
+				if err := fast.Run(maxCycles); err != nil {
+					t.Fatal(err)
+				}
+				if naive.Cycle() != fast.Cycle() {
+					t.Errorf("end cycle: naive=%d fast-forward=%d (skipped %d)",
+						naive.Cycle(), fast.Cycle(), fast.SkippedCycles())
+				}
+				ns, fs := naive.DeviceStats(), fast.DeviceStats()
+				if !reflect.DeepEqual(ns, fs) {
+					t.Errorf("DeviceStats diverged:\nnaive:        %+v\nfast-forward: %+v", ns, fs)
+				}
+				if fast.SkippedCycles() == 0 {
+					t.Logf("note: no cycles were skipped for %s on %s", ec.name, cfg.Name)
+				}
+			})
+		}
+	}
+}

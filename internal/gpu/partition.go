@@ -6,6 +6,7 @@ import (
 	"repro/internal/cache"
 	"repro/internal/config"
 	"repro/internal/dram"
+	"repro/internal/fifo"
 	"repro/internal/icnt"
 	"repro/internal/memreq"
 )
@@ -27,14 +28,19 @@ type partition struct {
 
 	// respQ holds responses awaiting interconnect bandwidth; entries
 	// become eligible at their readyAt cycle (L2 hit latency).
-	respQ []delayedResp
+	respQ fifo.Queue[delayedResp]
 
 	// stashQ holds requests popped from the network that hit downstream
 	// backpressure and must retry before any newer network traffic.
-	stashQ []memreq.Request
+	stashQ fifo.Queue[memreq.Request]
 
 	// reqsPerCycle bounds L2 lookups per cycle (bank port width).
 	reqsPerCycle int
+
+	// idleUntil caches the partition's next internal event (computed at
+	// the end of each full tick): ticks strictly before it are no-ops
+	// unless new work arrives from the interconnect, and are skipped.
+	idleUntil uint64
 }
 
 type delayedResp struct {
@@ -67,6 +73,13 @@ func newPartition(id int, cfg config.GPUConfig) (*partition, error) {
 
 // tick advances the partition one cycle.
 func (p *partition) tick(now uint64, net *icnt.Network) {
+	// Fast path: the previous tick proved nothing internal can happen
+	// before idleUntil (DRAM bus-busy accounting catches up on the next
+	// real tick), so only newly arrived interconnect work forces a tick.
+	if now < p.idleUntil && !net.ArrivedForPartition(p.id, now) {
+		return
+	}
+
 	// 1. DRAM: retire completed reads into the L2 and answer waiters.
 	for _, done := range p.mc.Tick(now) {
 		p.fillAndRespond(done, now)
@@ -77,29 +90,30 @@ func (p *partition) tick(now uint64, net *icnt.Network) {
 
 	// 3. Retry stashed requests first (FIFO order), then accept new work
 	// from the interconnect.
-	if !p.processStashed(now) {
-		return
-	}
-	for i := 0; i < p.reqsPerCycle; i++ {
-		req, ok := net.PopForPartition(p.id, now)
-		if !ok {
-			break
+	if p.processStashed(now) {
+		for i := 0; i < p.reqsPerCycle; i++ {
+			req, ok := net.PopForPartition(p.id, now)
+			if !ok {
+				break
+			}
+			if !p.process(req, now) {
+				p.stashQ.Push(req)
+				break
+			}
 		}
-		if !p.process(req, now) {
-			p.stashQ = append(p.stashQ, req)
-			break
-		}
 	}
+
+	p.idleUntil = p.nextEvent(now)
 }
 
 // processStashed retries backpressured requests; it reports whether the
 // stash fully drained.
 func (p *partition) processStashed(now uint64) bool {
-	for len(p.stashQ) > 0 {
-		if !p.process(p.stashQ[0], now) {
+	for p.stashQ.Len() > 0 {
+		if !p.process(*p.stashQ.Peek(), now) {
 			return false
 		}
-		p.stashQ = p.stashQ[1:]
+		p.stashQ.Pop()
 	}
 	return true
 }
@@ -139,7 +153,7 @@ func (p *partition) process(req memreq.Request, now uint64) bool {
 		res := p.l2.Access(req.Line, false, 0, req.App)
 		switch res {
 		case cache.Hit:
-			p.respQ = append(p.respQ, delayedResp{
+			p.respQ.Push(delayedResp{
 				req:     p.reply(req),
 				readyAt: now + uint64(p.l2.Config().LatencyCycles),
 			})
@@ -178,7 +192,7 @@ func (p *partition) fillAndRespond(done memreq.Request, now uint64) {
 		}, now)
 	}
 	for _, orig := range p.waiting[done.Line] {
-		p.respQ = append(p.respQ, delayedResp{req: p.reply(orig), readyAt: now})
+		p.respQ.Push(delayedResp{req: p.reply(orig), readyAt: now})
 	}
 	delete(p.waiting, done.Line)
 }
@@ -195,19 +209,44 @@ func (p *partition) reply(orig memreq.Request) memreq.Request {
 }
 
 func (p *partition) drainResponses(now uint64, net *icnt.Network) {
-	for len(p.respQ) > 0 {
-		head := p.respQ[0]
-		if head.readyAt > now {
+	for {
+		head := p.respQ.Peek()
+		if head == nil || head.readyAt > now {
 			return
 		}
 		if !net.TrySendToSM(head.req, now) {
 			return
 		}
-		p.respQ = p.respQ[1:]
+		p.respQ.Pop()
 	}
 }
 
 // pending reports whether the partition still holds in-flight work.
 func (p *partition) pending() int {
-	return len(p.respQ) + len(p.stashQ) + p.mc.Pending() + len(p.waiting)
+	return p.respQ.Len() + p.stashQ.Len() + p.mc.Pending() + len(p.waiting)
+}
+
+// nextEvent returns the earliest future cycle (> now) at which the
+// partition could make progress on its own: the DRAM controller retires
+// or schedules something, a stashed request retries, or a delayed
+// response becomes eligible for injection. Work arriving from the
+// interconnect is the network's concern; entries in the waiting map are
+// covered by the DRAM events that will fill them. The respQ drains in
+// FIFO order with head blocking, so only its head's readiness matters —
+// an eligible head that could not inject this cycle (response bandwidth
+// exhausted) retries next cycle.
+func (p *partition) nextEvent(now uint64) uint64 {
+	if p.stashQ.Len() > 0 {
+		return now + 1
+	}
+	next := p.mc.NextEvent(now)
+	if head := p.respQ.Peek(); head != nil {
+		if head.readyAt <= now {
+			return now + 1
+		}
+		if head.readyAt < next {
+			next = head.readyAt
+		}
+	}
+	return next
 }

@@ -11,6 +11,7 @@ import (
 	"fmt"
 
 	"repro/internal/config"
+	"repro/internal/fifo"
 	"repro/internal/memreq"
 )
 
@@ -38,8 +39,8 @@ type Network struct {
 	partitions int
 	lineBytes  int
 
-	toMem  [][]flit // per-partition input queues
-	toSM   []flit   // single response stream, routed by req.SM
+	toMem  []fifo.Queue[flit] // per-partition input queues
+	toSM   fifo.Queue[flit]   // single response stream, routed by req.SM
 	budget struct {
 		toMem int
 		toSM  int
@@ -48,6 +49,9 @@ type Network struct {
 	// perAppToSM accumulates response bytes per application: this is the
 	// paper's L2→L1 bandwidth numerator. It grows on demand.
 	perAppToSM []uint64
+	// arrivedBuf backs PopArrivedToSM's return value so per-cycle
+	// response delivery performs no allocations.
+	arrivedBuf []memreq.Request
 }
 
 // New builds a network for the given partition count.
@@ -65,7 +69,7 @@ func New(cfg config.IcntConfig, partitions, lineBytes int) (*Network, error) {
 		cfg:        cfg,
 		partitions: partitions,
 		lineBytes:  lineBytes,
-		toMem:      make([][]flit, partitions),
+		toMem:      make([]fifo.Queue[flit], partitions),
 	}, nil
 }
 
@@ -80,6 +84,10 @@ func MustNew(cfg config.IcntConfig, partitions, lineBytes int) *Network {
 
 // Stats returns a snapshot of the counters.
 func (n *Network) Stats() Stats { return n.stats }
+
+// Progress returns a monotone counter of accepted packets in both
+// directions, for cheap per-cycle activity detection.
+func (n *Network) Progress() uint64 { return n.stats.ToMemPackets + n.stats.ToSMPackets }
 
 // AppToSMBytes returns response bytes delivered toward SMs for app.
 func (n *Network) AppToSMBytes(app int16) uint64 {
@@ -118,7 +126,7 @@ func (n *Network) Begin() {
 // destination queue is full.
 func (n *Network) TrySendToMem(req memreq.Request, now uint64) bool {
 	p := n.Partition(req.Line)
-	if len(n.toMem[p]) >= n.cfg.QueueSize {
+	if n.toMem[p].Len() >= n.cfg.QueueSize {
 		n.stats.ToMemStalls++
 		return false
 	}
@@ -127,7 +135,7 @@ func (n *Network) TrySendToMem(req memreq.Request, now uint64) bool {
 		return false
 	}
 	n.budget.toMem -= int(req.Size)
-	n.toMem[p] = append(n.toMem[p], flit{req: req, readyAt: now + uint64(n.cfg.LatencyCycles)})
+	n.toMem[p].Push(flit{req: req, readyAt: now + uint64(n.cfg.LatencyCycles)})
 	n.stats.ToMemPackets++
 	n.stats.ToMemBytes += uint64(req.Size)
 	return true
@@ -142,7 +150,7 @@ func (n *Network) TrySendToSM(req memreq.Request, now uint64) bool {
 		return false
 	}
 	n.budget.toSM -= int(req.Size)
-	n.toSM = append(n.toSM, flit{req: req, readyAt: now + uint64(n.cfg.LatencyCycles)})
+	n.toSM.Push(flit{req: req, readyAt: now + uint64(n.cfg.LatencyCycles)})
 	n.stats.ToSMPackets++
 	n.stats.ToSMBytes += uint64(req.Size)
 	if req.App >= 0 {
@@ -157,38 +165,101 @@ func (n *Network) TrySendToSM(req memreq.Request, now uint64) bool {
 // PopForPartition removes and returns the oldest arrived request queued
 // for partition p, if any.
 func (n *Network) PopForPartition(p int, now uint64) (memreq.Request, bool) {
-	q := n.toMem[p]
-	if len(q) == 0 || q[0].readyAt > now {
+	head := n.toMem[p].Peek()
+	if head == nil || head.readyAt > now {
 		return memreq.Request{}, false
 	}
-	req := q[0].req
-	n.toMem[p] = q[1:]
-	return req, true
+	return n.toMem[p].Pop().req, true
 }
 
 // PartitionQueueLen returns the occupancy of partition p's input queue.
-func (n *Network) PartitionQueueLen(p int) int { return len(n.toMem[p]) }
+func (n *Network) PartitionQueueLen(p int) int { return n.toMem[p].Len() }
+
+// ArrivedForPartition reports whether partition p's oldest queued
+// request has completed traversal and is poppable at now.
+func (n *Network) ArrivedForPartition(p int, now uint64) bool {
+	head := n.toMem[p].Peek()
+	return head != nil && head.readyAt <= now
+}
 
 // PopArrivedToSM removes and returns every response that has completed
-// traversal by now. The caller routes each to req.SM.
+// traversal by now. The caller routes each to req.SM. The returned slice
+// is reused by the next call; callers consume it before popping again.
 func (n *Network) PopArrivedToSM(now uint64) []memreq.Request {
-	var out []memreq.Request
-	i := 0
-	for ; i < len(n.toSM); i++ {
-		if n.toSM[i].readyAt > now {
+	out := n.arrivedBuf[:0]
+	for {
+		head := n.toSM.Peek()
+		if head == nil || head.readyAt > now {
 			break
 		}
-		out = append(out, n.toSM[i].req)
+		out = append(out, n.toSM.Pop().req)
 	}
-	n.toSM = n.toSM[i:]
+	n.arrivedBuf = out
 	return out
 }
 
 // Pending returns the number of messages in flight in both directions.
 func (n *Network) Pending() int {
-	total := len(n.toSM)
-	for _, q := range n.toMem {
-		total += len(q)
+	total := n.toSM.Len()
+	for p := range n.toMem {
+		total += n.toMem[p].Len()
 	}
 	return total
+}
+
+// NoEvent is the NextEvent result of a network with nothing in flight.
+const NoEvent = ^uint64(0)
+
+// NextEvent returns the earliest future cycle (> now) at which a flit
+// completes traversal and becomes poppable. Flits within one queue are
+// in non-decreasing readyAt order (each is stamped now+latency at
+// injection), so only queue heads matter. A head that has already
+// arrived but was not drained this cycle (receiver port limit or
+// backpressure) is retried next cycle.
+func (n *Network) NextEvent(now uint64) uint64 {
+	next := uint64(NoEvent)
+	for p := range n.toMem {
+		if head := n.toMem[p].Peek(); head != nil {
+			if head.readyAt <= now {
+				return now + 1
+			}
+			if head.readyAt < next {
+				next = head.readyAt
+			}
+		}
+	}
+	if head := n.toSM.Peek(); head != nil {
+		if head.readyAt <= now {
+			return now + 1
+		}
+		if head.readyAt < next {
+			next = head.readyAt
+		}
+	}
+	return next
+}
+
+// FastForward refills the bandwidth budgets for span skipped idle
+// cycles, as span calls to Begin would have: debt (a negative budget
+// left by an oversized packet) pays off at BytesPerCycle per cycle and
+// the balance saturates at one cycle's refill. Nothing else in the
+// network changes during a cycle with no sends or pops.
+func (n *Network) FastForward(span uint64) {
+	n.budget.toMem = refill(n.budget.toMem, n.cfg.BytesPerCycle, span)
+	n.budget.toSM = refill(n.budget.toSM, n.cfg.BytesPerCycle, span)
+}
+
+// refill advances a leaky-bucket balance by span per-cycle refills,
+// saturating at one refill, without risking overflow on huge spans.
+func refill(balance, perCycle int, span uint64) int {
+	if balance >= perCycle {
+		return perCycle
+	}
+	// Cycles needed to clear the deficit, rounded up.
+	deficit := uint64(perCycle - balance)
+	need := (deficit + uint64(perCycle) - 1) / uint64(perCycle)
+	if span >= need {
+		return perCycle
+	}
+	return balance + int(span)*perCycle
 }

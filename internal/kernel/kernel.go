@@ -16,6 +16,8 @@ package kernel
 
 import (
 	"fmt"
+	"math"
+	"sync"
 
 	"repro/internal/config"
 	"repro/internal/isa"
@@ -203,6 +205,103 @@ type Kernel struct {
 	hotMask     uint64
 	perWarp     uint64
 	strideLines uint64
+
+	// seedMix caches Mix64(Seed) so the per-fetch hash chain starts one
+	// avalanche round in: Hash3(Seed,b,c) == Mix64(Mix64(seedMix^b)^c).
+	seedMix uint64
+	// sfuThresh/sharedThresh/storeThresh/hotThresh are the fraction knobs lifted
+	// into the integer domain of the hash (h>>11 holds 53 uniform bits),
+	// so the op mix needs no int-to-float conversion or division per
+	// fetch. Comparisons are bit-identical to rng.Float64(h) < frac.
+	sfuThresh    uint64
+	sharedThresh uint64
+	storeThresh  uint64
+	hotThresh    uint64
+	// plainOps short-circuits Fetch when every non-memory instruction is
+	// a plain ALU op (no SFU/shared mix to draw).
+	plainOps bool
+	// pcKind caches, per program counter, whether the slot is a plain
+	// compute op, a memory access or a barrier — the two runtime modulos
+	// this replaces sit on the hottest line of the simulator.
+	pcKind []uint8
+	// ops caches the fully resolved opcode of every (warp, pc) for
+	// small grids: the op stream is a pure function of the seed and the
+	// mix knobs, and the same kernel parameters are simulated many
+	// times across the pipeline (per-SM-count profiles, all-pairs
+	// co-runs, fleet groups), so the table is shared process-wide and
+	// the hot-loop fetch of a compute op collapses to one byte load.
+	// Memory addresses are not cached — they are drawn per access. Nil
+	// for grids above the size cap.
+	ops []uint8
+}
+
+// maxOpsEntries caps the per-kernel op table (one byte per dynamic
+// instruction of the grid); larger grids fall back to hashing per fetch.
+const maxOpsEntries = 4 << 20
+
+// opsKey identifies an op stream: every parameter that influences the
+// per-(warp, pc) opcode draw, and nothing else, so distinct footprints
+// or access patterns still share one table.
+type opsKey struct {
+	seed                   uint64
+	instrs, warps          int
+	memEvery, barrierEvery int
+	sfu, shared, storeFrac float64
+}
+
+// opsCache shares op tables across kernel instances; concurrent misses
+// may build the same table twice, which is harmless (identical bytes).
+var opsCache sync.Map
+
+// pcKind values.
+const (
+	pcCompute uint8 = iota
+	pcMem
+	pcBarrier
+	pcExit
+)
+
+// fracThreshold lifts a [0,1] fraction into the 53-bit integer domain:
+// x < thresh  ⇔  float64(x)/2^53 < frac  for every integer x in
+// [0, 2^53). float64(x) is exact at 53 bits and x is an integer, so
+// x < frac*2^53 ⇔ x < ceil(frac*2^53), with the boundary (frac*2^53
+// integral) exact in both forms.
+func fracThreshold(frac float64) uint64 {
+	return uint64(math.Ceil(frac * (1 << 53)))
+}
+
+// sharedOps returns the grid's opcode table, building it on first use
+// and sharing it process-wide across kernel instances with the same
+// op-relevant parameters. Entries hold isa.Op values and are drawn with
+// exactly the arithmetic Fetch would use, so cached and uncached
+// kernels execute bit-identical programs.
+func (k *Kernel) sharedOps() []uint8 {
+	key := opsKey{
+		seed:         k.Seed,
+		instrs:       k.InstrsPerWarp,
+		warps:        k.TotalWarps(),
+		memEvery:     k.MemEvery,
+		barrierEvery: k.BarrierEvery,
+		sfu:          k.SFUFraction,
+		shared:       k.SharedFraction,
+		storeFrac:    k.StoreFraction,
+	}
+	if cached, ok := opsCache.Load(key); ok {
+		return cached.([]uint8)
+	}
+	warps, instrs := k.TotalWarps(), k.InstrsPerWarp
+	ops := make([]uint8, warps*instrs)
+	for warp := 0; warp < warps; warp++ {
+		row := ops[warp*instrs:]
+		for pc := 0; pc < instrs; pc++ {
+			// opAtSlow is the single source of truth for the opcode
+			// draw (k.ops is still nil here), so cached and uncached
+			// kernels execute bit-identical programs by construction.
+			row[pc] = uint8(k.opAtSlow(warp, pc))
+		}
+	}
+	opsCache.Store(key, ops)
+	return ops
 }
 
 // pow2Floor returns the largest power of two <= v, and at least 1.
@@ -227,6 +326,31 @@ func New(p Params, lineBytes int) (*Kernel, error) {
 		return nil, fmt.Errorf("kernel %s: line size must be a positive power of two (got %d)", p.Name, lineBytes)
 	}
 	k := &Kernel{Params: p, lineBytes: uint64(lineBytes)}
+	k.seedMix = rng.Mix64(p.Seed)
+	k.sfuThresh = fracThreshold(p.SFUFraction)
+	k.sharedThresh = fracThreshold(p.SFUFraction + p.SharedFraction)
+	k.storeThresh = fracThreshold(p.StoreFraction)
+	k.hotThresh = fracThreshold(p.HotFraction)
+	k.plainOps = p.SFUFraction == 0 && p.SharedFraction == 0
+	k.pcKind = make([]uint8, p.InstrsPerWarp)
+	for pc := 0; pc < p.InstrsPerWarp; pc++ {
+		// Mirrors Fetch's slot arithmetic: +1 so pc 0 is never a barrier
+		// or a memory op, and the last pc is the exit.
+		slot := pc + 1
+		switch {
+		case pc >= p.InstrsPerWarp-1:
+			k.pcKind[pc] = pcExit
+		case p.BarrierEvery > 0 && slot%p.BarrierEvery == 0:
+			k.pcKind[pc] = pcBarrier
+		case p.MemEvery > 0 && slot%p.MemEvery == 0:
+			k.pcKind[pc] = pcMem
+		default:
+			k.pcKind[pc] = pcCompute
+		}
+	}
+	if p.TotalWarps() <= maxOpsEntries/p.InstrsPerWarp {
+		k.ops = k.sharedOps()
+	}
 	if p.MemEvery > 0 {
 		footLines := pow2Floor(p.FootprintBytes / k.lineBytes)
 		k.footMask = footLines - 1
@@ -259,32 +383,74 @@ func MustNew(p Params, lineBytes int) *Kernel {
 // The instruction mix is a deterministic function of (Seed, warp, pc), so
 // a warp's stream can be replayed at any point without storage.
 func (k *Kernel) Fetch(warp, pc int, buf []uint64) isa.Instr {
+	op := k.OpAt(warp, pc)
+	if op == isa.OpLoad || op == isa.OpStore {
+		return isa.Instr{Op: op, Lines: k.memLines(warp, pc, buf)}
+	}
+	return isa.Instr{Op: op}
+}
+
+// OpsRow returns the warp's cached opcode row (indexed by pc, covering
+// every pc including the exit), or nil when the grid exceeds the op
+// table cap. SMs hold the row per resident warp so the compute fast
+// path is a single byte index.
+func (k *Kernel) OpsRow(warp int) []uint8 {
+	if k.ops == nil {
+		return nil
+	}
+	return k.ops[warp*k.InstrsPerWarp : (warp+1)*k.InstrsPerWarp]
+}
+
+// OpAt returns just the opcode at (warp, pc) — the simulator's compute
+// fast path, which needs no address generation. Bit-identical to
+// Fetch(warp, pc, ...).Op. The table branch is small enough to inline
+// into the SM's issue loop.
+func (k *Kernel) OpAt(warp, pc int) isa.Op {
+	if k.ops != nil && pc < k.InstrsPerWarp-1 {
+		return isa.Op(k.ops[warp*k.InstrsPerWarp+pc])
+	}
+	return k.opAtSlow(warp, pc)
+}
+
+// opAtSlow derives the opcode for kernels whose grid exceeds the op
+// table cap (and handles the exit pc).
+func (k *Kernel) opAtSlow(warp, pc int) isa.Op {
 	if pc >= k.InstrsPerWarp-1 {
-		return isa.Instr{Op: isa.OpExit}
+		return isa.OpExit
 	}
-	// +1 so pc 0 is never a barrier or a memory op: warps always retire
-	// at least one plain instruction first, which keeps launch ramps
-	// well-behaved.
-	slot := pc + 1
-	if k.BarrierEvery > 0 && slot%k.BarrierEvery == 0 {
-		return isa.Instr{Op: isa.OpBarrier}
+	if k.ops != nil {
+		return isa.Op(k.ops[warp*k.InstrsPerWarp+pc])
 	}
-	if k.MemEvery > 0 && slot%k.MemEvery == 0 {
-		return k.memInstr(warp, pc, buf)
+	switch k.pcKind[pc] {
+	case pcBarrier:
+		return isa.OpBarrier
+	case pcMem:
+		op := isa.OpLoad
+		if k.StoreFraction > 0 {
+			h := rng.Mix64(rng.Mix64(k.seedMix^(uint64(warp)<<20|uint64(pc))) ^ 0x53)
+			if h>>11 < k.storeThresh {
+				op = isa.OpStore
+			}
+		}
+		return op
 	}
-	h := rng.Hash3(k.Seed, uint64(warp)<<20|uint64(pc), 0x41)
-	r := rng.Float64(h)
-	switch {
-	case r < k.SFUFraction:
-		return isa.Instr{Op: isa.OpSFU}
-	case r < k.SFUFraction+k.SharedFraction:
-		return isa.Instr{Op: isa.OpShared}
+	if k.plainOps {
+		return isa.OpALU
+	}
+	h := rng.Mix64(rng.Mix64(k.seedMix^(uint64(warp)<<20|uint64(pc))) ^ 0x41)
+	switch x := h >> 11; {
+	case x < k.sfuThresh:
+		return isa.OpSFU
+	case x < k.sharedThresh:
+		return isa.OpShared
 	default:
-		return isa.Instr{Op: isa.OpALU}
+		return isa.OpALU
 	}
 }
 
-func (k *Kernel) memInstr(warp, pc int, buf []uint64) isa.Instr {
+// memLines fills buf with the coalesced line addresses of the memory
+// access at (warp, pc).
+func (k *Kernel) memLines(warp, pc int, buf []uint64) []uint64 {
 	n := k.CoalescedLines
 	if n > len(buf) {
 		n = len(buf)
@@ -294,14 +460,7 @@ func (k *Kernel) memInstr(warp, pc int, buf []uint64) isa.Instr {
 	for i := 0; i < n; i++ {
 		lines = append(lines, k.address(uint64(warp), memIdx, uint64(i)))
 	}
-	op := isa.OpLoad
-	if k.StoreFraction > 0 {
-		h := rng.Hash3(k.Seed, uint64(warp)<<20|uint64(pc), 0x53)
-		if rng.Float64(h) < k.StoreFraction {
-			op = isa.OpStore
-		}
-	}
-	return isa.Instr{Op: op, Lines: lines}
+	return lines
 }
 
 // address computes the i-th coalesced line of the memIdx-th memory access
@@ -317,11 +476,11 @@ func (k *Kernel) address(warp, memIdx, i uint64) uint64 {
 	case PatternStrided:
 		line = (warp + (memIdx+i)*k.strideLines) & k.footMask
 	case PatternRandom:
-		base := rng.Hash3(k.Seed, warp, memIdx) &^ uint64(k.CoalescedLines-1)
+		base := rng.Mix64(rng.Mix64(k.seedMix^warp)^memIdx) &^ uint64(k.CoalescedLines-1)
 		line = (base + i) & k.footMask
 	case PatternHotset:
-		h := rng.Hash4(k.Seed, warp, memIdx, i)
-		if rng.Float64(h) < k.HotFraction {
+		h := rng.Mix64(rng.Mix64(rng.Mix64(k.seedMix^warp)^memIdx) ^ i)
+		if h>>11 < k.hotThresh {
 			line = rng.Mix64(h) & k.hotMask
 		} else {
 			line = rng.Mix64(h^0xabcd) & k.footMask

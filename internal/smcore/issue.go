@@ -12,7 +12,102 @@ import (
 // slots where slot % SchedulersPerSM == s, mirroring the odd/even warp
 // split of Fermi's dual schedulers.
 func (sm *SM) Tick(now uint64) {
+	if now < sm.idleUntil {
+		return
+	}
 	if sm.app == NoApp || sm.kern == nil || sm.residentCTAs == 0 {
+		return
+	}
+	if sm.useScan {
+		// GTO: the oldest ready warp of each scheduler, found by direct
+		// scan of the age order — no wheel or heap maintenance. scanAt
+		// skips schedulers whose scan would provably fail.
+		for s := 0; s < sm.cfg.SchedulersPerSM; s++ {
+			if sm.scanAt[s] > now {
+				continue
+			}
+			base := s * sm.maxSlots
+			wakes := sm.ageWake[base : base+int(sm.ageLen[s])]
+			idx := -1
+			for i, wake := range wakes {
+				if wake <= now {
+					idx = i
+					break
+				}
+			}
+			if idx < 0 {
+				// Failed scan (the rare transition into idleness): one
+				// extra pass arms the watermark with the earliest wake.
+				next := uint64(NoEvent)
+				for _, wake := range wakes {
+					if wake < next {
+						next = wake
+					}
+				}
+				sm.scanAt[s] = next
+				continue
+			}
+			slot := sm.ageSlot[base+idx]
+			w := &sm.warps[slot]
+			// Compute fast path: ALU/SFU/shared ops mutate nothing
+			// outside the warp, so they retire inline off one opcode
+			// load — no instruction struct, no full issue machinery.
+			if !w.cachedValid {
+				var op isa.Op
+				if w.opRow != nil {
+					op = isa.Op(w.opRow[w.pc])
+				} else {
+					op = sm.kern.OpAt(int(w.globalID), int(w.pc))
+				}
+				var lat uint64
+				switch op {
+				case isa.OpALU, isa.OpNop:
+					lat = sm.aluLat
+				case isa.OpSFU:
+					lat = sm.sfuLat
+				case isa.OpShared:
+					lat = sm.sharedLat
+				}
+				if lat > 0 {
+					w.blockedUntil = now + lat
+					w.pc++
+					sm.recordIssue(sm.appStats, op)
+					sm.ageWake[base+idx] = w.blockedUntil
+					continue
+				}
+			}
+			if sm.issue(slot, now) {
+				// Refresh the issued warp's age entry with its new wait
+				// (NoEvent while an event — fill or barrier release —
+				// must wake it). A retired warp's entry is already gone
+				// (and the region compacted), so leave it alone; the
+				// backing array is stable, making the indexed write safe
+				// for a live warp.
+				if w.active {
+					wake := w.blockedUntil
+					if w.atBarrier || w.pendingLoads > 0 {
+						wake = NoEvent
+					}
+					sm.ageWake[base+idx] = wake
+				}
+			} else {
+				// Structural stall (MSHR or output queue full): replay
+				// the instruction after a short penalty, like hardware
+				// replay queues do.
+				w.blockedUntil = now + replayPenalty
+				sm.ageWake[base+idx] = now + replayPenalty
+			}
+		}
+		// The loop left scanAt[s] exact for every scheduler that did
+		// not issue; one that did stays un-armed (≤ now), keeping the
+		// SM ticking. Event wake-ups reset idleUntil directly.
+		idle := sm.scanAt[0]
+		for _, t := range sm.scanAt[1:] {
+			if t < idle {
+				idle = t
+			}
+		}
+		sm.idleUntil = idle
 		return
 	}
 	sm.drainWheel(now)
@@ -22,9 +117,8 @@ func (sm *SM) Tick(now uint64) {
 			continue
 		}
 		if !sm.issue(slot, now) {
-			// Structural stall (MSHR or output queue full): replay the
-			// instruction after a short penalty, like hardware replay
-			// queues do. The backoff also keeps saturated cores from
+			// Structural stall: as above, with the replay parked in the
+			// timer wheel. The backoff also keeps saturated cores from
 			// re-decoding the same stalled access every cycle.
 			w := &sm.warps[slot]
 			w.blockedUntil = now + replayPenalty
@@ -48,11 +142,11 @@ func (sm *SM) stashReplay(w *warp, in isa.Instr) {
 }
 
 // pickWarp removes and returns an issuable warp slot from scheduler s's
-// ready heap, or -1. Stale entries (retired or re-blocked warps) are
-// dropped lazily.
+// ready heap, or -1 (LRR path). Stale entries (retired or re-blocked
+// warps) are dropped lazily.
 func (sm *SM) pickWarp(s int, now uint64) int32 {
 	for {
-		e, ok := sm.ready[s].pop()
+		e, ok := sm.heapPop(s)
 		if !ok {
 			return -1
 		}
@@ -105,7 +199,7 @@ func (sm *SM) issue(slot int32, now uint64) bool {
 	}
 	w.cachedValid = false
 	sm.recordIssue(issuedFor, in.Op)
-	if w.active && !w.finished && !w.atBarrier && w.pendingLoads == 0 {
+	if !sm.useScan && w.active && !w.finished && !w.atBarrier && w.pendingLoads == 0 {
 		sm.pushWake(slot, w.blockedUntil)
 	}
 	return true
@@ -156,7 +250,7 @@ func (sm *SM) issueLoad(slot int32, lines []uint64, now uint64) bool {
 		switch res {
 		case cache.Miss:
 			waits++
-			sm.out = append(sm.out, memreq.Request{
+			sm.out.Push(memreq.Request{
 				Kind: memreq.Read,
 				Line: ln,
 				App:  sm.app,
@@ -191,7 +285,7 @@ func (sm *SM) issueStore(slot int32, lines []uint64, now uint64) bool {
 				sm.appStats.L1Hits++
 			}
 		}
-		sm.out = append(sm.out, memreq.Request{
+		sm.out.Push(memreq.Request{
 			Kind: memreq.Write,
 			Line: ln,
 			App:  sm.app,
@@ -220,7 +314,11 @@ func (sm *SM) issueBarrier(slot int32, now uint64) {
 			if rw.active && !rw.finished && rw.atBarrier {
 				rw.atBarrier = false
 				rw.blockedUntil = now + 1
-				if ws != slot {
+				if sm.useScan {
+					// Wake at now+1 like the wheel park would: released
+					// warps never issue in their release cycle.
+					sm.wakeAt(ws, now+1)
+				} else if ws != slot {
 					sm.pushWake(ws, now+1)
 				}
 			}
@@ -235,6 +333,9 @@ func (sm *SM) retireWarp(slot int32) {
 	w.finished = true
 	w.active = false
 	sm.activeWarps--
+	if sm.useScan {
+		sm.ageRemove(slot)
+	}
 	c := &sm.ctas[w.ctaSlot]
 	c.warpsLeft--
 	if c.warpsLeft > 0 {
@@ -266,7 +367,11 @@ func (sm *SM) HandleResponse(req memreq.Request) {
 		if w.pendingLoads > 0 {
 			w.pendingLoads--
 			if w.pendingLoads == 0 && w.active && !w.finished && !w.atBarrier {
-				sm.pushReady(int32(tok))
+				if sm.useScan {
+					sm.wakeAt(int32(tok), w.blockedUntil)
+				} else {
+					sm.pushReady(int32(tok))
+				}
 			}
 		}
 	}

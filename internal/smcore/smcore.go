@@ -15,6 +15,7 @@ import (
 
 	"repro/internal/cache"
 	"repro/internal/config"
+	"repro/internal/fifo"
 	"repro/internal/isa"
 	"repro/internal/kernel"
 	"repro/internal/memreq"
@@ -23,6 +24,10 @@ import (
 
 // NoApp marks an unowned SM.
 const NoApp int16 = -1
+
+// NoEvent is the NextEvent result of a component that cannot make
+// progress on its own at any future cycle.
+const NoEvent = ^uint64(0)
 
 type warp struct {
 	active       bool
@@ -37,6 +42,10 @@ type warp struct {
 	blockedUntil uint64
 	launchSeq    uint64
 	cachedLines  []uint64
+	// opRow is the warp's row of the kernel's opcode table (nil for
+	// grids above the table cap); it makes the compute fast path a
+	// single byte index.
+	opRow []uint8
 }
 
 func (w *warp) ready(now uint64) bool {
@@ -67,24 +76,75 @@ type SM struct {
 	residentCTAs int
 	launchSeq    uint64
 
-	// ready holds, per scheduler, a min-heap of issuable warp slots.
-	// Under GTO the heap key is warp age (launchSeq), so the pop order
-	// is greedy-then-oldest collapsed to oldest-ready-first — the greedy
-	// warp, once it wakes, is the oldest ready warp whenever it is still
-	// runnable. Under LRR the key is push order, giving FIFO rotation.
-	// wheel is a timer wheel: warps blocked on a fixed latency are
-	// parked in the bucket of their wake-up cycle. Together they make
-	// per-cycle scheduler work proportional to runnable warps rather
-	// than to warp slots. Purely a performance device — no architectural
-	// effect.
-	ready    []readyHeap
+	// readyBuf holds, per scheduler, a fixed-region min-heap of issuable
+	// warp slots (region s is readyBuf[s*maxSlots:], occupancy
+	// readyLen[s]). Under GTO the heap key is warp age (launchSeq), so
+	// the pop order is greedy-then-oldest collapsed to
+	// oldest-ready-first — the greedy warp, once it wakes, is the oldest
+	// ready warp whenever it is still runnable. Under LRR the key is
+	// push order, giving FIFO rotation. wheelBuf is a timer wheel laid
+	// out the same way (bucket b is wheelBuf[b*maxSlots:], occupancy
+	// wheelLen[b]): warps blocked on a fixed latency are parked in the
+	// bucket of their wake-up cycle. Together they make per-cycle
+	// scheduler work proportional to runnable warps rather than to warp
+	// slots, and the flat preallocated regions keep the hot loop free of
+	// append growth and pointer write barriers. A warp is in at most one
+	// structure at a time, so every region is bounded by maxSlots.
+	// Purely a performance device — no architectural effect.
+	readyBuf []readyEntry
+	readyLen []int32
 	readySeq uint64
-	wheel    [wheelSize][]int32
+	wheelBuf []int32
+	wheelLen [wheelSize]int32
+	// wheelScratch is where drainWheel copies a bucket before processing
+	// it: a wait longer than wheelSize re-parks into the same bucket.
+	// wrapFree records that no fixed latency of this configuration can
+	// reach wheelSize, so buckets never self-re-park and drain in place.
+	wheelScratch []int32
+	wrapFree     bool
+	maxSlots     int
+
+	// useScan selects the GTO fast path: under greedy-then-oldest the
+	// scheduling key (launchSeq) is static per warp and a ready warp
+	// stays ready until it issues, so the ready heap always holds
+	// exactly the ready set and popping its minimum is equivalent to
+	// scanning the scheduler's warps in age order for the first ready
+	// one. The scan needs no wheel parking, no wake pushes and no heap
+	// maintenance — the structures above then serve only the LRR
+	// policy, whose keys depend on push order.
+	//
+	// ageSlot/ageWake/ageLen hold, per scheduler, its live warps in
+	// launch (age) order as parallel arrays: ageWake[i] is warp
+	// ageSlot[i]'s effective wake cycle (NoEvent while it waits on a
+	// load fill or barrier release), so the scan walks a dense uint64
+	// array instead of chasing warp structs. agePos maps a slot to its
+	// position in its region. scanAt[s] is the
+	// earliest cycle at which scheduler s's scan could find a ready
+	// warp: a failed scan records the region's minimum wake, and every
+	// event wake-up (load fill, barrier release, warp launch) resets
+	// it. Scans are skipped while scanAt > now — exactly the cycles in
+	// which they would fail — so a fully memory-blocked SM costs O(1)
+	// per cycle, like the heap path.
+	// idleUntil is min(scanAt): Tick returns immediately while now is
+	// strictly below it. Event wake-ups reset it alongside scanAt.
+	useScan   bool
+	ageSlot   []int32
+	ageWake   []uint64
+	ageLen    []int32
+	agePos    []int32
+	scanAt    []uint64
+	idleUntil uint64
+	// slotSched caches slot % SchedulersPerSM (a non-constant modulo on
+	// the hottest paths otherwise); aluLat/sfuLat/sharedLat cache the
+	// functional-unit latencies pre-widened for the compute fast path.
+	slotSched []int32
+	aluLat    uint64
+	sfuLat    uint64
+	sharedLat uint64
 
 	activeWarps int
 
-	out      []memreq.Request
-	outHead  int
+	out      fifo.Queue[memreq.Request]
 	outLimit int
 
 	lineBuf []uint64
@@ -96,6 +156,13 @@ type SM struct {
 	// OnCTADone is invoked when a thread block completes, with the
 	// owning application at completion time.
 	OnCTADone func(app int16)
+
+	// OnOwnerChange is invoked whenever the SM's owning application
+	// switches (Assign, drain-then-transfer completion, Release), with
+	// the outgoing and incoming owners. The device uses it to maintain
+	// per-application ownership counts without scanning every SM each
+	// cycle.
+	OnOwnerChange func(old, new int16)
 
 	// issued counts warp instructions issued by this SM (all owners).
 	issued uint64
@@ -115,9 +182,41 @@ func New(id int, cfg config.GPUConfig) (*SM, error) {
 		pendingApp: NoApp,
 		warps:      make([]warp, cfg.MaxWarpsPerSM),
 		ctas:       make([]ctaSlot, cfg.MaxBlocksPerSM),
-		ready:      make([]readyHeap, cfg.SchedulersPerSM),
+		maxSlots:   cfg.MaxWarpsPerSM,
 		outLimit:   cfg.MaxWarpsPerSM, // one outstanding miss per warp on average
 		lineBuf:    make([]uint64, cfg.WarpSize),
+		aluLat:     uint64(cfg.ALULatency),
+		sfuLat:     uint64(cfg.SFULatency),
+		sharedLat:  uint64(cfg.SharedLatency),
+	}
+	// The timer wheel only ever parks fixed functional-unit and replay
+	// waits; when they all fit inside one wheel revolution no entry can
+	// wrap around, which lets drainWheel skip its defensive bucket copy.
+	maxWait := cfg.ALULatency
+	for _, l := range [...]int{cfg.SFULatency, cfg.SharedLatency, cfg.L1.LatencyCycles + 1, replayPenalty} {
+		if l > maxWait {
+			maxWait = l
+		}
+	}
+	sm.wrapFree = maxWait < wheelSize
+	// Exactly one scheduling structure is allocated: the GTO scan path
+	// or the LRR wheel+heap machinery, never both.
+	sm.useScan = cfg.WarpSched == config.SchedGTO
+	if sm.useScan {
+		sm.ageSlot = make([]int32, cfg.SchedulersPerSM*cfg.MaxWarpsPerSM)
+		sm.ageWake = make([]uint64, cfg.SchedulersPerSM*cfg.MaxWarpsPerSM)
+		sm.ageLen = make([]int32, cfg.SchedulersPerSM)
+		sm.agePos = make([]int32, cfg.MaxWarpsPerSM)
+		sm.scanAt = make([]uint64, cfg.SchedulersPerSM)
+		sm.slotSched = make([]int32, cfg.MaxWarpsPerSM)
+		for i := range sm.slotSched {
+			sm.slotSched[i] = int32(i % cfg.SchedulersPerSM)
+		}
+	} else {
+		sm.readyBuf = make([]readyEntry, cfg.SchedulersPerSM*cfg.MaxWarpsPerSM)
+		sm.readyLen = make([]int32, cfg.SchedulersPerSM)
+		sm.wheelBuf = make([]int32, wheelSize*cfg.MaxWarpsPerSM)
+		sm.wheelScratch = make([]int32, cfg.MaxWarpsPerSM)
 	}
 	for i := range sm.ctas {
 		sm.ctas[i].warpSlots = make([]int32, 0, cfg.MaxWarpsPerSM)
@@ -135,54 +234,60 @@ type readyEntry struct {
 	slot int32
 }
 
-// readyHeap is a binary min-heap over scheduling keys.
-type readyHeap []readyEntry
-
-func (h *readyHeap) push(e readyEntry) {
-	*h = append(*h, e)
-	i := len(*h) - 1
+// heapPush adds an entry to scheduler s's ready min-heap.
+func (sm *SM) heapPush(s int, key uint64, slot int32) {
+	h := sm.readyBuf[s*sm.maxSlots : (s+1)*sm.maxSlots]
+	i := int(sm.readyLen[s])
+	sm.readyLen[s] = int32(i + 1)
+	h[i] = readyEntry{key: key, slot: slot}
 	for i > 0 {
 		parent := (i - 1) / 2
-		if (*h)[parent].key <= (*h)[i].key {
+		if h[parent].key <= h[i].key {
 			break
 		}
-		(*h)[parent], (*h)[i] = (*h)[i], (*h)[parent]
+		h[parent], h[i] = h[i], h[parent]
 		i = parent
 	}
 }
 
-func (h *readyHeap) pop() (readyEntry, bool) {
-	old := *h
-	if len(old) == 0 {
+// heapPop removes the minimum-key entry of scheduler s's ready heap.
+func (sm *SM) heapPop(s int) (readyEntry, bool) {
+	n := int(sm.readyLen[s])
+	if n == 0 {
 		return readyEntry{}, false
 	}
-	top := old[0]
-	last := len(old) - 1
-	old[0] = old[last]
-	old = old[:last]
-	i := 0
-	for {
-		l, r := 2*i+1, 2*i+2
-		smallest := i
-		if l < len(old) && old[l].key < old[smallest].key {
-			smallest = l
+	h := sm.readyBuf[s*sm.maxSlots : (s+1)*sm.maxSlots]
+	top := h[0]
+	n--
+	sm.readyLen[s] = int32(n)
+	if n > 0 {
+		h[0] = h[n]
+		i := 0
+		for {
+			l, r := 2*i+1, 2*i+2
+			smallest := i
+			if l < n && h[l].key < h[smallest].key {
+				smallest = l
+			}
+			if r < n && h[r].key < h[smallest].key {
+				smallest = r
+			}
+			if smallest == i {
+				break
+			}
+			h[i], h[smallest] = h[smallest], h[i]
+			i = smallest
 		}
-		if r < len(old) && old[r].key < old[smallest].key {
-			smallest = r
-		}
-		if smallest == i {
-			break
-		}
-		old[i], old[smallest] = old[smallest], old[i]
-		i = smallest
 	}
-	*h = old
 	return top, true
 }
 
 // pushWake parks a warp until cycle at.
 func (sm *SM) pushWake(slot int32, at uint64) {
-	sm.wheel[at%wheelSize] = append(sm.wheel[at%wheelSize], slot)
+	b := int(at % wheelSize)
+	i := sm.wheelLen[b]
+	sm.wheelBuf[b*sm.maxSlots+int(i)] = slot
+	sm.wheelLen[b] = i + 1
 }
 
 // pushReady marks a warp immediately issuable.
@@ -195,16 +300,66 @@ func (sm *SM) pushReady(slot int32) {
 		sm.readySeq++
 		key = sm.readySeq
 	}
-	sm.ready[s].push(readyEntry{key: key, slot: slot})
+	sm.heapPush(s, key, slot)
+}
+
+// agePush appends a newly launched warp to its scheduler's age order
+// (GTO scan path). launchSeq grows monotonically, so appending keeps
+// the region sorted by age.
+func (sm *SM) agePush(slot int32, wake uint64) {
+	s := int(sm.slotSched[slot])
+	i := s*sm.maxSlots + int(sm.ageLen[s])
+	sm.agePos[slot] = sm.ageLen[s]
+	sm.ageSlot[i] = slot
+	sm.ageWake[i] = wake
+	sm.ageLen[s]++
+	sm.scanAt[s] = 0
+	sm.idleUntil = 0
+}
+
+// ageRemove drops a retired warp from its scheduler's age order,
+// preserving the order of the rest.
+func (sm *SM) ageRemove(slot int32) {
+	s := int(sm.slotSched[slot])
+	base := s * sm.maxSlots
+	n := int(sm.ageLen[s])
+	slots := sm.ageSlot[base : base+n]
+	wakes := sm.ageWake[base : base+n]
+	i := int(sm.agePos[slot])
+	copy(slots[i:], slots[i+1:])
+	copy(wakes[i:], wakes[i+1:])
+	sm.ageLen[s]--
+	for ; i < n-1; i++ {
+		sm.agePos[slots[i]] = int32(i)
+	}
+}
+
+// wakeAt records an event wake-up: the warp becomes issuable at cycle
+// wake and its scheduler's scan watermark is un-armed.
+func (sm *SM) wakeAt(slot int32, wake uint64) {
+	s := int(sm.slotSched[slot])
+	sm.ageWake[s*sm.maxSlots+int(sm.agePos[slot])] = wake
+	sm.scanAt[s] = 0
+	sm.idleUntil = 0
 }
 
 // drainWheel moves warps whose timers expired onto their ready lists.
+// The bucket is copied out before processing: a wait longer than
+// wheelSize re-parks into the *same* bucket (its wake cycle is congruent
+// mod wheelSize), and clearing after iteration would silently drop it.
 func (sm *SM) drainWheel(now uint64) {
-	b := &sm.wheel[now%wheelSize]
-	if len(*b) == 0 {
+	b := int(now % wheelSize)
+	n := int(sm.wheelLen[b])
+	if n == 0 {
 		return
 	}
-	for _, slot := range *b {
+	entries := sm.wheelBuf[b*sm.maxSlots : b*sm.maxSlots+n]
+	if !sm.wrapFree {
+		copy(sm.wheelScratch, entries)
+		entries = sm.wheelScratch[:n]
+	}
+	sm.wheelLen[b] = 0
+	for _, slot := range entries {
 		w := &sm.warps[slot]
 		if !w.active || w.finished {
 			continue
@@ -218,16 +373,22 @@ func (sm *SM) drainWheel(now uint64) {
 		}
 		sm.pushReady(slot)
 	}
-	*b = (*b)[:0]
 }
 
 func (sm *SM) clearSchedState() {
-	for i := range sm.ready {
-		sm.ready[i] = sm.ready[i][:0]
+	for i := range sm.readyLen {
+		sm.readyLen[i] = 0
 	}
-	for i := range sm.wheel {
-		sm.wheel[i] = sm.wheel[i][:0]
+	for i := range sm.wheelLen {
+		sm.wheelLen[i] = 0
 	}
+	for i := range sm.ageLen {
+		sm.ageLen[i] = 0
+	}
+	for i := range sm.scanAt {
+		sm.scanAt[i] = 0
+	}
+	sm.idleUntil = 0
 }
 
 // ID returns the SM index.
@@ -255,6 +416,9 @@ func (sm *SM) Draining() bool { return sm.pendingApp != NoApp }
 func (sm *SM) Assign(app int16, k *kernel.Kernel, st *stats.App) error {
 	if !sm.Idle() {
 		return fmt.Errorf("smcore: assign on busy SM %d", sm.id)
+	}
+	if sm.OnOwnerChange != nil && sm.app != app {
+		sm.OnOwnerChange(sm.app, app)
 	}
 	sm.app = app
 	sm.kern = k
@@ -343,16 +507,22 @@ func (sm *SM) LaunchCTA(ctaID int, now uint64) error {
 		}
 		sm.launchSeq++
 		buf := w.cachedLines // keep the replay buffer across reuse
+		globalID := ctaID*sm.kern.WarpsPerCTA + launched
 		*w = warp{
 			active:       true,
 			ctaSlot:      int32(slot),
-			globalID:     int32(ctaID*sm.kern.WarpsPerCTA + launched),
+			globalID:     int32(globalID),
 			blockedUntil: now + 1,
 			launchSeq:    sm.launchSeq,
 			cachedLines:  buf[:0],
+			opRow:        sm.kern.OpsRow(globalID),
 		}
 		c.warpSlots = append(c.warpSlots, int32(i))
-		sm.pushWake(int32(i), now+1)
+		if sm.useScan {
+			sm.agePush(int32(i), now+1)
+		} else {
+			sm.pushWake(int32(i), now+1)
+		}
 		launched++
 	}
 	sm.activeWarps += launched
@@ -361,25 +531,69 @@ func (sm *SM) LaunchCTA(ctaID int, now uint64) error {
 }
 
 // OutPending returns the occupancy of the memory output queue.
-func (sm *SM) OutPending() int { return len(sm.out) - sm.outHead }
+func (sm *SM) OutPending() int { return sm.out.Len() }
 
 // PeekOut returns the oldest outgoing memory request without removing it.
 func (sm *SM) PeekOut() (memreq.Request, bool) {
-	if sm.outHead >= len(sm.out) {
-		return memreq.Request{}, false
+	if p := sm.out.Peek(); p != nil {
+		return *p, true
 	}
-	return sm.out[sm.outHead], true
+	return memreq.Request{}, false
 }
 
 // PopOut removes the oldest outgoing memory request. Callers peek first,
 // attempt injection into the interconnect, and pop only on success.
 func (sm *SM) PopOut() {
-	if sm.outHead >= len(sm.out) {
-		return
+	if sm.out.Len() > 0 {
+		sm.out.Pop()
 	}
-	sm.outHead++
-	if sm.outHead == len(sm.out) {
-		sm.out = sm.out[:0]
-		sm.outHead = 0
+}
+
+// NextEvent returns the earliest future cycle (> now) at which this SM
+// could make progress on its own: issue from a ready warp, wake a
+// timer-parked warp, or retry injection of a queued memory request.
+// Progress driven from outside — response fills and CTA dispatch — is
+// the device's concern. NoEvent means the SM is fully passive (idle, or
+// every resident warp is waiting on loads or a barrier release that only
+// an external fill can trigger).
+func (sm *SM) NextEvent(now uint64) uint64 {
+	if sm.out.Len() > 0 {
+		return now + 1 // retries interconnect injection every cycle
 	}
+	if sm.app == NoApp || sm.residentCTAs == 0 {
+		return NoEvent
+	}
+	next := uint64(NoEvent)
+	if sm.useScan {
+		// scanAt[s] is exact while armed (> now): no scan, and hence no
+		// issue, has happened since it was computed, and event wake-ups
+		// reset it. An unarmed scheduler may hold a ready warp.
+		for _, t := range sm.scanAt {
+			if t <= now {
+				return now + 1
+			}
+			if t < next {
+				next = t
+			}
+		}
+		return next
+	}
+	for _, n := range sm.readyLen {
+		if n > 0 {
+			return now + 1
+		}
+	}
+	for i := range sm.warps {
+		w := &sm.warps[i]
+		if !w.active || w.finished || w.atBarrier || w.pendingLoads > 0 {
+			continue
+		}
+		if w.blockedUntil <= now {
+			return now + 1 // should be on a ready list; stay conservative
+		}
+		if w.blockedUntil < next {
+			next = w.blockedUntil
+		}
+	}
+	return next
 }

@@ -1,0 +1,50 @@
+#!/usr/bin/env bash
+# bench.sh — run the benchmark suite with -benchmem and record a JSON
+# summary (ns/op, B/op, allocs/op, plus every custom metric) so the
+# performance trajectory is tracked from PR to PR.
+#
+# Usage:
+#   scripts/bench.sh                 # full suite, 1s per benchmark
+#   scripts/bench.sh 'Step|Solo'     # only matching benchmarks
+#   scripts/bench.sh '.' 5s          # full suite, 5s per benchmark
+#
+# Output: BENCH_<yyyymmdd>.json in the repo root (and the raw `go test`
+# output on stdout). Each entry is
+#   {"name": ..., "iterations": N, "metrics": {"ns/op": ..., ...}}
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+pattern="${1:-.}"
+benchtime="${2:-1s}"
+out="BENCH_$(date +%Y%m%d).json"
+raw="$(mktemp)"
+trap 'rm -f "$raw"' EXIT
+
+go test -run '^$' -bench "$pattern" -benchmem -benchtime "$benchtime" ./... | tee "$raw"
+
+awk '
+BEGIN { n = 0 }
+/^Benchmark/ && NF >= 3 {
+    name = $1
+    sub(/-[0-9]+$/, "", name)  # strip GOMAXPROCS suffix
+    iters = $2
+    metrics = ""
+    for (i = 3; i + 1 <= NF; i += 2) {
+        val = $i; unit = $(i + 1)
+        if (metrics != "") metrics = metrics ", "
+        metrics = metrics "\"" unit "\": " val
+    }
+    if (n > 0) printf ",\n"
+    printf "  {\"name\": \"%s\", \"iterations\": %s, \"metrics\": {%s}}", name, iters, metrics
+    n++
+}
+END { printf "\n" }
+' "$raw" > "$out.body"
+
+{
+    echo "["
+    cat "$out.body"
+    echo "]"
+} > "$out"
+rm -f "$out.body"
+echo "wrote $out"
