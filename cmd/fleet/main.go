@@ -9,6 +9,7 @@
 //	fleet -fleet "2xGTX480,2xSmall-8SM" -policy ilp-smra -seed 1
 //	fleet -devices 2 -arrivals bursty -rate 1 -burst-rate 6 -mean-on 15000 -mean-off 45000 -policy fcfs
 //	fleet -arrivals trace -trace BLK@0,HS@1000,GUPS@2500 -policy ilp
+//	fleet -devices 2 -slo preempt -latency-frac 0.3 -deadline 2000000 -aging 1 -csv jobs.csv
 //
 // The fleet may be heterogeneous: -fleet takes a roster of
 // COUNTxCONFIG elements (configs from internal/config: GTX480, Small),
@@ -16,6 +17,17 @@
 // candidate groups with the matrix of the device type that will run
 // them. When -fleet is unset, -devices N selects a homogeneous GTX480
 // fleet as before.
+//
+// SLO classes: -latency-frac tags a share of the generated arrivals as
+// latency-class jobs carrying a relative -deadline; -slo picks the
+// dispatch discipline (off = class-blind, priority = latency jobs queue
+// first, preempt = priority plus eviction of running batch groups when
+// a waiting latency job would provably miss its deadline). -aging
+// weights the ILP's pattern efficiencies by member wait so tail latency
+// competes with raw packing. The summary then carries per-class
+// wait/turnaround/slack percentiles, the deadline-miss rate and the
+// eviction count; -csv additionally writes the per-job records for
+// external plotting.
 //
 // The summary is deterministic: the same flags (and seed) produce
 // byte-identical output, whatever the host machine is doing.
@@ -31,6 +43,7 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"os"
 	"strconv"
 	"strings"
 	"time"
@@ -53,9 +66,14 @@ func main() {
 	nc := flag.Int("nc", 2, "co-run group size per device")
 	policyFlag := flag.String("policy", "ilp-smra", "serial | fcfs | profile | ilp | ilp-smra")
 	seed := flag.Uint64("seed", 1, "arrival-stream seed")
-	window := flag.Int("window", 0, "windowed-ILP queue prefix (0 = default)")
+	window := flag.Int("window", 0, "windowed-ILP queue prefix (0 = adaptive from queue depth and class mix)")
 	greedyBelow := flag.Int("greedy-below", 0, "queue depth under which ILP policies dispatch greedily (0 = 2*nc)")
 	traceFlag := flag.String("trace", "", "explicit arrivals as NAME@CYCLE,... (with -arrivals trace)")
+	sloFlag := flag.String("slo", "off", "SLO dispatch: off | priority | preempt")
+	latencyFrac := flag.Float64("latency-frac", 0, "fraction of generated jobs tagged latency-class (poisson/bursty)")
+	deadline := flag.Uint64("deadline", 0, "relative deadline in cycles for generated latency jobs (0 = default)")
+	aging := flag.Float64("aging", 0, "wait-time aging weight for the ILP policies (0 = off)")
+	csvPath := flag.String("csv", "", "also write the per-job records as CSV to this file")
 	flag.Parse()
 
 	kind, err := fleet.ParseArrivalKind(*arrivalsFlag)
@@ -90,11 +108,31 @@ func main() {
 		log.Fatalf("fleet: -trace requires -arrivals trace (got %v)", kind)
 	}
 	if policy != sched.ILP && policy != sched.ILPSMRA {
-		for _, name := range []string{"greedy-below", "window"} {
+		for _, name := range []string{"greedy-below", "window", "aging"} {
 			if set[name] {
 				log.Fatalf("fleet: -%s only applies to the ILP policies (got %v)", name, policy)
 			}
 		}
+	}
+	var slo fleet.SLOConfig
+	switch strings.ToLower(*sloFlag) {
+	case "off":
+	case "priority":
+		slo.Enabled = true
+	case "preempt":
+		slo.Enabled = true
+		slo.Preempt = true
+	default:
+		log.Fatalf("fleet: unknown -slo mode %q (off, priority, preempt)", *sloFlag)
+	}
+	if kind == fleet.Trace {
+		for _, name := range []string{"latency-frac", "deadline"} {
+			if set[name] {
+				log.Fatalf("fleet: -%s only applies to generated arrivals; tag trace entries as NAME@CYCLE!DEADLINE instead", name)
+			}
+		}
+	} else if set["deadline"] && *latencyFrac == 0 {
+		log.Fatal("fleet: -deadline needs -latency-frac to generate latency jobs")
 	}
 	acfg := fleet.ArrivalConfig{Kind: kind, Seed: *seed}
 	if kind == fleet.Trace {
@@ -109,6 +147,8 @@ func main() {
 		acfg.BurstRate = *burstRate
 		acfg.MeanOn = *meanOn
 		acfg.MeanOff = *meanOff
+		acfg.LatencyFrac = *latencyFrac
+		acfg.Deadline = *deadline
 	}
 	arrivals, err := acfg.Generate(workloads.Names)
 	if err != nil {
@@ -137,6 +177,8 @@ func main() {
 		Policy:      policy,
 		Window:      *window,
 		GreedyBelow: *greedyBelow,
+		Aging:       *aging,
+		SLO:         slo,
 	})
 	if err != nil {
 		log.Fatal(err)
@@ -157,25 +199,60 @@ func main() {
 	default:
 		fmt.Printf("arrivals: %v rate=%.2f/kcycle seed=%d\n", kind, *rate, *seed)
 	}
+	// The SLO header echoes the generation parameters actually used;
+	// trace runs carry per-entry deadlines, so only the mode applies.
+	switch {
+	case kind == fleet.Trace && slo.Enabled:
+		fmt.Printf("slo: mode=%s aging=%g (per-entry deadlines)\n", strings.ToLower(*sloFlag), *aging)
+	case slo.Enabled || *latencyFrac > 0:
+		fmt.Printf("slo: mode=%s latency-frac=%.2f deadline=%d aging=%g\n",
+			strings.ToLower(*sloFlag), *latencyFrac, acfg.Resolved().Deadline, *aging)
+	}
 	fmt.Print(res.Summary())
+	if *csvPath != "" {
+		out, err := os.Create(*csvPath)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := res.WriteJobsCSV(out); err != nil {
+			log.Fatal(err)
+		}
+		if err := out.Close(); err != nil {
+			log.Fatal(err)
+		}
+		log.Printf("wrote per-job records to %s", *csvPath)
+	}
 }
 
-// parseTrace parses "BLK@0,HS@1000" into arrivals.
+// parseTrace parses "BLK@0,HS@1000" into arrivals. A "!DEADLINE"
+// suffix marks a latency-class entry with that relative deadline:
+// "BLK@0!2000000,HS@1000" is a latency BLK due 2M cycles after arrival
+// followed by a batch HS.
 func parseTrace(s string) ([]fleet.Arrival, error) {
 	if s == "" {
-		return nil, fmt.Errorf("fleet: -arrivals trace needs -trace NAME@CYCLE,...")
+		return nil, fmt.Errorf("fleet: -arrivals trace needs -trace NAME@CYCLE[!DEADLINE],...")
 	}
 	var out []fleet.Arrival
 	for _, entry := range strings.Split(s, ",") {
-		name, cycleStr, ok := strings.Cut(strings.TrimSpace(entry), "@")
+		name, rest, ok := strings.Cut(strings.TrimSpace(entry), "@")
 		if !ok {
-			return nil, fmt.Errorf("fleet: trace entry %q is not NAME@CYCLE", entry)
+			return nil, fmt.Errorf("fleet: trace entry %q is not NAME@CYCLE[!DEADLINE]", entry)
 		}
+		a := fleet.Arrival{Name: name}
+		cycleStr, deadlineStr, latency := strings.Cut(rest, "!")
 		cycle, err := strconv.ParseUint(cycleStr, 10, 64)
 		if err != nil {
 			return nil, fmt.Errorf("fleet: trace entry %q: %v", entry, err)
 		}
-		out = append(out, fleet.Arrival{Name: name, Cycle: cycle})
+		a.Cycle = cycle
+		if latency {
+			a.SLO = fleet.Latency
+			a.Deadline, err = strconv.ParseUint(deadlineStr, 10, 64)
+			if err != nil {
+				return nil, fmt.Errorf("fleet: trace entry %q deadline: %v", entry, err)
+			}
+		}
+		out = append(out, a)
 	}
 	return out, nil
 }

@@ -68,6 +68,49 @@ func main() {
 				fmt.Printf("  job %2d %-5s (%v) dev%d[%s] arrive=%7d wait=%7d turnaround=%7d\n",
 					j.ID, j.Name, j.Class, j.Device, res.DeviceConfig[j.Device], j.Arrival, j.Wait(), j.Turnaround())
 			}
+			fmt.Println()
 		}
+	}
+
+	// SLO classes: the same traffic shape, but 30% of the jobs are
+	// latency-class with a deadline of twice the slowest device type's
+	// mean solo duration (a latency job may land on either generation,
+	// so the deadline must be meetable on the small one). Latency jobs
+	// queue ahead of batch work, the ILP ages pattern efficiencies by
+	// member wait, and the dispatcher may evict a running all-batch
+	// group (checkpointing its progress) when a waiting latency job
+	// would miss its deadline. The summary grows per-class percentiles,
+	// the deadline-miss rate and the eviction count.
+	meanSolo := uint64(0)
+	for _, spec := range roster {
+		sum := uint64(0)
+		for _, r := range spec.Pipe.Profiles() {
+			sum += r.Cycles
+		}
+		if mean := sum / uint64(len(spec.Pipe.Profiles())); mean > meanSolo {
+			meanSolo = mean
+		}
+	}
+	sloArrivals, err := fleet.ArrivalConfig{
+		Kind: fleet.Poisson, Jobs: 48, Rate: 0.8, Seed: 2018,
+		LatencyFrac: 0.3, Deadline: 2 * meanSolo,
+	}.Generate(workloads.Names)
+	if err != nil {
+		log.Fatal(err)
+	}
+	f, err := fleet.New(fleet.Config{
+		Devices: roster, NC: 2, Policy: sched.ILPSMRA, Aging: 1,
+		SLO: fleet.SLOConfig{Enabled: true, Preempt: true},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	res, err := f.Run(sloArrivals)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("with SLO classes (deadline %d kcycles, preemption on):\n%s", 2*meanSolo/1000, res.Summary())
+	if trace := res.EvictionTrace(); trace != "" {
+		fmt.Printf("evictions:\n%s", trace)
 	}
 }

@@ -83,6 +83,112 @@ func (s *Suite) FleetOnline() (Artifact, error) {
 	return a, nil
 }
 
+// FleetSLO is the service-level ablation: identical saturating traffic
+// with a latency-class share is dispatched under class-blind dispatch,
+// SLO-priority dispatch (latency jobs queue first), and SLO dispatch
+// with preemption (running all-batch groups are evicted, with
+// checkpointed progress, when a waiting latency job would provably miss
+// its deadline). The arrival generator draws the class tags from a
+// stream independent of the time/name draws, so all three columns see
+// the very same traffic — the deadline-miss differences are pure
+// dispatch policy. The artifact reports the latency-class deadline-miss
+// rate and tail latency alongside what the protection costs the batch
+// class (wait, completion rate, fleet throughput) and how many
+// evictions paid for it.
+func (s *Suite) FleetSLO() (Artifact, error) {
+	const (
+		devices     = 4
+		nc          = 2
+		jobs        = 60
+		latencyFrac = 0.1
+	)
+	// The deadline scales with the calibrated universe rather than being
+	// a magic cycle count: twice the mean solo duration, comfortable for
+	// a dispatched latency job (even co-running) but tight enough that
+	// queueing behind batch backlogs blows it.
+	profiles := s.P.Profiles()
+	meanSolo := uint64(0)
+	for _, r := range profiles {
+		meanSolo += r.Cycles
+	}
+	meanSolo /= uint64(len(profiles))
+	deadline := 2 * meanSolo
+	acfg := fleet.ArrivalConfig{
+		Kind: fleet.Poisson, Jobs: jobs, Rate: 0.8,
+		LatencyFrac: latencyFrac, Deadline: deadline,
+		Seed: rng.Hash2(s.Seed, 0x510),
+	}
+	arrivals, err := acfg.Generate(workloads.Names)
+	if err != nil {
+		return Artifact{}, err
+	}
+	modes := []struct {
+		name string
+		slo  fleet.SLOConfig
+	}{
+		{"class-blind", fleet.SLOConfig{}},
+		{"slo-priority", fleet.SLOConfig{Enabled: true}},
+		{"slo-preempt", fleet.SLOConfig{Enabled: true, Preempt: true}},
+	}
+	a := Artifact{
+		ID: "FleetSLO",
+		Title: fmt.Sprintf("SLO classes: %d devices, NC=%d, %d jobs, %.0f%% latency-class, deadline %d kcyc (beyond the paper)",
+			devices, nc, jobs, 100*latencyFrac, deadline/1000),
+	}
+	for _, m := range modes {
+		a.Columns = append(a.Columns, m.name)
+	}
+	labels := []string{
+		"deadline-miss rate",
+		"latency p99 turnaround (kcyc)",
+		"latency p99 wait (kcyc)",
+		"batch p95 wait (kcyc)",
+		"batch jobs per Mcycle",
+		"throughput",
+		"evictions",
+	}
+	rows := map[string]*Row{}
+	for _, label := range labels {
+		rows[label] = &Row{Label: label}
+	}
+	for _, m := range modes {
+		f, err := fleet.NewHomogeneous(s.P, devices, fleet.Config{NC: nc, Policy: sched.ILPSMRA, SLO: m.slo})
+		if err != nil {
+			return Artifact{}, err
+		}
+		res, err := f.Run(arrivals)
+		if err != nil {
+			return Artifact{}, fmt.Errorf("fleet slo/%s: %w", m.name, err)
+		}
+		batchJobs := len(res.Jobs) - res.LatencyJobs()
+		add := func(label string, v float64) { rows[label].Values = append(rows[label].Values, v) }
+		add("deadline-miss rate", res.MissRate())
+		add("latency p99 turnaround (kcyc)", res.TurnaroundSummaryFor(fleet.Latency).P99)
+		add("latency p99 wait (kcyc)", res.WaitSummaryFor(fleet.Latency).P99)
+		add("batch p95 wait (kcyc)", res.WaitSummaryFor(fleet.Batch).P95)
+		add("batch jobs per Mcycle", 1e6*float64(batchJobs)/float64(res.Makespan))
+		add("throughput", res.Throughput())
+		add("evictions", float64(len(res.Evictions)))
+	}
+	for _, label := range labels {
+		a.Rows = append(a.Rows, *rows[label])
+	}
+	// Headlines: what preemption buys the latency class and what it
+	// costs the batch class, on identical traffic.
+	noPre := a.MustValue("deadline-miss rate", "slo-priority")
+	withPre := a.MustValue("deadline-miss rate", "slo-preempt")
+	a.Notes = append(a.Notes, fmt.Sprintf("latency deadline-miss rate with preemption: %.3f -> %.3f", noPre, withPre))
+	bNoPre := a.MustValue("batch jobs per Mcycle", "slo-priority")
+	bPre := a.MustValue("batch jobs per Mcycle", "slo-preempt")
+	tNoPre := a.MustValue("throughput", "slo-priority")
+	tPre := a.MustValue("throughput", "slo-preempt")
+	if bNoPre > 0 && tNoPre > 0 {
+		a.Notes = append(a.Notes, fmt.Sprintf("batch side on the same traffic: %.2f -> %.2f completed jobs/Mcycle (%+.1f%%), fleet throughput %.2f -> %.2f (%+.1f%%)",
+			bNoPre, bPre, 100*(bPre-bNoPre)/bNoPre, tNoPre, tPre, 100*(tPre-tNoPre)/tNoPre))
+	}
+	return a, nil
+}
+
 // FleetHetero evaluates mixed-generation rosters: the same saturating
 // traffic is dispatched onto a homogeneous big-device fleet and onto a
 // heterogeneous roster that swaps one big device for two small-

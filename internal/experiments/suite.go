@@ -143,6 +143,7 @@ func (s *Suite) gens() []gen {
 		{"AppendixA", s.AppendixA},
 		{"FleetOnline", s.FleetOnline},
 		{"FleetHetero", s.FleetHetero},
+		{"FleetSLO", s.FleetSLO},
 	}
 }
 

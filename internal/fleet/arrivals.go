@@ -51,10 +51,17 @@ func ParseArrivalKind(s string) (ArrivalKind, error) {
 	}
 }
 
-// Arrival is one job arrival: which benchmark, and when.
+// Arrival is one job arrival: which benchmark, when, and under which
+// service-level class. The zero SLO (Batch, no deadline) reproduces the
+// pre-SLO arrival shape.
 type Arrival struct {
 	Name  string
 	Cycle uint64
+	// SLO is the job's service-level class.
+	SLO SLOClass
+	// Deadline is the latency job's relative deadline in cycles from
+	// arrival (0 for batch jobs).
+	Deadline uint64
 }
 
 // ArrivalConfig parameterizes a deterministic arrival stream. Rates are
@@ -75,6 +82,15 @@ type ArrivalConfig struct {
 	MeanOn, MeanOff float64
 	// Trace is the explicit arrival list for Kind == Trace.
 	Trace []Arrival
+	// LatencyFrac is the fraction of generated jobs tagged with the
+	// latency SLO class (Poisson and Bursty; 0 keeps every job batch).
+	// The class draws come from a stream independent of the time/name
+	// draws, so the same seed produces the same arrival times and names
+	// whatever the class mix — SLO comparisons see identical traffic.
+	LatencyFrac float64
+	// Deadline is the relative deadline (cycles from arrival) stamped on
+	// generated latency jobs (0 selects DefaultDeadline).
+	Deadline uint64
 	// Seed drives every random draw; same seed, same stream.
 	Seed uint64
 }
@@ -86,11 +102,21 @@ const (
 	DefaultMeanOff = 60_000
 )
 
-// Resolved fills the bursty defaults — BurstRate 0 selects 4*Rate,
-// MeanOn/MeanOff 0 select DefaultMeanOn/DefaultMeanOff — so callers
-// (the CLI header, logs) can report the parameters Generate actually
-// uses. Non-bursty kinds are returned unchanged.
+// DefaultDeadline is the relative deadline stamped on generated latency
+// jobs when the config leaves it zero: a few multiples of a typical
+// solo run on the suite's 30k–150k-cycle scale, so a lightly loaded
+// fleet meets it comfortably and a congested one does not.
+const DefaultDeadline = 250_000
+
+// Resolved fills the generation defaults — BurstRate 0 selects 4*Rate,
+// MeanOn/MeanOff 0 select DefaultMeanOn/DefaultMeanOff, Deadline 0
+// selects DefaultDeadline when latency jobs are being generated — so
+// callers (the CLI header, logs) can report the parameters Generate
+// actually uses.
 func (c ArrivalConfig) Resolved() ArrivalConfig {
+	if c.LatencyFrac > 0 && c.Deadline == 0 {
+		c.Deadline = DefaultDeadline
+	}
 	if c.Kind != Bursty {
 		return c
 	}
@@ -128,19 +154,43 @@ func (c ArrivalConfig) Generate(universe []string) ([]Arrival, error) {
 	if c.Rate <= 0 && !(c.Kind == Bursty && c.BurstRate > 0) {
 		return nil, fmt.Errorf("fleet: arrival rate must be positive (got %g)", c.Rate)
 	}
+	if c.LatencyFrac < 0 || c.LatencyFrac > 1 {
+		return nil, fmt.Errorf("fleet: latency fraction %g outside [0,1]", c.LatencyFrac)
+	}
 	stream := rng.NewStream(rng.Hash2(c.Seed, 0xf1ee7))
+	var out []Arrival
 	if c.Kind == Bursty {
-		out, _ := c.Resolved().burstyGen(stream, universe)
-		return out, nil
+		out, _ = c.Resolved().burstyGen(stream, universe)
+	} else {
+		ratePerCycle := c.Rate / 1000
+		out = make([]Arrival, 0, c.Jobs)
+		t := 0.0
+		for i := 0; i < c.Jobs; i++ {
+			t += expo(stream) / ratePerCycle
+			out = append(out, Arrival{Name: universe[stream.Intn(len(universe))], Cycle: uint64(t)})
+		}
 	}
-	ratePerCycle := c.Rate / 1000
-	out := make([]Arrival, 0, c.Jobs)
-	t := 0.0
-	for i := 0; i < c.Jobs; i++ {
-		t += expo(stream) / ratePerCycle
-		out = append(out, Arrival{Name: universe[stream.Intn(len(universe))], Cycle: uint64(t)})
+	return c.tagSLO(out), nil
+}
+
+// tagSLO stamps a LatencyFrac share of the generated arrivals with the
+// latency class and the configured relative deadline. The draws come
+// from a stream derived independently of the time/name stream, so
+// enabling (or sweeping) the class mix never perturbs the traffic
+// itself — the property SLO ablations depend on.
+func (c ArrivalConfig) tagSLO(out []Arrival) []Arrival {
+	if c.LatencyFrac <= 0 {
+		return out
 	}
-	return out, nil
+	deadline := c.Resolved().Deadline
+	slo := rng.NewStream(rng.Hash2(c.Seed, 0x510c1a55))
+	for i := range out {
+		if slo.Float64() < c.LatencyFrac {
+			out[i].SLO = Latency
+			out[i].Deadline = deadline
+		}
+	}
+	return out
 }
 
 // generateTrace validates and sorts an explicit arrival list. Unknown
@@ -156,6 +206,12 @@ func (c ArrivalConfig) generateTrace(universe []string) ([]Arrival, error) {
 		return nil, fmt.Errorf("fleet: Jobs/Rate have no effect with a trace (got Jobs=%d Rate=%g); leave them zero",
 			c.Jobs, c.Rate)
 	}
+	if c.LatencyFrac != 0 {
+		return nil, fmt.Errorf("fleet: LatencyFrac has no effect with a trace; tag trace entries with their SLO class instead")
+	}
+	if c.Deadline != 0 {
+		return nil, fmt.Errorf("fleet: Deadline has no effect with a trace; set each latency entry's Deadline instead")
+	}
 	if len(universe) == 0 {
 		return nil, fmt.Errorf("fleet: empty benchmark universe")
 	}
@@ -169,6 +225,14 @@ func (c ArrivalConfig) generateTrace(universe []string) ([]Arrival, error) {
 		}
 		if !known[a.Name] {
 			return nil, fmt.Errorf("fleet: trace entry %d names unknown benchmark %q", i, a.Name)
+		}
+		// A deadline is meaningful exactly for latency entries; anything
+		// else is a mistagged trace, rejected rather than guessed at.
+		if a.SLO == Latency && a.Deadline == 0 {
+			return nil, fmt.Errorf("fleet: trace entry %d is latency-class but has no deadline", i)
+		}
+		if a.SLO == Batch && a.Deadline != 0 {
+			return nil, fmt.Errorf("fleet: trace entry %d is batch-class but carries deadline %d", i, a.Deadline)
 		}
 	}
 	out := append([]Arrival(nil), c.Trace...)

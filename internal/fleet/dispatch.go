@@ -1,6 +1,7 @@
 package fleet
 
 import (
+	"math"
 	"sort"
 
 	"repro/internal/classify"
@@ -8,10 +9,102 @@ import (
 	"repro/internal/sched"
 )
 
+// enqueue inserts j into the live queue preserving dispatch order:
+// latency class before batch when SLO-aware dispatch is on, then
+// arrival cycle, then arrival index. With SLO dispatch off every job
+// has equal priority, so admission order (arrival order) is preserved
+// exactly as before; with it on, evicted batch jobs re-enter among the
+// batch segment at their arrival-order position — ahead of younger
+// waiting batch work, behind every latency job.
+func (f *Fleet) enqueue(queue []*job, j *job) []*job {
+	before := func(a, b *job) bool {
+		if f.cfg.SLO.Enabled && a.slo != b.slo {
+			return a.slo == Latency
+		}
+		if a.arrival != b.arrival {
+			return a.arrival < b.arrival
+		}
+		return a.id < b.id
+	}
+	pos := sort.Search(len(queue), func(i int) bool { return before(j, queue[i]) })
+	queue = append(queue, nil)
+	copy(queue[pos+1:], queue[pos:])
+	queue[pos] = j
+	return queue
+}
+
+// windowFor sizes the ILP window for one dispatch. A pinned
+// Config.Window wins; otherwise the window adapts to what the matcher
+// can actually exploit:
+//
+//   - queue depth: half the backlog, clamped to [MinWindow, MaxWindow] —
+//     a shallow queue cannot fill a big window, and past MaxWindow the
+//     extra choice stops paying for the larger ILP;
+//   - class mix: the depth-sized window is scaled by the exponential of
+//     the class entropy over the candidate prefix (the "effective number
+//     of classes", 1..NumClasses). A one-class queue offers the matcher
+//     no pairing choice, so a big window only delays jobs it will never
+//     reorder; a uniform mix earns the full depth-sized window.
+func (f *Fleet) windowFor(q []*job, t int) int {
+	if f.cfg.Window > 0 {
+		return f.cfg.Window
+	}
+	w := len(q) / 2
+	if w < MinWindow {
+		w = MinWindow
+	}
+	if w > MaxWindow {
+		w = MaxWindow
+	}
+	prefix := q
+	if len(prefix) > MaxWindow {
+		prefix = prefix[:MaxWindow]
+	}
+	var counts [classify.NumClasses]int
+	for _, j := range prefix {
+		counts[j.apps[t].Class]++
+	}
+	h := 0.0
+	for _, n := range counts {
+		if n > 0 {
+			p := float64(n) / float64(len(prefix))
+			h -= p * math.Log(p)
+		}
+	}
+	effective := math.Exp(h) // 1 (degenerate) .. NumClasses (uniform)
+	scale := (effective - 1) / float64(classify.NumClasses-1)
+	w = MinWindow + int(float64(w-MinWindow)*scale)
+	return w
+}
+
+// agingWeights maps each waiting job in the window to its aging
+// multiplier input: wait normalized to the longest wait in the window,
+// in [0,1]. A nil map means aging is off (zero weight or an empty
+// window).
+func (f *Fleet) agingWeights(window []*job, now uint64) map[*job]float64 {
+	if f.cfg.Aging == 0 || len(window) == 0 {
+		return nil
+	}
+	maxWait := uint64(0)
+	for _, j := range window {
+		if w := now - j.arrival; w > maxWait {
+			maxWait = w
+		}
+	}
+	if maxWait == 0 {
+		return nil
+	}
+	out := make(map[*job]float64, len(window))
+	for _, j := range window {
+		out[j] = float64(now-j.arrival) / float64(maxWait)
+	}
+	return out
+}
+
 // formGroup pops the next co-run group from the live queue (jobs that
-// have arrived and are not yet dispatched, FIFO order) for a device of
-// type t. It returns the members and whether the windowed ILP made the
-// choice.
+// have arrived and are not yet dispatched, priority order) for a device
+// of type t at fleet cycle now. It returns the members and whether the
+// windowed ILP made the choice.
 //
 // Serial and FCFS reproduce the paper's baselines online; they ignore
 // the device type (naive placement). The ILP policies adapt the offline
@@ -21,17 +114,23 @@ import (
 // generations:
 //
 //   - shallow queue (fewer than GreedyBelow waiting): greedy formation
-//     seeded with the oldest job, adding whichever waiting job
+//     seeded with the highest-priority job, adding whichever waiting job
 //     maximizes the group's Equation 3.4 efficiency. A deep
 //     optimization over two jobs is pointless, and dispatching the
 //     oldest job immediately keeps latency low.
-//   - deep queue: solve the paper's ILP over the first Window jobs'
+//   - deep queue: solve the paper's ILP over the first windowFor jobs'
 //     class composition and materialize the single best pattern that
-//     includes the oldest job's class. Requiring the oldest job to be
+//     includes the head job's class. Requiring the head job to be
 //     schedulable guards against starvation — the ILP alone would
 //     happily strand an awkward class forever while fresher arrivals
 //     overtake it.
-func (f *Fleet) formGroup(queue *[]*job, t int) (members []*job, usedILP bool) {
+//
+// With Config.Aging set, both paths weight efficiency by member wait:
+// patterns (and greedy candidates) whose members have waited longest get
+// their efficiency multiplied by 1+Aging*w, so tail latency competes
+// with raw packing. With SLO dispatch on, the queue is priority-ordered,
+// so the seed job is the oldest waiting latency job whenever one exists.
+func (f *Fleet) formGroup(queue *[]*job, t int, now uint64) (members []*job, usedILP bool) {
 	q := *queue
 	switch f.cfg.Policy {
 	case sched.Serial:
@@ -47,25 +146,26 @@ func (f *Fleet) formGroup(queue *[]*job, t int) (members []*job, usedILP bool) {
 	}
 	// ILP / ILPSMRA.
 	if len(q) >= f.cfg.GreedyBelow && len(q) >= f.cfg.NC {
-		if g := f.formILPGroup(queue, t); g != nil {
+		if g := f.formILPGroup(queue, t, now); g != nil {
 			return g, true
 		}
 	}
-	return f.formGreedyGroup(queue, t), false
+	return f.formGreedyGroup(queue, t, now), false
 }
 
-// formGreedyGroup starts from the oldest waiting job and repeatedly
-// adds the job whose inclusion yields the highest pattern efficiency on
-// device type t's interference matrix. Candidates come from the same
-// window prefix the ILP would see, so a deep queue does not make
-// dispatch linear in the backlog.
-func (f *Fleet) formGreedyGroup(queue *[]*job, t int) []*job {
+// formGreedyGroup starts from the head waiting job and repeatedly adds
+// the job whose inclusion yields the highest (age-weighted) pattern
+// efficiency on device type t's interference matrix. Candidates come
+// from the same window prefix the ILP would see, so a deep queue does
+// not make dispatch linear in the backlog.
+func (f *Fleet) formGreedyGroup(queue *[]*job, t int, now uint64) []*job {
 	q := *queue
 	matrix := f.types[t].Matrix()
 	window := q
-	if len(window) > f.cfg.Window {
-		window = window[:f.cfg.Window]
+	if w := f.windowFor(q, t); len(window) > w {
+		window = window[:w]
 	}
+	aging := f.agingWeights(window, now)
 	members := []*job{q[0]}
 	taken := map[*job]bool{q[0]: true}
 	for len(members) < f.cfg.NC {
@@ -76,6 +176,9 @@ func (f *Fleet) formGreedyGroup(queue *[]*job, t int) []*job {
 				continue
 			}
 			eff := match.Efficiency(matrix, pattern(members, cand, t))
+			if aging != nil {
+				eff *= 1 + f.cfg.Aging*aging[cand]
+			}
 			// Strict > keeps the earliest-arrived candidate on ties.
 			if eff > bestEff {
 				best, bestEff = cand, eff
@@ -91,27 +194,48 @@ func (f *Fleet) formGreedyGroup(queue *[]*job, t int) []*job {
 	return members
 }
 
-// formILPGroup solves the matcher over the queue's Window-prefix class
+// formILPGroup solves the matcher over the queue's window-prefix class
 // composition as seen by device type t and materializes one group. It
-// returns nil when the ILP cannot produce a pattern containing the
-// oldest job's class (the caller falls back to greedy formation).
-func (f *Fleet) formILPGroup(queue *[]*job, t int) []*job {
+// returns nil when the ILP cannot produce a pattern containing the head
+// job's class (the caller falls back to greedy formation). With aging
+// active the pattern efficiencies handed to the solver are age-weighted
+// per class (match.AgedEfficiencies), so a pattern containing a starved
+// class outbids a marginally better-packing one.
+func (f *Fleet) formILPGroup(queue *[]*job, t int, now uint64) []*job {
 	q := *queue
 	matrix := f.types[t].Matrix()
 	window := q
-	if len(window) > f.cfg.Window {
-		window = window[:f.cfg.Window]
+	if w := f.windowFor(q, t); len(window) > w {
+		window = window[:w]
 	}
 	var counts [classify.NumClasses]int
 	for _, j := range window {
 		counts[j.apps[t].Class]++
 	}
-	res, err := match.Solve(matrix, counts, f.cfg.NC)
+	var res match.Result
+	var err error
+	if aging := f.agingWeights(window, now); aging != nil {
+		patterns := match.Patterns(f.cfg.NC)
+		eff := make([]float64, len(patterns))
+		for k, p := range patterns {
+			eff[k] = match.Efficiency(matrix, p)
+		}
+		var classWait [classify.NumClasses]float64
+		for _, j := range window {
+			if w := aging[j]; w > classWait[j.apps[t].Class] {
+				classWait[j.apps[t].Class] = w
+			}
+		}
+		eff = match.AgedEfficiencies(patterns, eff, classWait, f.cfg.Aging)
+		res, err = match.SolveWithEff(patterns, eff, counts, f.cfg.NC)
+	} else {
+		res, err = match.Solve(matrix, counts, f.cfg.NC)
+	}
 	if err != nil {
 		return nil
 	}
 	// Among the patterns the ILP selected, take the most efficient one
-	// that can dispatch the oldest waiting job.
+	// that can dispatch the head waiting job.
 	oldest := q[0].apps[t].Class
 	best := -1
 	for k, n := range res.Counts {
@@ -125,7 +249,7 @@ func (f *Fleet) formILPGroup(queue *[]*job, t int) []*job {
 	if best < 0 {
 		return nil
 	}
-	// Materialize with the oldest waiting job of each required class.
+	// Materialize with the head waiting job of each required class.
 	taken := make(map[*job]bool, f.cfg.NC)
 	var members []*job
 	for _, cls := range res.Patterns[best] {

@@ -1,42 +1,3 @@
-// Package fleet is the online layer of the reproduction: jobs arrive
-// over simulated time to a fleet of N simulated GPUs, and the paper's
-// classification / interference / matching machinery is applied
-// incrementally to the live queue instead of to a static batch.
-//
-// The paper's evaluation (and internal/sched) is offline: the whole
-// queue is known up front, groups are formed once and run to
-// completion. A production deployment sees neither — applications
-// arrive continuously, and a device that frees up must choose its next
-// co-run group from whatever is waiting *now*. Package fleet models
-// exactly that as a deterministic discrete-event simulation:
-//
-//   - arrival processes (Poisson, bursty on-off, fixed trace) generate
-//     a deterministic stream of jobs from a seed (arrivals.go);
-//   - whenever a device frees up, an online dispatcher forms the next
-//     co-run group from the current queue — greedily when the queue is
-//     shallow (latency matters more than packing) and with a windowed
-//     ILP over the queue prefix when it is deep (dispatch.go);
-//   - group executions run concurrently on a worker pool, one in-flight
-//     group per device, through sched.Scheduler.RunGroup — the same
-//     single-group path the offline scheduler uses (sim.go);
-//   - per-job latency (wait, turnaround) and per-device utilization are
-//     accounted and summarized with stats.Summarize (report.go).
-//
-// The fleet may be heterogeneous: the roster (Config.Devices) is a list
-// of DeviceSpec entries, each contributing Count devices of one device
-// type backed by its own calibrated core.Pipeline. Classification,
-// interference matrices and solo profiles are all per device type —
-// the same application can fall in different classes on different
-// generations — so the dispatcher is placement-aware: when a device
-// frees, group formation scores candidate groups with that device
-// type's matrix, and the event loop's completion lower bounds use that
-// device's peak issue rate and solo profiles. Devices are offered work
-// fastest-first (descending peak IPC, ties by device index), so heavy
-// backlogs drain through the big devices first.
-//
-// Everything is a pure function of the seed and configuration: two runs
-// with the same inputs produce byte-identical summaries, regardless of
-// how the host schedules the worker goroutines.
 package fleet
 
 import (
@@ -71,12 +32,25 @@ type Config struct {
 	// matcher on the live queue.
 	Policy sched.Policy
 	// Window bounds how much of the queue prefix the windowed ILP
-	// considers (0 selects DefaultWindow).
+	// considers. 0 selects the adaptive window: sized from the live
+	// queue depth and its class mix at every dispatch (see windowFor),
+	// between MinWindow and MaxWindow. A nonzero value pins it.
 	Window int
 	// GreedyBelow is the queue depth under which ILP policies fall back
 	// to greedy group formation (0 selects 2*NC). The windowed ILP only
 	// pays off once the queue offers real choice.
 	GreedyBelow int
+	// Aging weights pattern efficiency by member wait time in the ILP
+	// and greedy scorers: a candidate's (or pattern's) efficiency is
+	// multiplied by 1 + Aging*w, where w is the member's wait normalized
+	// to the longest wait in the window. 0 disables aging and scores by
+	// raw packing efficiency alone; around 1, a job that has waited the
+	// longest doubles its patterns' appeal — tail latency is optimized
+	// rather than pure throughput.
+	Aging float64
+	// SLO configures class-aware dispatch and preemption; the zero value
+	// disables both.
+	SLO SLOConfig
 
 	// forceSpec makes the event loop pre-simulate likely next groups
 	// even on a single-CPU host, where speculation otherwise only burns
@@ -85,22 +59,25 @@ type Config struct {
 	forceSpec bool
 }
 
-// DefaultWindow is the ILP window when Config.Window is zero: large
-// enough that the matcher sees a representative class mix, small enough
-// that dispatch stays cheap at deep queues.
-const DefaultWindow = 16
+// The adaptive window's operating range: windowFor sizes the window
+// between these from backlog depth and class-mix entropy. MinWindow
+// keeps the matcher fed with a representative class mix even at
+// shallow queues; MaxWindow keeps dispatch cheap at deep ones.
+const (
+	MinWindow = 8
+	MaxWindow = 32
+)
 
-// withDefaults resolves zero fields.
+// withDefaults resolves zero fields. Window deliberately stays 0 when
+// unset: that selects per-dispatch adaptive sizing (windowFor).
 func (c Config) withDefaults() Config {
 	if c.Policy == sched.Serial {
 		c.NC = 1
 	}
-	if c.Window == 0 {
-		c.Window = DefaultWindow
-	}
 	if c.GreedyBelow == 0 {
 		c.GreedyBelow = 2 * c.NC
 	}
+	c.SLO = c.SLO.withDefaults()
 	return c
 }
 
@@ -143,11 +120,17 @@ func (c Config) validate() error {
 	if c.NC < 1 {
 		return fmt.Errorf("fleet: group size %d", c.NC)
 	}
-	if c.Window < 1 {
+	if c.Window < 0 {
 		return fmt.Errorf("fleet: ILP window %d", c.Window)
 	}
 	if c.GreedyBelow < 1 {
 		return fmt.Errorf("fleet: greedy threshold %d", c.GreedyBelow)
+	}
+	if c.Aging < 0 {
+		return fmt.Errorf("fleet: aging weight %g must not be negative", c.Aging)
+	}
+	if err := c.SLO.validate(); err != nil {
+		return err
 	}
 	switch c.Policy {
 	case sched.Serial, sched.FCFS, sched.ProfileBased, sched.ILP, sched.ILPSMRA:
@@ -187,8 +170,10 @@ type Fleet struct {
 	devType []int
 	// order is the placement scan order: device indices sorted by
 	// descending peak IPC (ties by index), so idle fast devices are
-	// offered work before idle slow ones.
-	order []int
+	// offered work before idle slow ones. orderPos inverts it
+	// (device index -> scan position).
+	order    []int
+	orderPos []int
 }
 
 // New builds a fleet over the configured roster.
@@ -214,6 +199,10 @@ func New(cfg Config) (*Fleet, error) {
 		pb := f.types[f.devType[f.order[b]]].Config().PeakIPC()
 		return pa > pb
 	})
+	f.orderPos = make([]int, len(f.devType))
+	for pos, d := range f.order {
+		f.orderPos[d] = pos
+	}
 	return f, nil
 }
 

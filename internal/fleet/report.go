@@ -16,19 +16,41 @@ type JobRecord struct {
 	// Name and Class identify the application.
 	Name  string
 	Class classify.Class
+	// SLO is the job's service-level class; Deadline is the latency
+	// job's relative deadline in cycles from arrival (0 for batch).
+	SLO      SLOClass
+	Deadline uint64
 	// Arrival, Dispatch and Complete are absolute fleet cycles.
+	// Dispatch is the job's final (completing) dispatch; preempted
+	// attempts are counted by Evictions and recorded in
+	// Result.Evictions.
 	Arrival  uint64
 	Dispatch uint64
 	Complete uint64
-	// Device is which GPU ran the job.
+	// Device is which GPU ran the job (to completion).
 	Device int
+	// Evictions counts how many times the job was preempted before it
+	// completed.
+	Evictions int
 }
 
-// Wait is the queueing delay before dispatch.
+// Wait is the queueing delay before the final dispatch.
 func (j JobRecord) Wait() uint64 { return j.Dispatch - j.Arrival }
 
 // Turnaround is arrival to completion.
 func (j JobRecord) Turnaround() uint64 { return j.Complete - j.Arrival }
+
+// Missed reports whether a latency job completed past its deadline.
+// Batch jobs never miss.
+func (j JobRecord) Missed() bool {
+	return j.SLO == Latency && j.Complete > j.Arrival+j.Deadline
+}
+
+// Slack is the margin to the deadline in cycles (negative = missed),
+// meaningful for latency jobs only.
+func (j JobRecord) Slack() int64 {
+	return int64(j.Arrival+j.Deadline) - int64(j.Complete)
+}
 
 // Result is a whole fleet run's accounting.
 type Result struct {
@@ -50,13 +72,16 @@ type Result struct {
 	// DeviceConfig is each device's configuration name, indexed like
 	// DeviceBusy (heterogeneous rosters mix names).
 	DeviceConfig []string
-	// Groups counts dispatches; GreedyGroups/ILPGroups split them by
-	// how the group was formed.
+	// Groups counts completed dispatches; GreedyGroups/ILPGroups split
+	// them by how the group was formed. Preempted dispatches are not
+	// counted here — they appear in Evictions.
 	Groups       int
 	GreedyGroups int
 	ILPGroups    int
 	// SMMoves counts completed SM reallocations (ILPSMRA only).
 	SMMoves int
+	// Evictions records every preemption in event order.
+	Evictions []EvictionRecord
 }
 
 // Throughput is the fleet analogue of Equation 1.1: retired thread
@@ -113,6 +138,96 @@ func (r Result) WaitSummary() stats.Summary { return stats.Summarize(r.Waits()) 
 // TurnaroundSummary summarizes turnaround (kilocycles).
 func (r Result) TurnaroundSummary() stats.Summary { return stats.Summarize(r.Turnarounds()) }
 
+// classSamples projects the jobs of one SLO class through f, in
+// kilocycles.
+func (r Result) classSamples(c SLOClass, f func(JobRecord) float64) []float64 {
+	var out []float64
+	for _, j := range r.Jobs {
+		if j.SLO == c {
+			out = append(out, f(j)/1000)
+		}
+	}
+	return out
+}
+
+// WaitSummaryFor summarizes queueing delay (kilocycles) for one SLO
+// class.
+func (r Result) WaitSummaryFor(c SLOClass) stats.Summary {
+	return stats.Summarize(r.classSamples(c, func(j JobRecord) float64 { return float64(j.Wait()) }))
+}
+
+// TurnaroundSummaryFor summarizes turnaround (kilocycles) for one SLO
+// class.
+func (r Result) TurnaroundSummaryFor(c SLOClass) stats.Summary {
+	return stats.Summarize(r.classSamples(c, func(j JobRecord) float64 { return float64(j.Turnaround()) }))
+}
+
+// LatencySlacks returns every latency job's deadline slack in
+// kilocycles (negative = missed), in arrival order.
+func (r Result) LatencySlacks() []float64 {
+	return r.classSamples(Latency, func(j JobRecord) float64 { return float64(j.Slack()) })
+}
+
+// SlackSummary summarizes the latency-class deadline slack
+// (kilocycles); its percentiles are the per-class deadline-miss
+// percentiles (P50 < 0 means the median latency job missed).
+func (r Result) SlackSummary() stats.Summary { return stats.Summarize(r.LatencySlacks()) }
+
+// LatencyJobs counts jobs of the latency class.
+func (r Result) LatencyJobs() int {
+	n := 0
+	for _, j := range r.Jobs {
+		if j.SLO == Latency {
+			n++
+		}
+	}
+	return n
+}
+
+// DeadlineMisses counts latency jobs that completed past their
+// deadline.
+func (r Result) DeadlineMisses() int {
+	n := 0
+	for _, j := range r.Jobs {
+		if j.Missed() {
+			n++
+		}
+	}
+	return n
+}
+
+// MissRate is the fraction of latency jobs that missed their deadline
+// (0 when there are none).
+func (r Result) MissRate() float64 {
+	if n := r.LatencyJobs(); n > 0 {
+		return float64(r.DeadlineMisses()) / float64(n)
+	}
+	return 0
+}
+
+// WastedCycles sums the eviction records' wasted work.
+func (r Result) WastedCycles() uint64 {
+	sum := uint64(0)
+	for _, e := range r.Evictions {
+		sum += e.Wasted
+	}
+	return sum
+}
+
+// EvictionTrace renders every preemption as one line per event, in
+// event order — the deterministic trace the preemption golden test
+// compares across runs. Empty string when nothing was evicted.
+func (r Result) EvictionTrace() string {
+	if len(r.Evictions) == 0 {
+		return ""
+	}
+	lines := make([]string, len(r.Evictions))
+	for i, e := range r.Evictions {
+		lines[i] = e.String()
+	}
+	return strings.Join(lines, "\n") + "\n"
+}
+
 // deviceLabel names device d's configuration ("?" when unknown).
 func (r Result) deviceLabel(d int) string {
 	if d < len(r.DeviceConfig) {
@@ -140,5 +255,16 @@ func (r Result) Summary() string {
 	fmt.Fprintf(&b, " mean=%.1f%%\n", 100*r.MeanUtilization())
 	fmt.Fprintf(&b, "wait        (kcycles) %v\n", r.WaitSummary())
 	fmt.Fprintf(&b, "turnaround  (kcycles) %v\n", r.TurnaroundSummary())
+	// The per-class block appears exactly when the run carries SLO
+	// classes, so class-blind runs keep the historical summary shape.
+	if r.LatencyJobs() > 0 || len(r.Evictions) > 0 {
+		fmt.Fprintf(&b, "latency wait       (kcycles) %v\n", r.WaitSummaryFor(Latency))
+		fmt.Fprintf(&b, "latency turnaround (kcycles) %v\n", r.TurnaroundSummaryFor(Latency))
+		fmt.Fprintf(&b, "latency slack      (kcycles) %v\n", r.SlackSummary())
+		fmt.Fprintf(&b, "batch wait         (kcycles) %v\n", r.WaitSummaryFor(Batch))
+		fmt.Fprintf(&b, "batch turnaround   (kcycles) %v\n", r.TurnaroundSummaryFor(Batch))
+		fmt.Fprintf(&b, "deadline-miss      %d/%d (%.1f%%)\n", r.DeadlineMisses(), r.LatencyJobs(), 100*r.MissRate())
+		fmt.Fprintf(&b, "evictions          %d (wasted %d cycles)\n", len(r.Evictions), r.WastedCycles())
+	}
 	return b.String()
 }

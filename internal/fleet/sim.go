@@ -6,6 +6,8 @@ import (
 	"runtime"
 	"sync"
 
+	"repro/internal/classify"
+	"repro/internal/match"
 	"repro/internal/sched"
 )
 
@@ -19,10 +21,53 @@ type job struct {
 	dispatch uint64
 	complete uint64
 	device   int
+	// slo and deadline come from the arrival; deadline is relative to
+	// arrival (0 for batch jobs).
+	slo      SLOClass
+	deadline uint64
+	// progress is the checkpointed completed fraction preserved across
+	// evictions, in [0, MaxCheckpoint]. evictions counts how often the
+	// job was preempted.
+	progress  float64
+	evictions int
 }
 
 // name returns the application name (identical across device types).
 func (j *job) name() string { return j.apps[0].Params.Name }
+
+// deadlineAbs is the absolute fleet cycle the job must complete by
+// (only meaningful for latency jobs).
+func (j *job) deadlineAbs() uint64 { return j.arrival + j.deadline }
+
+// remainingFrac is the share of the job's duration a (re-)dispatch must
+// still execute: everything for a fresh job; for a checkpointed one the
+// un-preserved remainder plus the explicit restart cost (re-reading
+// inputs, replaying the un-checkpointed tail), capped at a full re-run.
+func (j *job) remainingFrac(slo SLOConfig) float64 {
+	if j.progress == 0 {
+		return 1
+	}
+	rem := 1 - j.progress + slo.RestartFrac
+	if rem > 1 {
+		rem = 1
+	}
+	return rem
+}
+
+// effectiveCycles scales a simulated per-member completion to the
+// checkpoint model: a job that preserved fraction p of itself only
+// occupies the device for its remaining fraction of the simulated run.
+func (f *Fleet) effectiveCycles(j *job, end uint64) uint64 {
+	rem := j.remainingFrac(f.cfg.SLO)
+	if rem >= 1 {
+		return end
+	}
+	e := uint64(math.Ceil(float64(end) * rem))
+	if e < 1 {
+		e = 1
+	}
+	return e
+}
 
 // inflight is one group executing on one device. The simulation result
 // (rep) is computed on a worker goroutine; the event loop learns the
@@ -84,6 +129,10 @@ func (f *Fleet) lowerBoundCycles(members []*job, t int) uint64 {
 				lb = solo
 			}
 		}
+		// A checkpointed member's effective runtime is its simulated end
+		// scaled by the remaining fraction, so its bound scales the same
+		// way (end >= lb implies end*rem >= lb*rem).
+		lb *= m.remainingFrac(f.cfg.SLO)
 		if lb > bound {
 			bound = lb
 		}
@@ -142,11 +191,20 @@ func (f *Fleet) Run(arrivals []Arrival) (Result, error) {
 		now       uint64
 		nextArr   int
 		remaining = len(jobs)
+		// abandoned holds evicted flights whose simulations are still
+		// running; their results are discarded, but Run must not return
+		// (and tests must not race) while their workers live.
+		abandoned []*inflight
 	)
+	defer func() {
+		for _, fl := range abandoned {
+			<-fl.done
+		}
+	}()
 	for remaining > 0 {
-		// Admit arrivals due by now.
+		// Admit arrivals due by now (priority order when SLO-aware).
 		for nextArr < len(jobs) && jobs[nextArr].arrival <= now {
-			queue = append(queue, jobs[nextArr])
+			queue = f.enqueue(queue, jobs[nextArr])
 			nextArr++
 		}
 		// Dispatch to idle devices while work is waiting, fastest device
@@ -164,7 +222,7 @@ func (f *Fleet) Run(arrivals []Arrival) (Result, error) {
 				break
 			}
 			t := f.devType[d]
-			members, usedILP := f.formGroup(&queue, t)
+			members, usedILP := f.formGroup(&queue, t, now)
 			idle[d] = false
 			fl := &inflight{
 				device:   d,
@@ -186,6 +244,22 @@ func (f *Fleet) Run(arrivals []Arrival) (Result, error) {
 				fl.rep, fl.err = f.types[fl.typ].Scheduler().RunGroup(g, f.cfg.Policy)
 				close(fl.done)
 			}(fl)
+		}
+		// Preemption: when the head of the queue is a latency job that
+		// would miss its deadline waiting for the predicted next natural
+		// completion, clear one running all-batch group and loop back so
+		// the dispatch pass places the trigger on the freed device.
+		if f.cfg.SLO.Preempt && len(queue) > 0 && queue[0].slo == Latency {
+			if victim := f.preemptVictim(queue[0], flights, now); victim != nil {
+				f.evict(victim, queue[0], now, &res)
+				idle[victim.device] = true
+				flights = removeFlight(flights, victim)
+				abandoned = append(abandoned, victim)
+				for _, j := range victim.jobs {
+					queue = f.enqueue(queue, j)
+				}
+				continue
+			}
 		}
 		// Pick the provably-earliest next event. Ties go to arrivals
 		// first (a job landing the instant a device frees still queues
@@ -228,7 +302,7 @@ func (f *Fleet) Run(arrivals []Arrival) (Result, error) {
 			// already done (or in flight — the scheduler dedups identical
 			// executions).
 			if runtime.NumCPU() > 1 || f.cfg.forceSpec {
-				f.speculate(queue, idle, sem, &specWG, speculated)
+				f.speculate(queue, idle, now, sem, &specWG, speculated)
 			}
 			<-uBest.done
 			if uBest.err != nil {
@@ -236,7 +310,7 @@ func (f *Fleet) Run(arrivals []Arrival) (Result, error) {
 				return Result{}, uBest.err
 			}
 			uBest.resolved = true
-			uBest.complete = uBest.dispatch + uBest.rep.Cycles
+			uBest.complete = uBest.dispatch + f.flightCycles(uBest)
 			if uBest.complete < uBest.earliest {
 				// The bound was not sound after all — fail loudly rather
 				// than silently reorder events.
@@ -252,16 +326,270 @@ func (f *Fleet) Run(arrivals []Arrival) (Result, error) {
 	for _, j := range jobs {
 		t := f.devType[j.device]
 		res.Jobs = append(res.Jobs, JobRecord{
-			ID:       j.id,
-			Name:     j.name(),
-			Class:    j.apps[t].Class,
-			Arrival:  j.arrival,
-			Dispatch: j.dispatch,
-			Complete: j.complete,
-			Device:   j.device,
+			ID:        j.id,
+			Name:      j.name(),
+			Class:     j.apps[t].Class,
+			SLO:       j.slo,
+			Deadline:  j.deadline,
+			Arrival:   j.arrival,
+			Dispatch:  j.dispatch,
+			Complete:  j.complete,
+			Device:    j.device,
+			Evictions: j.evictions,
 		})
 	}
 	return res, nil
+}
+
+// preemptVictim decides whether evicting a running group saves the
+// trigger latency job, and which group to clear. It returns nil when no
+// eviction is justified: the trigger can still meet its deadline by
+// waiting (the predicted next device free time plus the fastest solo
+// run on the roster makes it), or no running group is evictable (every
+// group shields a latency member), or the deadline is already
+// unreachable even on a device freed right now (eviction would burn
+// batch progress without saving anything).
+func (f *Fleet) preemptVictim(trigger *job, flights []*inflight, now uint64) *inflight {
+	if len(flights) == 0 {
+		return nil
+	}
+	// Waiting means the dispatch loop hands the queue head to the FIRST
+	// device that frees — there is no holding back for a faster one —
+	// so the no-eviction outcome is the co-run on that flight's own
+	// device type. Ties between simultaneously freeing devices resolve
+	// by placement order, exactly as the real dispatch pass scans them.
+	var first *inflight
+	firstFree := uint64(math.MaxUint64)
+	for _, fl := range flights {
+		free := f.predictedFree(fl)
+		if first == nil || free < firstFree ||
+			(free == firstFree && f.orderPos[fl.device] < f.orderPos[first.device]) {
+			first, firstFree = fl, free
+		}
+	}
+	run, ok := f.coRunCycles(trigger, first.typ)
+	if !ok {
+		return nil // no solo profile to estimate with; never evict blindly
+	}
+	deadline := trigger.deadlineAbs()
+	if firstFree+run <= deadline {
+		return nil
+	}
+	// Candidate victims: running groups with no latency member, whose
+	// freed device could still let the trigger meet the deadline. The
+	// two sides of the decision are deliberately asymmetric: the
+	// would-miss test above uses the pessimistic co-run estimate (missing
+	// a needed rescue forfeits the deadline for good), while this
+	// can-save test uses the solo optimum (a rescue that might work is
+	// worth one batch group's progress; if it fails anyway, the waste is
+	// bounded and reported).
+	var victim *inflight
+	for _, fl := range flights {
+		evictable := true
+		for _, j := range fl.jobs {
+			if j.slo == Latency {
+				evictable = false
+				break
+			}
+		}
+		if !evictable {
+			continue
+		}
+		// A device already predicted to free at the current cycle gives
+		// eviction no head start over waiting — clearing it would throw
+		// away a (possibly finished) run for zero latency gain.
+		if f.predictedFree(fl) <= now {
+			continue
+		}
+		if solo, ok := f.soloCycles(trigger, fl.typ); !ok || now+solo > deadline {
+			continue
+		}
+		if victim == nil || fl.dispatch > victim.dispatch ||
+			(fl.dispatch == victim.dispatch && fl.device < victim.device) {
+			victim = fl
+		}
+	}
+	return victim
+}
+
+// coRunCycles estimates the trigger's co-run duration on device type t:
+// its remaining solo duration scaled by the least favorable pairwise
+// slowdown the interference matrix predicts, or the plain solo when no
+// matrix is calibrated. Deadline protection deliberately assumes the
+// worst co-partner: the per-class matrix entries are averages, so an
+// optimistic estimate predicts "will meet it" for jobs the simulation
+// then misses by a small margin, and the rescue never fires.
+func (f *Fleet) coRunCycles(j *job, t int) (uint64, bool) {
+	solo, ok := f.soloCycles(j, t)
+	if !ok {
+		return 0, false
+	}
+	m := f.types[t].Matrix()
+	if m == nil || f.cfg.NC < 2 {
+		return solo, true
+	}
+	// The worst case is modeled as NC-1 partners of one class (the
+	// class whose uniform company slows this job most) — it covers the
+	// pairwise and triple matrix entries exactly and stays O(NT) rather
+	// than enumerating mixed partner multisets.
+	cls := j.apps[t].Class
+	worst := 1.0
+	for c := classify.Class(0); c < classify.NumClasses; c++ {
+		p := make(match.Pattern, f.cfg.NC)
+		p[0] = cls
+		for i := 1; i < f.cfg.NC; i++ {
+			p[i] = c
+		}
+		if s := match.MemberSlowdown(m, p, 0); s > worst {
+			worst = s
+		}
+	}
+	return uint64(float64(solo) * worst), true
+}
+
+// evict aborts fl at cycle now: its jobs re-enter the queue with
+// checkpointed progress and the device frees immediately. The group's
+// simulation keeps running on its worker — its result is discarded, but
+// the memo may still serve a later identical dispatch — so eviction
+// never blocks the event loop.
+//
+// The checkpoint is taken from the solo-profile progress model, not from
+// simulator state: a job that ran elapsed cycles preserves up to
+// elapsed/solo of itself (optimistic — co-running is slower than solo),
+// capped at MaxCheckpoint. Wasted accounts the attempt time the
+// checkpoints do not preserve plus the restart tax the re-dispatch will
+// pay.
+func (f *Fleet) evict(fl *inflight, trigger *job, now uint64, res *Result) {
+	elapsed := now - fl.dispatch
+	rec := EvictionRecord{Cycle: now, Device: fl.device, TriggerJob: trigger.id}
+	slo := f.cfg.SLO
+	for _, j := range fl.jobs {
+		before := j.progress
+		var solo float64
+		if r, ok := f.types[fl.typ].Profiler().Peek(j.name(), 0); ok {
+			solo = float64(r.Cycles)
+		}
+		if solo > 0 {
+			// A re-dispatched attempt spends its first min(RestartFrac,
+			// progress)*solo cycles replaying already-checkpointed work;
+			// only the time past that replay earns new progress —
+			// otherwise repeated evictions would mint checkpoint credit
+			// out of restarts alone.
+			fresh := float64(elapsed)
+			if before > 0 {
+				replay := slo.RestartFrac
+				if before < replay {
+					replay = before
+				}
+				fresh -= replay * solo
+				if fresh < 0 {
+					fresh = 0
+				}
+			}
+			j.progress += fresh / solo
+			if j.progress > slo.MaxCheckpoint {
+				j.progress = slo.MaxCheckpoint
+			}
+		}
+		j.evictions++
+		rec.Jobs = append(rec.Jobs, j.id)
+		rec.Progress = append(rec.Progress, j.progress)
+		waste := float64(elapsed) - (j.progress-before)*solo
+		if waste < 0 {
+			waste = 0
+		}
+		// The restart tax actually charged on re-dispatch is capped by
+		// remainingFrac at min(RestartFrac, progress) of the solo run —
+		// a job with no checkpoint re-runs from scratch and pays none.
+		tax := slo.RestartFrac
+		if j.progress < tax {
+			tax = j.progress
+		}
+		waste += tax * solo
+		rec.Wasted += uint64(waste)
+	}
+	// The aborted attempt occupied the device for real.
+	res.DeviceBusy[fl.device] += elapsed
+	res.Evictions = append(res.Evictions, rec)
+}
+
+// predictedFree estimates when fl's device frees: the exact completion
+// once the simulation has resolved, otherwise dispatch plus the longest
+// member's remaining solo duration scaled by its class's expected
+// co-run slowdown from the interference matrix (the model's own
+// Equation 3.4 ingredients; plain solo when no matrix is calibrated).
+// This is deliberately the model's likely free time, not the event
+// loop's (halved) safety bound: the preemption decision wants a
+// realistic estimate, while event ordering needs a provable one.
+func (f *Fleet) predictedFree(fl *inflight) uint64 {
+	if fl.resolved {
+		return fl.complete
+	}
+	est := fl.earliest
+	m := f.types[fl.typ].Matrix()
+	var pat match.Pattern
+	if m != nil {
+		pat = make(match.Pattern, len(fl.jobs))
+		for i, j := range fl.jobs {
+			pat[i] = j.apps[fl.typ].Class
+		}
+	}
+	for i, j := range fl.jobs {
+		solo, ok := f.soloCycles(j, fl.typ)
+		if !ok {
+			continue
+		}
+		dur := float64(solo)
+		if pat != nil {
+			dur *= match.MemberSlowdown(m, pat, i)
+		}
+		if e := fl.dispatch + uint64(dur); e > est {
+			est = e
+		}
+	}
+	return est
+}
+
+// soloCycles estimates how long job j would run alone on device type t,
+// scaled to its checkpointed remainder. It is the dispatcher's cheapest
+// (and fastest-possible) runtime estimate — calibration profiled every
+// universe member solo, so the Peek is a memo hit.
+func (f *Fleet) soloCycles(j *job, t int) (uint64, bool) {
+	r, ok := f.types[t].Profiler().Peek(j.name(), 0)
+	if !ok {
+		return 0, false
+	}
+	c := uint64(math.Ceil(float64(r.Cycles) * j.remainingFrac(f.cfg.SLO)))
+	if c < 1 {
+		c = 1
+	}
+	return c, true
+}
+
+// memberEnd is member i's checkpoint-scaled completion offset within
+// flight fl: its simulated per-member end (falling back to the group
+// makespan) through the effective-cycles scaling. Both the event loop's
+// completion ordering (flightCycles) and the final accounting (retire)
+// read ends through this one helper, so the two can never disagree.
+func (f *Fleet) memberEnd(fl *inflight, i int) uint64 {
+	e := fl.rep.Cycles
+	if i < len(fl.rep.Stats) && fl.rep.Stats[i].EndCycle > 0 {
+		e = fl.rep.Stats[i].EndCycle
+	}
+	return f.effectiveCycles(fl.jobs[i], e)
+}
+
+// flightCycles is the group's effective device occupancy: the max of
+// the members' checkpoint-scaled completion cycles (exactly the
+// simulated group makespan when no member carries a checkpoint).
+func (f *Fleet) flightCycles(fl *inflight) uint64 {
+	end := uint64(0)
+	for i := range fl.jobs {
+		if e := f.memberEnd(fl, i); e > end {
+			end = e
+		}
+	}
+	return end
 }
 
 // speculate warms the schedulers' group memos with the groups each
@@ -272,20 +600,22 @@ func (f *Fleet) Run(arrivals []Arrival) (Result, error) {
 // are pure). A wrong guess — arrivals landing in the window before the
 // device actually frees, or busy devices freeing in a different order —
 // costs one wasted simulation, never correctness.
-func (f *Fleet) speculate(queue []*job, idle []bool, sem chan struct{}, wg *sync.WaitGroup, seen map[string]bool) {
+func (f *Fleet) speculate(queue []*job, idle []bool, now uint64, sem chan struct{}, wg *sync.WaitGroup, seen map[string]bool) {
 	if len(queue) == 0 {
 		return
 	}
 	// formGroup filters the queue in place, so work on a copy. Busy
 	// devices are predicted in placement order — the same order real
-	// dispatch would offer them work if they all freed at once.
+	// dispatch would offer them work if they all freed at once. With
+	// aging on the prediction also guesses the dispatch time (now); a
+	// stale guess costs one wasted simulation, never correctness.
 	spec := append([]*job(nil), queue...)
 	for _, d := range f.order {
 		if idle[d] || len(spec) == 0 {
 			continue
 		}
 		t := f.devType[d]
-		members, _ := f.formGroup(&spec, t)
+		members, _ := f.formGroup(&spec, t, now)
 		sig := fmt.Sprintf("t%d:", t)
 		for _, m := range members {
 			sig += m.name() + "|"
@@ -335,24 +665,33 @@ func (f *Fleet) resolve(arrivals []Arrival) ([]*job, error) {
 		for t := range f.types {
 			apps[t] = perType[t][i]
 		}
-		jobs[i] = &job{id: i, apps: apps, arrival: arrivals[i].Cycle}
+		jobs[i] = &job{
+			id:       i,
+			apps:     apps,
+			arrival:  arrivals[i].Cycle,
+			slo:      arrivals[i].SLO,
+			deadline: arrivals[i].Deadline,
+		}
 	}
 	return jobs, nil
 }
 
-// retire records a completed group into the result and its jobs.
+// retire records a completed group into the result and its jobs. All
+// cycle accounting goes through the checkpoint-scaled effective ends,
+// which coincide with the simulated ones for groups of fresh jobs.
 func (f *Fleet) retire(fl *inflight, res *Result) {
+	groupEnd := uint64(0)
 	for i, j := range fl.jobs {
 		j.dispatch = fl.dispatch
 		j.device = fl.device
-		end := fl.rep.Cycles
-		if i < len(fl.rep.Stats) && fl.rep.Stats[i].EndCycle > 0 {
-			end = fl.rep.Stats[i].EndCycle
+		end := f.memberEnd(fl, i)
+		if end > groupEnd {
+			groupEnd = end
 		}
 		j.complete = fl.dispatch + end
 	}
-	res.DeviceBusy[fl.device] += fl.rep.Cycles
-	if devEnd := fl.dispatch + fl.rep.Cycles; devEnd > res.Makespan {
+	res.DeviceBusy[fl.device] += groupEnd
+	if devEnd := fl.dispatch + groupEnd; devEnd > res.Makespan {
 		res.Makespan = devEnd
 	}
 	for _, st := range fl.rep.Stats {

@@ -1,9 +1,3 @@
-// Package gpu assembles the full simulated device: SIMT cores, the
-// interconnect, L2 banks and memory controllers, plus the machinery for
-// spatial multi-application execution — disjoint SM sets per
-// application, a per-application thread-block dispatcher (the "work
-// distributor" of Figure 2.2), and run-time SM reallocation using the
-// drain-then-transfer protocol of Section 3.2.4.
 package gpu
 
 import (

@@ -1,0 +1,35 @@
+// Package gpu assembles the full simulated device: SIMT cores
+// (internal/smcore), the interconnect (internal/icnt), L2 banks and
+// memory controllers (internal/cache, internal/dram), plus the
+// machinery for spatial multi-application execution — disjoint SM sets
+// per application, a per-application thread-block dispatcher (the "work
+// distributor" of Figure 2.2), and run-time SM reallocation using the
+// drain-then-transfer protocol of Section 3.2.4.
+//
+// # Stepping and the event-horizon engine
+//
+// Device.Step advances every component by one cycle; Device.Run steps
+// until all launched applications complete. On top of the per-cycle
+// loop sits the event-horizon fast-forward engine: each component
+// reports the earliest future cycle at which it could make progress
+// (smcore.SM.NextEvent from warp wake cycles, dram.Controller.NextEvent
+// from in-flight transfers and bank busy windows, the partition from
+// its response/stash queues, icnt.Network.NextEvent from flit arrival
+// times). Device.NextEvent folds these into one horizon, and
+// Device.FastForward / Device.RunUntil jump provably-dead spans in a
+// single step, accruing the per-cycle arithmetic (utilization slots,
+// bandwidth-budget refills, bus-busy accounting, round-robin rotation)
+// in O(1). Results are bit-identical to naive stepping — a cycle is
+// skipped exactly when no component can make progress in it.
+//
+// # Multi-application execution
+//
+// Device.Launch places a kernel on an explicit SM set; applications on
+// disjoint sets share the memory system but never an SM, reproducing
+// the paper's spatial partitioning. Launch is atomic: if any SM in the
+// set is invalid or busy, no assignment is retained. Device.ReassignSM
+// moves one SM between running applications with the
+// drain-then-transfer protocol; Device.AppStats reports
+// per-application counters (instructions, cycles, stalls) used by the
+// profiler and scheduler above.
+package gpu

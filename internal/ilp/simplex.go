@@ -1,12 +1,3 @@
-// Package ilp is a small exact integer linear programming solver: a
-// two-phase primal simplex over dense tableaus for the LP relaxation,
-// wrapped in best-first branch-and-bound for integrality.
-//
-// The paper solves its contention-minimization matching (Section 3.2.3,
-// Appendix A) with an off-the-shelf ILP solver; problem instances there
-// are tiny (≤ 20 pattern variables, ≤ 5 constraints), which this
-// implementation solves exactly in microseconds using only the standard
-// library.
 package ilp
 
 import (

@@ -1,0 +1,18 @@
+package match_test
+
+import (
+	"fmt"
+
+	"repro/internal/match"
+)
+
+// ExamplePatterns enumerates the class multisets of Equation 3.2: with
+// NT=4 classes and groups of NC=2, there are C(5,2) = 10 patterns.
+func ExamplePatterns() {
+	patterns := match.Patterns(2)
+	fmt.Printf("%d patterns for NC=2\n", len(patterns))
+	fmt.Printf("first %v, last %v\n", patterns[0], patterns[len(patterns)-1])
+	// Output:
+	// 10 patterns for NC=2
+	// first M-M, last A-A
+}

@@ -71,33 +71,64 @@ func NumPatterns(nc int) int {
 	return r
 }
 
+// MemberSlowdown predicts member i's slowdown under pattern p from the
+// interference matrix — the s_i ingredient of Equation 3.4. Besides the
+// efficiency computation below, the fleet layer uses it to estimate
+// when a running group will free its device (preemption decisions).
+// Member order within p does not matter; the lookups are symmetric.
+func MemberSlowdown(m *interference.Matrix, p Pattern, i int) float64 {
+	ci := p[i]
+	var s float64
+	switch len(p) {
+	case 1:
+		s = 1
+	case 2:
+		s = m.At(ci, p[1-i])
+	case 3:
+		s = m.TripleSlowdown(ci, p[(i+1)%3], p[(i+2)%3])
+	default:
+		// General composition: multiply pairwise contention factors.
+		s = float64(len(p))
+		for j, cj := range p {
+			if j != i {
+				s *= m.At(ci, cj) / 2
+			}
+		}
+	}
+	if s <= 0 {
+		s = float64(len(p))
+	}
+	return s
+}
+
 // Efficiency computes e_k for a pattern (Equation 3.4): the mean of the
 // members' inverse slowdowns under that co-schedule.
 func Efficiency(m *interference.Matrix, p Pattern) float64 {
 	sum := 0.0
-	for i, ci := range p {
-		var s float64
-		switch len(p) {
-		case 2:
-			other := p[1-i]
-			s = m.At(ci, other)
-		case 3:
-			s = m.TripleSlowdown(ci, p[(i+1)%3], p[(i+2)%3])
-		default:
-			// General composition: multiply pairwise contention factors.
-			s = float64(len(p))
-			for j, cj := range p {
-				if j != i {
-					s *= m.At(ci, cj) / 2
-				}
-			}
-		}
-		if s <= 0 {
-			s = float64(len(p))
-		}
-		sum += 1 / s
+	for i := range p {
+		sum += 1 / MemberSlowdown(m, p, i)
 	}
 	return sum / float64(len(p))
+}
+
+// AgedEfficiencies rescales pattern efficiencies by member wait time
+// (aging): pattern k's efficiency is multiplied by 1 + aging*w̄, where
+// w̄ is the mean of classWait over the pattern's members and
+// classWait[c] is class c's wait signal normalized to [0,1] (0 = fresh,
+// 1 = the longest-waiting job in the dispatch window). With aging == 1
+// a pattern of maximally starved members doubles its appeal, so the
+// windowed ILP optimizes tail latency alongside raw packing efficiency;
+// aging == 0 returns a copy of eff unchanged.
+func AgedEfficiencies(patterns []Pattern, eff []float64, classWait [classify.NumClasses]float64, aging float64) []float64 {
+	out := make([]float64, len(eff))
+	for k, p := range patterns {
+		sum := 0.0
+		for _, c := range p {
+			sum += classWait[c]
+		}
+		out[k] = eff[k] * (1 + aging*sum/float64(len(p)))
+	}
+	return out
 }
 
 // Result is the matcher's output: how many groups of each pattern to

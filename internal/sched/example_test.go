@@ -1,0 +1,41 @@
+package sched_test
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/core"
+	"repro/internal/sched"
+	"repro/internal/testkit"
+)
+
+// ExampleScheduler_RunGroup calibrates the miniature test device and
+// co-runs one two-application group through the shared single-group
+// execution path (the same one the offline Run and the online fleet
+// dispatcher use).
+func ExampleScheduler_RunGroup() {
+	p, err := core.New(testkit.Config())
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := p.Init(testkit.Universe()); err != nil {
+		log.Fatal(err)
+	}
+	queue, err := p.Queue([]string{"miniC", "miniA"})
+	if err != nil {
+		log.Fatal(err)
+	}
+	rep, err := p.Scheduler().RunGroup(sched.Group(queue), sched.FCFS)
+	if err != nil {
+		log.Fatal(err)
+	}
+	done := true
+	for _, st := range rep.Stats {
+		done = done && st.Done
+	}
+	fmt.Printf("co-ran %v\n", rep.Apps)
+	fmt.Printf("both finished: %v, cycles > 0: %v\n", done, rep.Cycles > 0)
+	// Output:
+	// co-ran [miniC miniA]
+	// both finished: true, cycles > 0: true
+}

@@ -1,18 +1,3 @@
-// Package sched executes queues of applications on the simulated GPU
-// under the policies the paper evaluates:
-//
-//	Serial        — one application at a time on the whole device
-//	FCFS (Even)   — NC applications co-run in arrival order, equal SM split
-//	Profile-based — arrival order, SM partition sized from offline
-//	                scalability profiles (Adriaens et al. [17])
-//	ILP           — groups chosen by the contention-minimizing matcher,
-//	                equal SM split (Section 3.2.3)
-//	ILP+SMRA      — ILP groups plus run-time SM reallocation
-//	                (Algorithm 1, Section 3.2.4)
-//
-// Groups run to completion before the next group launches, matching the
-// paper's evaluation methodology; device throughput is total retired
-// instructions over total makespan (Equation 1.1).
 package sched
 
 import (

@@ -1,0 +1,80 @@
+// Command docscheck is the CI docs-health gate: every Go package in the
+// repository (internal, cmd, examples) must carry a package-level doc
+// comment on at least one of its files, so `go doc` output stays
+// useful. It walks the tree with go/parser in comment-preserving mode —
+// no go/packages dependency, no build step — and exits non-zero listing
+// every undocumented package.
+//
+// Usage (from the repository root):
+//
+//	go run ./scripts/docscheck
+package main
+
+import (
+	"fmt"
+	"go/parser"
+	"go/token"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+func main() {
+	root := "."
+	if len(os.Args) > 1 {
+		root = os.Args[1]
+	}
+	// documented maps package directory -> whether any file carries a
+	// package comment. Test files may document a separate _test package;
+	// they are excluded so the check reflects what `go doc` shows.
+	documented := map[string]bool{}
+	fset := token.NewFileSet()
+	err := filepath.WalkDir(root, func(path string, d fs.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if d.IsDir() {
+			name := d.Name()
+			if name != "." && (strings.HasPrefix(name, ".") || name == "testdata" || name == "vendor") {
+				return filepath.SkipDir
+			}
+			return nil
+		}
+		if !strings.HasSuffix(path, ".go") || strings.HasSuffix(path, "_test.go") {
+			return nil
+		}
+		f, err := parser.ParseFile(fset, path, nil, parser.PackageClauseOnly|parser.ParseComments)
+		if err != nil {
+			return fmt.Errorf("%s: %w", path, err)
+		}
+		dir := filepath.Dir(path)
+		if _, ok := documented[dir]; !ok {
+			documented[dir] = false
+		}
+		if f.Doc != nil && len(strings.TrimSpace(f.Doc.Text())) > 0 {
+			documented[dir] = true
+		}
+		return nil
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "docscheck:", err)
+		os.Exit(1)
+	}
+	var missing []string
+	for dir, ok := range documented {
+		if !ok {
+			missing = append(missing, dir)
+		}
+	}
+	sort.Strings(missing)
+	if len(missing) > 0 {
+		fmt.Fprintln(os.Stderr, "docscheck: packages without a package-level doc comment:")
+		for _, dir := range missing {
+			fmt.Fprintln(os.Stderr, "  "+dir)
+		}
+		os.Exit(1)
+	}
+	fmt.Printf("docscheck: %d packages documented\n", len(documented))
+}
