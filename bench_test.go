@@ -13,10 +13,13 @@ package repro
 import (
 	"sync"
 	"testing"
+	"time"
 
 	"repro/internal/classify"
 	"repro/internal/config"
+	"repro/internal/core"
 	"repro/internal/experiments"
+	"repro/internal/fleet"
 	"repro/internal/gpu"
 	"repro/internal/interference"
 	"repro/internal/kernel"
@@ -280,6 +283,154 @@ func BenchmarkAblationSMRAPeriod(b *testing.B) {
 		slow = smraRun(b, func(c *sched.SMRAConfig) { c.TCCycles = 50_000 })
 	}
 	b.ReportMetric(float64(slow)/float64(fast), "slowTC/fastTC-cycles")
+}
+
+// --- Fleet engine benchmarks -------------------------------------------
+// These calibrate the miniature testkit universe once (about a second)
+// and then exercise the fleet's indexed event core and completion
+// engines; they run even in -short mode so CI smokes the whole path.
+
+var (
+	fleetPipeOnce sync.Once
+	fleetPipe     *core.Pipeline
+	fleetPipeErr  error
+)
+
+// fleetBenchPipeline calibrates (once) a pipeline over the testkit
+// universe for the fleet benchmarks.
+func fleetBenchPipeline(b *testing.B) *core.Pipeline {
+	b.Helper()
+	fleetPipeOnce.Do(func() {
+		p, err := core.New(testkit.Config())
+		if err != nil {
+			fleetPipeErr = err
+			return
+		}
+		if err := p.Init(testkit.Universe()); err != nil {
+			fleetPipeErr = err
+			return
+		}
+		fleetPipe = p
+	})
+	if fleetPipeErr != nil {
+		b.Fatal(fleetPipeErr)
+	}
+	return fleetPipe
+}
+
+func fleetBenchNames() []string { return []string{"miniM", "miniMC", "miniC", "miniA"} }
+
+// BenchmarkFleetDispatch stresses the dispatcher's hot path in
+// isolation: thousands of jobs all waiting at cycle zero, so one run is
+// back-to-back group formations (windowed ILP over the memoized
+// pattern-efficiency tables and solve memo) plus event-core heap
+// operations, with the Modeled engine supplying completions instantly.
+// The ns/job metric is the fleet's per-job dispatch overhead.
+func BenchmarkFleetDispatch(b *testing.B) {
+	p := fleetBenchPipeline(b)
+	names := fleetBenchNames()
+	const jobs = 4096
+	arr := make([]fleet.Arrival, jobs)
+	for i := range arr {
+		arr[i] = fleet.Arrival{Name: names[i%len(names)], Cycle: 0}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		f, err := fleet.New(fleet.Config{
+			Devices: []fleet.DeviceSpec{{Pipe: p, Count: 8}},
+			NC:      2, Policy: sched.ILP, Engine: fleet.Modeled,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := f.Run(arr); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N)/jobs, "ns/job")
+}
+
+// fleetRunBenchArrivals is the shared 1k-job traffic for the engine
+// comparison; fleetRunBenchConfig the shared fleet shape.
+func fleetRunBenchArrivals(b *testing.B) []fleet.Arrival {
+	b.Helper()
+	arr, err := fleet.ArrivalConfig{Kind: fleet.Poisson, Jobs: 1000, Rate: 1, Seed: 1}.Generate(fleetBenchNames())
+	if err != nil {
+		b.Fatal(err)
+	}
+	return arr
+}
+
+func fleetRunBenchConfig(pipe *core.Pipeline, engine fleet.EngineMode) fleet.Config {
+	return fleet.Config{
+		Devices: []fleet.DeviceSpec{{Pipe: pipe, Count: 4}},
+		NC:      2, Policy: sched.ILP, Engine: engine,
+	}
+}
+
+var (
+	fleetCycleRefOnce sync.Once
+	fleetCycleRefNs   float64
+	fleetCycleRefErr  error
+)
+
+// fleetCycleReference times one Cycle-engine run of the shared 1k-job
+// configuration on a freshly calibrated pipeline (cold group memo, the
+// cost a first run pays; calibration itself excluded). Computed once —
+// the benchmark function is invoked several times while the framework
+// ramps b.N, and the reference must not be re-paid on every ramp step.
+func fleetCycleReference(b *testing.B) float64 {
+	b.Helper()
+	arr := fleetRunBenchArrivals(b)
+	fleetCycleRefOnce.Do(func() {
+		fresh, err := core.New(testkit.Config())
+		if err != nil {
+			fleetCycleRefErr = err
+			return
+		}
+		if err := fresh.Init(testkit.Universe()); err != nil {
+			fleetCycleRefErr = err
+			return
+		}
+		start := time.Now()
+		f, err := fleet.New(fleetRunBenchConfig(fresh, fleet.Cycle))
+		if err != nil {
+			fleetCycleRefErr = err
+			return
+		}
+		if _, err := f.Run(arr); err != nil {
+			fleetCycleRefErr = err
+			return
+		}
+		fleetCycleRefNs = float64(time.Since(start).Nanoseconds())
+	})
+	if fleetCycleRefErr != nil {
+		b.Fatal(fleetCycleRefErr)
+	}
+	return fleetCycleRefNs
+}
+
+// BenchmarkFleetRunModeled measures the Modeled engine on a 1k-job
+// fleet configuration and reports how many times cheaper it is than the
+// Cycle engine on the identical configuration and traffic — the
+// engine-mode acceptance ratio tracked in BENCH_*.json.
+func BenchmarkFleetRunModeled(b *testing.B) {
+	p := fleetBenchPipeline(b)
+	arr := fleetRunBenchArrivals(b)
+	cycleNs := fleetCycleReference(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		f, err := fleet.New(fleetRunBenchConfig(p, fleet.Modeled))
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := f.Run(arr); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	modeledNs := float64(b.Elapsed().Nanoseconds()) / float64(b.N)
+	b.ReportMetric(cycleNs/modeledNs, "cycle/modeled-x")
 }
 
 // --- Substrate micro-benchmarks ----------------------------------------

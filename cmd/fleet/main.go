@@ -10,6 +10,7 @@
 //	fleet -devices 2 -arrivals bursty -rate 1 -burst-rate 6 -mean-on 15000 -mean-off 45000 -policy fcfs
 //	fleet -arrivals trace -trace BLK@0,HS@1000,GUPS@2500 -policy ilp
 //	fleet -devices 2 -slo preempt -latency-frac 0.3 -deadline 2000000 -aging 1 -csv jobs.csv
+//	fleet -fleet "32xGTX480,32xSmall-8SM" -apps 100000 -arrivals bursty -engine modeled
 //
 // The fleet may be heterogeneous: -fleet takes a roster of
 // COUNTxCONFIG elements (configs from internal/config: GTX480, Small),
@@ -29,6 +30,15 @@
 // eviction count; -csv additionally writes the per-job records for
 // external plotting.
 //
+// Engine modes: -engine picks how dispatched groups complete. cycle
+// (the default) simulates every group cycle-accurately; modeled
+// computes completions analytically from solo profiles and the
+// interference matrix with zero simulations — the warehouse-scale mode
+// that runs 100k jobs on 64 devices in seconds; hybrid simulates the
+// first -hybrid-warm occurrences of each (device type, composition) to
+// calibrate the model and serves the rest from it, reporting the
+// model's fidelity delta in the summary.
+//
 // The summary is deterministic: the same flags (and seed) produce
 // byte-identical output, whatever the host machine is doing.
 //
@@ -44,6 +54,7 @@ import (
 	"fmt"
 	"log"
 	"os"
+	"runtime/pprof"
 	"strconv"
 	"strings"
 	"time"
@@ -74,45 +85,77 @@ func main() {
 	deadline := flag.Uint64("deadline", 0, "relative deadline in cycles for generated latency jobs (0 = default)")
 	aging := flag.Float64("aging", 0, "wait-time aging weight for the ILP policies (0 = off)")
 	csvPath := flag.String("csv", "", "also write the per-job records as CSV to this file")
+	engineFlag := flag.String("engine", "cycle", "completion engine: cycle | modeled | hybrid")
+	hybridWarm := flag.Int("hybrid-warm", 0, "cycle-accurate runs per group composition before the hybrid engine trusts the model (0 = default)")
+	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile of the run to this file")
 	flag.Parse()
+
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			log.Fatal(err)
+		}
+		defer pprof.StopCPUProfile()
+	}
+	// log.Fatal's os.Exit skips deferred profile flushing, so every
+	// fatal below goes through fail instead.
+	fail := func(v ...any) {
+		pprof.StopCPUProfile()
+		log.Fatal(v...)
+	}
+	failf := func(format string, v ...any) {
+		pprof.StopCPUProfile()
+		log.Fatalf(format, v...)
+	}
 
 	kind, err := fleet.ParseArrivalKind(*arrivalsFlag)
 	if err != nil {
-		log.Fatal(err)
+		fail(err)
 	}
 	policy, err := sched.ParsePolicy(*policyFlag)
 	if err != nil {
-		log.Fatal(err)
+		fail(err)
 	}
 	// Reject flags the chosen arrival process or policy would silently
 	// ignore.
 	set := map[string]bool{}
 	flag.Visit(func(f *flag.Flag) { set[f.Name] = true })
 	if set["devices"] && *rosterFlag != "" {
-		log.Fatal("fleet: -devices is ignored with -fleet; size the roster instead (e.g. \"4xGTX480\")")
+		fail("fleet: -devices is ignored with -fleet; size the roster instead (e.g. \"4xGTX480\")")
 	}
 	if kind != fleet.Bursty {
 		for _, name := range []string{"burst-rate", "mean-on", "mean-off"} {
 			if set[name] {
-				log.Fatalf("fleet: -%s only applies to -arrivals bursty (got %v)", name, kind)
+				failf("fleet: -%s only applies to -arrivals bursty (got %v)", name, kind)
 			}
 		}
 	}
 	if kind == fleet.Trace {
 		for _, name := range []string{"rate", "apps"} {
 			if set[name] {
-				log.Fatalf("fleet: -%s has no effect with -arrivals trace; the trace stands on its own", name)
+				failf("fleet: -%s has no effect with -arrivals trace; the trace stands on its own", name)
 			}
 		}
 	} else if set["trace"] {
-		log.Fatalf("fleet: -trace requires -arrivals trace (got %v)", kind)
+		failf("fleet: -trace requires -arrivals trace (got %v)", kind)
 	}
 	if policy != sched.ILP && policy != sched.ILPSMRA {
 		for _, name := range []string{"greedy-below", "window", "aging"} {
 			if set[name] {
-				log.Fatalf("fleet: -%s only applies to the ILP policies (got %v)", name, policy)
+				failf("fleet: -%s only applies to the ILP policies (got %v)", name, policy)
 			}
 		}
+	}
+	engine, err := fleet.ParseEngine(*engineFlag)
+	if err != nil {
+		fail(err)
+	}
+	if set["hybrid-warm"] && engine != fleet.Hybrid {
+		failf("fleet: -hybrid-warm only applies to -engine hybrid (got %v)", engine)
 	}
 	var slo fleet.SLOConfig
 	switch strings.ToLower(*sloFlag) {
@@ -123,23 +166,23 @@ func main() {
 		slo.Enabled = true
 		slo.Preempt = true
 	default:
-		log.Fatalf("fleet: unknown -slo mode %q (off, priority, preempt)", *sloFlag)
+		failf("fleet: unknown -slo mode %q (off, priority, preempt)", *sloFlag)
 	}
 	if kind == fleet.Trace {
 		for _, name := range []string{"latency-frac", "deadline"} {
 			if set[name] {
-				log.Fatalf("fleet: -%s only applies to generated arrivals; tag trace entries as NAME@CYCLE!DEADLINE instead", name)
+				failf("fleet: -%s only applies to generated arrivals; tag trace entries as NAME@CYCLE!DEADLINE instead", name)
 			}
 		}
 	} else if set["deadline"] && *latencyFrac == 0 {
-		log.Fatal("fleet: -deadline needs -latency-frac to generate latency jobs")
+		fail("fleet: -deadline needs -latency-frac to generate latency jobs")
 	}
 	acfg := fleet.ArrivalConfig{Kind: kind, Seed: *seed}
 	if kind == fleet.Trace {
 		// Jobs/Rate stay zero: a trace stands on its own.
 		acfg.Trace, err = parseTrace(*traceFlag)
 		if err != nil {
-			log.Fatal(err)
+			fail(err)
 		}
 	} else {
 		acfg.Jobs = *apps
@@ -152,7 +195,7 @@ func main() {
 	}
 	arrivals, err := acfg.Generate(workloads.Names)
 	if err != nil {
-		log.Fatal(err)
+		fail(err)
 	}
 
 	spec := *rosterFlag
@@ -161,13 +204,13 @@ func main() {
 	}
 	entries, err := fleet.ParseRoster(spec)
 	if err != nil {
-		log.Fatal(err)
+		fail(err)
 	}
 	start := time.Now()
 	log.Printf("calibrating roster %s (cached per device config) ...", spec)
 	roster, err := fleet.BuildRoster(entries, workloads.All())
 	if err != nil {
-		log.Fatal(err)
+		fail(err)
 	}
 	log.Printf("roster ready in %v", time.Since(start).Round(time.Second))
 
@@ -179,14 +222,16 @@ func main() {
 		GreedyBelow: *greedyBelow,
 		Aging:       *aging,
 		SLO:         slo,
+		Engine:      engine,
+		HybridWarm:  *hybridWarm,
 	})
 	if err != nil {
-		log.Fatal(err)
+		fail(err)
 	}
 	runStart := time.Now()
 	res, err := f.Run(arrivals)
 	if err != nil {
-		log.Fatal(err)
+		fail(err)
 	}
 	log.Printf("fleet run finished in %v wall-clock", time.Since(runStart).Round(time.Millisecond))
 	switch kind {
@@ -212,13 +257,13 @@ func main() {
 	if *csvPath != "" {
 		out, err := os.Create(*csvPath)
 		if err != nil {
-			log.Fatal(err)
+			fail(err)
 		}
 		if err := res.WriteJobsCSV(out); err != nil {
-			log.Fatal(err)
+			fail(err)
 		}
 		if err := out.Close(); err != nil {
-			log.Fatal(err)
+			fail(err)
 		}
 		log.Printf("wrote per-job records to %s", *csvPath)
 	}

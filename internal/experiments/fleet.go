@@ -189,6 +189,104 @@ func (s *Suite) FleetSLO() (Artifact, error) {
 	return a, nil
 }
 
+// FleetScale is the warehouse-scale scenario the Modeled engine
+// exists for: a 64-device mixed-generation roster serving a 100k-job
+// bursty arrival stream with SLO classes and preemption on — three
+// orders of magnitude beyond what cycle-accurate group simulation can
+// sweep. Group completions come from the analytic engine (solo
+// profiles scaled by the interference matrix's predicted slowdowns),
+// so the whole run is a pure discrete-event computation over the
+// indexed event core; the artifact contrasts naive FCFS dispatch with
+// the placement-aware windowed ILP at a scale where the dispatcher's
+// own cost would previously have dominated.
+func (s *Suite) FleetScale() (Artifact, error) {
+	const (
+		nc          = 2
+		jobs        = 100_000
+		latencyFrac = 0.1
+	)
+	small, err := core.LoadOrInit(config.Small(), workloads.All())
+	if err != nil {
+		return Artifact{}, fmt.Errorf("calibrate %s: %w", config.Small().Name, err)
+	}
+	roster := []fleet.DeviceSpec{{Pipe: s.P, Count: 32}, {Pipe: small, Count: 32}}
+	devices := 0
+	for _, r := range roster {
+		devices += r.Count
+	}
+	// Deadline scaled from the calibrated universe exactly as FleetSLO
+	// does: twice the mean solo duration on the big generation.
+	profiles := s.P.Profiles()
+	meanSolo := uint64(0)
+	for _, r := range profiles {
+		meanSolo += r.Cycles
+	}
+	meanSolo /= uint64(len(profiles))
+	deadline := 2 * meanSolo
+	acfg := fleet.ArrivalConfig{
+		Kind: fleet.Bursty, Jobs: jobs, Rate: 1.2,
+		LatencyFrac: latencyFrac, Deadline: deadline,
+		Seed: rng.Hash2(s.Seed, 0x5ca1e),
+	}
+	arrivals, err := acfg.Generate(workloads.Names)
+	if err != nil {
+		return Artifact{}, err
+	}
+	policies := []sched.Policy{sched.FCFS, sched.ILPSMRA}
+	a := Artifact{
+		ID: "FleetScale",
+		Title: fmt.Sprintf("warehouse scale: %d mixed devices, %dk bursty jobs, %.0f%% latency-class, modeled engine (beyond the paper)",
+			devices, jobs/1000, 100*latencyFrac),
+	}
+	for _, p := range policies {
+		a.Columns = append(a.Columns, p.String())
+	}
+	labels := []string{
+		"throughput",
+		"mean utilization",
+		"deadline-miss rate",
+		"latency p99 wait (kcyc)",
+		"batch p95 wait (kcyc)",
+		"evictions",
+		"makespan (Mcyc)",
+	}
+	rows := map[string]*Row{}
+	for _, label := range labels {
+		rows[label] = &Row{Label: label}
+	}
+	for _, policy := range policies {
+		f, err := fleet.New(fleet.Config{
+			Devices: roster, NC: nc, Policy: policy, Engine: fleet.Modeled,
+			SLO: fleet.SLOConfig{Enabled: true, Preempt: true},
+		})
+		if err != nil {
+			return Artifact{}, err
+		}
+		res, err := f.Run(arrivals)
+		if err != nil {
+			return Artifact{}, fmt.Errorf("fleet scale/%v: %w", policy, err)
+		}
+		add := func(label string, v float64) { rows[label].Values = append(rows[label].Values, v) }
+		add("throughput", res.Throughput())
+		add("mean utilization", res.MeanUtilization())
+		add("deadline-miss rate", res.MissRate())
+		add("latency p99 wait (kcyc)", res.WaitSummaryFor(fleet.Latency).P99)
+		add("batch p95 wait (kcyc)", res.WaitSummaryFor(fleet.Batch).P95)
+		add("evictions", float64(len(res.Evictions)))
+		add("makespan (Mcyc)", float64(res.Makespan)/1e6)
+	}
+	for _, label := range labels {
+		a.Rows = append(a.Rows, *rows[label])
+	}
+	fcfs := a.MustValue("throughput", sched.FCFS.String())
+	smra := a.MustValue("throughput", sched.ILPSMRA.String())
+	if fcfs > 0 {
+		a.Notes = append(a.Notes, fmt.Sprintf("ILP-SMRA/FCFS throughput at %d devices x %dk jobs: %.3fx (modeled engine, zero cycle-accurate sims)",
+			devices, jobs/1000, smra/fcfs))
+	}
+	return a, nil
+}
+
 // FleetHetero evaluates mixed-generation rosters: the same saturating
 // traffic is dispatched onto a homogeneous big-device fleet and onto a
 // heterogeneous roster that swaps one big device for two small-

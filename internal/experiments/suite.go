@@ -144,6 +144,7 @@ func (s *Suite) gens() []gen {
 		{"FleetOnline", s.FleetOnline},
 		{"FleetHetero", s.FleetHetero},
 		{"FleetSLO", s.FleetSLO},
+		{"FleetScale", s.FleetScale},
 	}
 }
 

@@ -9,30 +9,6 @@ import (
 	"repro/internal/sched"
 )
 
-// enqueue inserts j into the live queue preserving dispatch order:
-// latency class before batch when SLO-aware dispatch is on, then
-// arrival cycle, then arrival index. With SLO dispatch off every job
-// has equal priority, so admission order (arrival order) is preserved
-// exactly as before; with it on, evicted batch jobs re-enter among the
-// batch segment at their arrival-order position — ahead of younger
-// waiting batch work, behind every latency job.
-func (f *Fleet) enqueue(queue []*job, j *job) []*job {
-	before := func(a, b *job) bool {
-		if f.cfg.SLO.Enabled && a.slo != b.slo {
-			return a.slo == Latency
-		}
-		if a.arrival != b.arrival {
-			return a.arrival < b.arrival
-		}
-		return a.id < b.id
-	}
-	pos := sort.Search(len(queue), func(i int) bool { return before(j, queue[i]) })
-	queue = append(queue, nil)
-	copy(queue[pos+1:], queue[pos:])
-	queue[pos] = j
-	return queue
-}
-
 // windowFor sizes the ILP window for one dispatch. A pinned
 // Config.Window wins; otherwise the window adapts to what the matcher
 // can actually exploit:
@@ -130,22 +106,23 @@ func (f *Fleet) agingWeights(window []*job, now uint64) map[*job]float64 {
 // their efficiency multiplied by 1+Aging*w, so tail latency competes
 // with raw packing. With SLO dispatch on, the queue is priority-ordered,
 // so the seed job is the oldest waiting latency job whenever one exists.
-func (f *Fleet) formGroup(queue *[]*job, t int, now uint64) (members []*job, usedILP bool) {
-	q := *queue
+func (f *Fleet) formGroup(queue *jobQueue, t int, now uint64) (members []*job, usedILP bool) {
 	switch f.cfg.Policy {
 	case sched.Serial:
-		*queue = q[1:]
-		return q[:1], false
+		members = []*job{queue.at(0)}
+		queue.advance(1)
+		return members, false
 	case sched.FCFS, sched.ProfileBased:
 		n := f.cfg.NC
-		if n > len(q) {
-			n = len(q)
+		if n > queue.Len() {
+			n = queue.Len()
 		}
-		*queue = q[n:]
-		return q[:n], false
+		members = append([]*job(nil), queue.view()[:n]...)
+		queue.advance(n)
+		return members, false
 	}
 	// ILP / ILPSMRA.
-	if len(q) >= f.cfg.GreedyBelow && len(q) >= f.cfg.NC {
+	if queue.Len() >= f.cfg.GreedyBelow && queue.Len() >= f.cfg.NC {
 		if g := f.formILPGroup(queue, t, now); g != nil {
 			return g, true
 		}
@@ -158,9 +135,8 @@ func (f *Fleet) formGroup(queue *[]*job, t int, now uint64) (members []*job, use
 // efficiency on device type t's interference matrix. Candidates come
 // from the same window prefix the ILP would see, so a deep queue does
 // not make dispatch linear in the backlog.
-func (f *Fleet) formGreedyGroup(queue *[]*job, t int, now uint64) []*job {
-	q := *queue
-	matrix := f.types[t].Matrix()
+func (f *Fleet) formGreedyGroup(queue *jobQueue, t int, now uint64) []*job {
+	q := queue.view()
 	window := q
 	if w := f.windowFor(q, t); len(window) > w {
 		window = window[:w]
@@ -175,7 +151,7 @@ func (f *Fleet) formGreedyGroup(queue *[]*job, t int, now uint64) []*job {
 			if taken[cand] {
 				continue
 			}
-			eff := match.Efficiency(matrix, pattern(members, cand, t))
+			eff := f.patternEff(t, members, cand)
 			if aging != nil {
 				eff *= 1 + f.cfg.Aging*aging[cand]
 			}
@@ -190,7 +166,7 @@ func (f *Fleet) formGreedyGroup(queue *[]*job, t int, now uint64) []*job {
 		members = append(members, best)
 		taken[best] = true
 	}
-	*queue = removeJobs(q, taken)
+	queue.removeTaken(taken)
 	return members
 }
 
@@ -201,9 +177,8 @@ func (f *Fleet) formGreedyGroup(queue *[]*job, t int, now uint64) []*job {
 // active the pattern efficiencies handed to the solver are age-weighted
 // per class (match.AgedEfficiencies), so a pattern containing a starved
 // class outbids a marginally better-packing one.
-func (f *Fleet) formILPGroup(queue *[]*job, t int, now uint64) []*job {
-	q := *queue
-	matrix := f.types[t].Matrix()
+func (f *Fleet) formILPGroup(queue *jobQueue, t int, now uint64) []*job {
+	q := queue.view()
 	window := q
 	if w := f.windowFor(q, t); len(window) > w {
 		window = window[:w]
@@ -215,11 +190,7 @@ func (f *Fleet) formILPGroup(queue *[]*job, t int, now uint64) []*job {
 	var res match.Result
 	var err error
 	if aging := f.agingWeights(window, now); aging != nil {
-		patterns := match.Patterns(f.cfg.NC)
-		eff := make([]float64, len(patterns))
-		for k, p := range patterns {
-			eff[k] = match.Efficiency(matrix, p)
-		}
+		patterns, eff := f.ncPatternTable(t)
 		var classWait [classify.NumClasses]float64
 		for _, j := range window {
 			if w := aging[j]; w > classWait[j.apps[t].Class] {
@@ -229,7 +200,7 @@ func (f *Fleet) formILPGroup(queue *[]*job, t int, now uint64) []*job {
 		eff = match.AgedEfficiencies(patterns, eff, classWait, f.cfg.Aging)
 		res, err = match.SolveWithEff(patterns, eff, counts, f.cfg.NC)
 	} else {
-		res, err = match.Solve(matrix, counts, f.cfg.NC)
+		res, err = f.solveWindow(t, counts)
 	}
 	if err != nil {
 		return nil
@@ -266,12 +237,138 @@ func (f *Fleet) formILPGroup(queue *[]*job, t int, now uint64) []*job {
 			return nil // matcher over-committed; should not happen
 		}
 	}
-	*queue = removeJobs(q, taken)
+	queue.removeTaken(taken)
 	return members
 }
 
+// --- Memoized matcher inputs -------------------------------------------
+//
+// formILPGroup used to re-enumerate every class pattern and re-score it
+// against the matrix on every dispatch decision, and the greedy scorer
+// allocated and sorted a fresh Pattern per candidate. At warehouse
+// scale (tens of thousands of dispatches per run) that dominated the
+// dispatcher, so New precomputes, per device type:
+//
+//   - the pattern list for every group size up to NC and each pattern's
+//     Equation 3.4 efficiency (effAll, looked up by packed class key);
+//   - the size-NC pattern/efficiency table the solver consumes;
+//   - a solve memo keyed by the window's class composition — group
+//     formation is a pure function of (type, counts) when aging is off,
+//     and deep-queue phases repeat the same compositions constantly.
+//
+// The tables are only built for the ILP policies with 2 <= NC <= 8
+// (the packed key holds eight classes); anything else falls back to
+// the direct computation, which is exactly what the tables memoize.
+
+// packPattern packs a non-decreasing class multiset into a uint64 key
+// (one byte per class, offset so a leading class 0 still contributes,
+// making keys of different sizes collision-free).
+func packPattern(p []classify.Class) uint64 {
+	k := uint64(0)
+	for _, c := range p {
+		k = k<<8 | (uint64(c) + 1)
+	}
+	return k
+}
+
+// buildMatchTables precomputes the pattern/efficiency tables; called
+// from New after validation (matrices exist for the ILP policies).
+func (f *Fleet) buildMatchTables() {
+	if f.cfg.Policy != sched.ILP && f.cfg.Policy != sched.ILPSMRA {
+		return
+	}
+	if f.cfg.NC < 2 || f.cfg.NC > 8 {
+		return
+	}
+	f.patIndex = make(map[uint64]int)
+	var all []match.Pattern
+	for size := 2; size <= f.cfg.NC; size++ {
+		for _, p := range match.Patterns(size) {
+			f.patIndex[packPattern(p)] = len(all)
+			all = append(all, p)
+		}
+	}
+	f.ncPatterns = match.Patterns(f.cfg.NC)
+	f.effAll = make([][]float64, len(f.types))
+	f.ncEff = make([][]float64, len(f.types))
+	f.solveMemo = make([]map[[classify.NumClasses]int]match.Result, len(f.types))
+	for t := range f.types {
+		m := f.types[t].Matrix()
+		eff := make([]float64, len(all))
+		for i, p := range all {
+			eff[i] = match.Efficiency(m, p)
+		}
+		f.effAll[t] = eff
+		nc := make([]float64, len(f.ncPatterns))
+		for i, p := range f.ncPatterns {
+			nc[i] = match.Efficiency(m, p)
+		}
+		f.ncEff[t] = nc
+		f.solveMemo[t] = make(map[[classify.NumClasses]int]match.Result)
+	}
+}
+
+// patternEff scores the group members plus one candidate: the memoized
+// Equation 3.4 efficiency of their class multiset on device type t
+// (identical to match.Efficiency on the sorted pattern, without the
+// per-candidate allocation and re-scoring).
+func (f *Fleet) patternEff(t int, members []*job, extra *job) float64 {
+	if f.patIndex == nil {
+		return match.Efficiency(f.types[t].Matrix(), pattern(members, extra, t))
+	}
+	var buf [8]classify.Class
+	n := 0
+	for _, m := range members {
+		buf[n] = m.apps[t].Class
+		n++
+	}
+	buf[n] = extra.apps[t].Class
+	n++
+	for i := 1; i < n; i++ {
+		for j := i; j > 0 && buf[j] < buf[j-1]; j-- {
+			buf[j], buf[j-1] = buf[j-1], buf[j]
+		}
+	}
+	return f.effAll[t][f.patIndex[packPattern(buf[:n])]]
+}
+
+// ncPatternTable returns the size-NC patterns and their efficiencies on
+// type t, from the precomputed tables when available.
+func (f *Fleet) ncPatternTable(t int) ([]match.Pattern, []float64) {
+	if f.ncPatterns != nil {
+		return f.ncPatterns, f.ncEff[t]
+	}
+	patterns := match.Patterns(f.cfg.NC)
+	eff := make([]float64, len(patterns))
+	m := f.types[t].Matrix()
+	for k, p := range patterns {
+		eff[k] = match.Efficiency(m, p)
+	}
+	return patterns, eff
+}
+
+// solveWindow runs the matcher over one window composition, memoized
+// per device type: with aging off the solve is a pure function of the
+// class counts, and saturated phases present the same composition for
+// thousands of consecutive dispatches.
+func (f *Fleet) solveWindow(t int, counts [classify.NumClasses]int) (match.Result, error) {
+	if f.solveMemo == nil {
+		return match.Solve(f.types[t].Matrix(), counts, f.cfg.NC)
+	}
+	if res, ok := f.solveMemo[t][counts]; ok {
+		return res, nil
+	}
+	res, err := match.SolveWithEff(f.ncPatterns, f.ncEff[t], counts, f.cfg.NC)
+	if err != nil {
+		return match.Result{}, err
+	}
+	f.solveMemo[t][counts] = res
+	return res, nil
+}
+
 // pattern builds the sorted class multiset of members plus one extra,
-// with classes as device type t sees them.
+// with classes as device type t sees them (the fallback path when the
+// memo tables are disabled).
 func pattern(members []*job, extra *job, t int) match.Pattern {
 	p := make(match.Pattern, 0, len(members)+1)
 	for _, m := range members {
@@ -280,15 +377,4 @@ func pattern(members []*job, extra *job, t int) match.Pattern {
 	p = append(p, extra.apps[t].Class)
 	sort.Slice(p, func(i, j int) bool { return p[i] < p[j] })
 	return p
-}
-
-// removeJobs filters taken jobs out of the queue, preserving order.
-func removeJobs(q []*job, taken map[*job]bool) []*job {
-	out := q[:0]
-	for _, j := range q {
-		if !taken[j] {
-			out = append(out, j)
-		}
-	}
-	return out
 }

@@ -26,6 +26,29 @@
 //     utilization are accounted and summarized with stats.Summarize
 //     (report.go), and persist as per-job CSV artifacts (csv.go).
 //
+// # The event core and engine modes
+//
+// The event loop's three sources — arrivals, resolved completions, and
+// in-flight groups bounded from below — are indexed: min-heaps order
+// completions and completion bounds, an idle-device heap yields the
+// fastest free device in placement order, and the live queue is a
+// head-indexed priority queue with binary-search insertion (heap.go,
+// queue.go). One event costs O(log n) whatever the fleet size, which is
+// what lets the same loop serve 4 devices × 60 jobs and 64 devices ×
+// 100k jobs.
+//
+// Config.Engine selects how a dispatched group's completion is learned
+// (engine.go). Cycle simulates every group cycle-accurately — the
+// reference. Modeled computes completions analytically from solo
+// profiles and the interference matrix (each member's solo duration
+// times its match.MemberSlowdown under the group's class pattern) with
+// zero simulations: the model the dispatcher already trusts for lower
+// bounds, preemption tests and checkpoint accounting, promoted to
+// authoritative. Hybrid simulates the first HybridWarm occurrences of
+// each (device type, composition), calibrates the model against them,
+// and serves the rest from the calibrated model, reporting the fidelity
+// delta in Result.Summary.
+//
 // # Service-level classes and preemption
 //
 // Jobs come in two SLO classes (slo.go): batch work that optimizes

@@ -5,7 +5,9 @@ import (
 	"sort"
 	"strings"
 
+	"repro/internal/classify"
 	"repro/internal/core"
+	"repro/internal/match"
 	"repro/internal/sched"
 )
 
@@ -51,6 +53,18 @@ type Config struct {
 	// SLO configures class-aware dispatch and preemption; the zero value
 	// disables both.
 	SLO SLOConfig
+	// Engine selects the completion engine: Cycle (the default)
+	// simulates every dispatched group cycle-accurately, Modeled
+	// computes completions analytically from solo profiles and the
+	// interference matrix with zero simulations, and Hybrid simulates
+	// the first HybridWarm occurrences of each (device type, group
+	// composition) to calibrate the model and serves the rest from it.
+	Engine EngineMode
+	// HybridWarm is how many occurrences of each (device type,
+	// composition) the Hybrid engine runs cycle-accurately before
+	// switching to the calibrated model (0 selects DefaultHybridWarm;
+	// ignored outside Hybrid).
+	HybridWarm int
 
 	// forceSpec makes the event loop pre-simulate likely next groups
 	// even on a single-CPU host, where speculation otherwise only burns
@@ -76,6 +90,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.GreedyBelow == 0 {
 		c.GreedyBelow = 2 * c.NC
+	}
+	if c.Engine == Hybrid && c.HybridWarm == 0 {
+		c.HybridWarm = DefaultHybridWarm
 	}
 	c.SLO = c.SLO.withDefaults()
 	return c
@@ -144,6 +161,24 @@ func (c Config) validate() error {
 			}
 		}
 	}
+	switch c.Engine {
+	case Cycle, Modeled, Hybrid:
+	default:
+		return fmt.Errorf("fleet: unknown engine %v", c.Engine)
+	}
+	if c.HybridWarm < 0 {
+		return fmt.Errorf("fleet: hybrid warm-up count %d must not be negative", c.HybridWarm)
+	}
+	if c.Engine != Cycle && c.NC >= 2 {
+		// The analytic model predicts co-run slowdowns from the
+		// interference matrix; without one it would silently model every
+		// co-run at solo speed.
+		for i, s := range c.Devices {
+			if s.Pipe.Matrix() == nil {
+				return fmt.Errorf("fleet: %v engine requires an interference matrix (roster entry %d)", c.Engine, i)
+			}
+		}
+	}
 	// Every device type must be calibrated over the same application
 	// universe — names AND kernel parameters (a same-named workload with
 	// different tuning is a different job), which is exactly what
@@ -174,6 +209,17 @@ type Fleet struct {
 	// (device index -> scan position).
 	order    []int
 	orderPos []int
+
+	// Memoized matcher inputs (see buildMatchTables): the class-pattern
+	// lists for every group size up to NC, each pattern's efficiency
+	// per device type, and a per-type solve memo keyed by window
+	// composition. Nil outside the ILP policies (or for NC outside the
+	// packed-key range), where the direct computation is used instead.
+	patIndex   map[uint64]int
+	effAll     [][]float64
+	ncPatterns []match.Pattern
+	ncEff      [][]float64
+	solveMemo  []map[[classify.NumClasses]int]match.Result
 }
 
 // New builds a fleet over the configured roster.
@@ -203,6 +249,7 @@ func New(cfg Config) (*Fleet, error) {
 	for pos, d := range f.order {
 		f.orderPos[d] = pos
 	}
+	f.buildMatchTables()
 	return f, nil
 }
 

@@ -1,0 +1,148 @@
+package fleet
+
+// The event core's indexed structures. The old loop re-scanned every
+// in-flight group and every device per event — O(events × devices) —
+// which a 4-device fleet never notices and a 256-device one cannot
+// afford. Three structures replace the scans:
+//
+//   - a min-heap of resolved flights keyed by (completion, device):
+//     the provably-next completion is the root;
+//   - a min-heap of unresolved flights keyed by (earliest bound, dispatch
+//     sequence): the flight the loop may have to block on is the root,
+//     and the sequence tie-break reproduces the old scan's first-
+//     dispatched-wins order exactly;
+//   - a min-heap of idle devices keyed by placement position, so the
+//     dispatch pass pops the fastest idle device instead of scanning
+//     the placement order for one.
+//
+// Flights leave the heaps lazily: eviction and resolution mark the
+// flight's state and peek/pop discard stale roots, so removal never
+// needs an index into the heap.
+
+// flightState tracks which heap (if any) a flight is live in.
+type flightState int
+
+const (
+	// flightPending: simulation outstanding, live in the unresolved heap.
+	flightPending flightState = iota
+	// flightResolved: completion known, live in the resolved heap.
+	flightResolved
+	// flightEvicted: preempted; stale in whichever heap it was in.
+	flightEvicted
+	// flightRetired: completed and accounted; stale in the resolved heap.
+	flightRetired
+)
+
+// flightHeap is a min-heap of in-flight groups under an arbitrary
+// strict order, with lazy deletion driven by the live state.
+type flightHeap struct {
+	less func(a, b *inflight) bool
+	live flightState
+	v    []*inflight
+}
+
+func (h *flightHeap) push(fl *inflight) {
+	h.v = append(h.v, fl)
+	i := len(h.v) - 1
+	for i > 0 {
+		p := (i - 1) / 2
+		if !h.less(h.v[i], h.v[p]) {
+			break
+		}
+		h.v[i], h.v[p] = h.v[p], h.v[i]
+		i = p
+	}
+}
+
+// peek returns the minimum live flight, discarding stale roots (evicted
+// or state-transitioned flights), or nil when empty.
+func (h *flightHeap) peek() *inflight {
+	for len(h.v) > 0 {
+		if h.v[0].state == h.live {
+			return h.v[0]
+		}
+		h.popRoot()
+	}
+	return nil
+}
+
+// pop removes and returns the minimum live flight (nil when empty).
+func (h *flightHeap) pop() *inflight {
+	fl := h.peek()
+	if fl != nil {
+		h.popRoot()
+	}
+	return fl
+}
+
+func (h *flightHeap) popRoot() {
+	n := len(h.v) - 1
+	h.v[0] = h.v[n]
+	h.v[n] = nil
+	h.v = h.v[:n]
+	i := 0
+	for {
+		l, r := 2*i+1, 2*i+2
+		m := i
+		if l < n && h.less(h.v[l], h.v[m]) {
+			m = l
+		}
+		if r < n && h.less(h.v[r], h.v[m]) {
+			m = r
+		}
+		if m == i {
+			return
+		}
+		h.v[i], h.v[m] = h.v[m], h.v[i]
+		i = m
+	}
+}
+
+// deviceHeap is a min-heap of idle device indices keyed by placement
+// position (orderPos), so pop yields exactly the device the old linear
+// scan over f.order would have found first.
+type deviceHeap struct {
+	pos []int // device index -> placement position (f.orderPos)
+	v   []int
+}
+
+func (h *deviceHeap) push(d int) {
+	h.v = append(h.v, d)
+	i := len(h.v) - 1
+	for i > 0 {
+		p := (i - 1) / 2
+		if h.pos[h.v[i]] >= h.pos[h.v[p]] {
+			break
+		}
+		h.v[i], h.v[p] = h.v[p], h.v[i]
+		i = p
+	}
+}
+
+// pop removes and returns the idle device first in placement order, or
+// -1 when no device is idle.
+func (h *deviceHeap) pop() int {
+	if len(h.v) == 0 {
+		return -1
+	}
+	d := h.v[0]
+	n := len(h.v) - 1
+	h.v[0] = h.v[n]
+	h.v = h.v[:n]
+	i := 0
+	for {
+		l, r := 2*i+1, 2*i+2
+		m := i
+		if l < n && h.pos[h.v[l]] < h.pos[h.v[m]] {
+			m = l
+		}
+		if r < n && h.pos[h.v[r]] < h.pos[h.v[m]] {
+			m = r
+		}
+		if m == i {
+			return d
+		}
+		h.v[i], h.v[m] = h.v[m], h.v[i]
+		i = m
+	}
+}

@@ -1,0 +1,111 @@
+package fleet
+
+import "sort"
+
+// jobQueue is the live dispatch queue: jobs that have arrived and are
+// not (currently) dispatched, in dispatch-priority order. It is
+// head-indexed so the two operations the event loop performs per
+// dispatch stay cheap at warehouse scale:
+//
+//   - insert: binary search for the position (latency class before
+//     batch when SLO-aware, then arrival cycle, then arrival index).
+//     Arrivals are admitted in cycle order, so in the common case the
+//     position is the tail and insertion is an O(1) append; only
+//     evicted jobs re-entering the queue pay the mid-queue copy.
+//   - removeTaken: group formation only ever draws members from the
+//     queue's window prefix (at most MaxWindow deep, or the FCFS/Serial
+//     head), so removal compacts the surviving prefix entries onto the
+//     freed slots and advances the head — O(window), independent of the
+//     backlog depth behind it.
+//
+// A 100k-job bursty backlog would make the old []*job representation
+// (full-slice filter per dispatch, full-slice copy per mid-queue
+// insert) quadratic; this keeps the queue out of the event core's
+// O(log n) budget.
+type jobQueue struct {
+	buf  []*job
+	head int
+	// slo selects SLO-aware ordering (latency before batch).
+	slo bool
+}
+
+// Len is the number of waiting jobs.
+func (q *jobQueue) Len() int { return len(q.buf) - q.head }
+
+// view is the waiting jobs in dispatch-priority order. The slice
+// aliases the queue; callers must not hold it across mutations.
+func (q *jobQueue) view() []*job { return q.buf[q.head:] }
+
+// at returns the i-th waiting job (0 = next to dispatch).
+func (q *jobQueue) at(i int) *job { return q.buf[q.head+i] }
+
+// before is the dispatch-priority order: latency class before batch
+// when SLO-aware dispatch is on, then arrival cycle, then arrival
+// index. With SLO dispatch off every job has equal priority, so
+// admission order (arrival order) is preserved exactly; with it on,
+// evicted batch jobs re-enter among the batch segment at their
+// arrival-order position — ahead of younger waiting batch work, behind
+// every latency job.
+func (q *jobQueue) before(a, b *job) bool {
+	if q.slo && a.slo != b.slo {
+		return a.slo == Latency
+	}
+	if a.arrival != b.arrival {
+		return a.arrival < b.arrival
+	}
+	return a.id < b.id
+}
+
+// insert places j at its priority position.
+func (q *jobQueue) insert(j *job) {
+	v := q.view()
+	pos := sort.Search(len(v), func(i int) bool { return q.before(j, v[i]) })
+	q.buf = append(q.buf, j)
+	if pos == len(v) {
+		return
+	}
+	at := q.head + pos
+	copy(q.buf[at+1:], q.buf[at:])
+	q.buf[at] = j
+}
+
+// advance pops the first n waiting jobs (the FCFS/Serial paths, whose
+// groups are exactly the queue prefix).
+func (q *jobQueue) advance(n int) {
+	for k := q.head; k < q.head+n; k++ {
+		q.buf[k] = nil
+	}
+	q.head += n
+}
+
+// removeTaken removes the jobs in taken from the queue, preserving the
+// order of the survivors. Every taken job must lie in the queue prefix
+// group formation scanned (the dispatch window); the scan stops as soon
+// as all of them are found, so the cost is O(window + survivors in the
+// prefix), never O(backlog).
+func (q *jobQueue) removeTaken(taken map[*job]bool) {
+	if len(taken) == 0 {
+		return
+	}
+	found := 0
+	// kept collects prefix survivors; bounded by the dispatch window,
+	// so the stack buffer almost always suffices.
+	var keptBuf [MaxWindow]*job
+	kept := keptBuf[:0]
+	i := q.head
+	for ; i < len(q.buf) && found < len(taken); i++ {
+		if taken[q.buf[i]] {
+			found++
+		} else {
+			kept = append(kept, q.buf[i])
+		}
+	}
+	newHead := i - len(kept)
+	copy(q.buf[newHead:i], kept)
+	// Nil out the freed slots so completed jobs do not pin the arrays
+	// they reference for the queue's lifetime.
+	for k := q.head; k < newHead; k++ {
+		q.buf[k] = nil
+	}
+	q.head = newHead
+}

@@ -1,0 +1,91 @@
+package fleet
+
+import (
+	"testing"
+
+	"repro/internal/rng"
+)
+
+// TestJobQueueMatchesReference drives the head-indexed queue and a
+// naive sorted-slice reference through the same randomized
+// insert/remove script and demands identical contents at every step —
+// the queue is the one data structure whose bugs would not crash but
+// silently reorder dispatch.
+func TestJobQueueMatchesReference(t *testing.T) {
+	for _, slo := range []bool{false, true} {
+		q := jobQueue{slo: slo}
+		var ref []*job
+		refInsert := func(j *job) {
+			pos := len(ref)
+			for i, r := range ref {
+				if q.before(j, r) {
+					pos = i
+					break
+				}
+			}
+			ref = append(ref, nil)
+			copy(ref[pos+1:], ref[pos:])
+			ref[pos] = j
+		}
+		check := func(step int) {
+			t.Helper()
+			if q.Len() != len(ref) {
+				t.Fatalf("step %d: len %d, want %d", step, q.Len(), len(ref))
+			}
+			for i, r := range ref {
+				if q.at(i) != r {
+					t.Fatalf("step %d: slot %d holds j%d, want j%d", step, i, q.at(i).id, r.id)
+				}
+			}
+		}
+		stream := rng.NewStream(0xbeef)
+		id := 0
+		arrival := uint64(0)
+		for step := 0; step < 2000; step++ {
+			switch op := stream.Intn(10); {
+			case op < 5 || len(ref) == 0:
+				// In-order arrival (the common case: append position).
+				arrival += uint64(stream.Intn(50))
+				j := &job{id: id, arrival: arrival, slo: SLOClass(stream.Intn(2))}
+				id++
+				q.insert(j)
+				refInsert(j)
+			case op < 7:
+				// Re-entry of an old (evicted) job: mid-queue insert.
+				j := &job{id: id, arrival: arrival / 2, slo: SLOClass(stream.Intn(2))}
+				id++
+				q.insert(j)
+				refInsert(j)
+			case op < 9:
+				// Window-prefix removal, like group formation.
+				w := stream.Intn(MaxWindow) + 1
+				if w > len(ref) {
+					w = len(ref)
+				}
+				taken := map[*job]bool{}
+				for i := 0; i < w; i++ {
+					if stream.Intn(2) == 0 || len(taken) == 0 {
+						taken[ref[i]] = true
+					}
+				}
+				q.removeTaken(taken)
+				out := ref[:0]
+				for _, r := range ref {
+					if !taken[r] {
+						out = append(out, r)
+					}
+				}
+				ref = out
+			default:
+				// Prefix pop, like FCFS dispatch.
+				n := stream.Intn(3) + 1
+				if n > len(ref) {
+					n = len(ref)
+				}
+				q.advance(n)
+				ref = ref[n:]
+			}
+			check(step)
+		}
+	}
+}

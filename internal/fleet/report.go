@@ -55,6 +55,8 @@ func (j JobRecord) Slack() int64 {
 // Result is a whole fleet run's accounting.
 type Result struct {
 	Policy sched.Policy
+	// Engine is the completion engine the run used.
+	Engine EngineMode
 	// Roster is the fleet composition as the CLI spells it, e.g.
 	// "2xGTX480-60SM,2xSmall-8SM".
 	Roster string
@@ -80,6 +82,17 @@ type Result struct {
 	ILPGroups    int
 	// SMMoves counts completed SM reallocations (ILPSMRA only).
 	SMMoves int
+	// CycleGroups/ModeledGroups split Groups by how the completion was
+	// obtained: cycle-accurate simulation vs the analytic model. Under
+	// the Cycle engine every group is a CycleGroup; under Modeled every
+	// group is a ModeledGroup; Hybrid mixes.
+	CycleGroups   int
+	ModeledGroups int
+	// ModelDelta is the Hybrid engine's fidelity measure: the mean
+	// absolute relative error between the raw model's and the
+	// simulation's per-member completion cycles over the calibration
+	// runs (0 outside Hybrid or before any calibration resolved).
+	ModelDelta float64
 	// Evictions records every preemption in event order.
 	Evictions []EvictionRecord
 }
@@ -248,6 +261,15 @@ func (r Result) Summary() string {
 	// SM moves is printed unconditionally — zero for non-SMRA policies —
 	// so summaries keep one shape across policies and stay line-diffable.
 	fmt.Fprintf(&b, "groups      %d (greedy %d, ilp %d), %d SM moves\n", r.Groups, r.GreedyGroups, r.ILPGroups, r.SMMoves)
+	// The engine line appears exactly for the non-default engines, so
+	// Cycle-mode summaries keep the historical (golden-locked) shape.
+	if r.Engine != Cycle {
+		fmt.Fprintf(&b, "engine      %v (%d cycle-accurate, %d modeled", r.Engine, r.CycleGroups, r.ModeledGroups)
+		if r.Engine == Hybrid {
+			fmt.Fprintf(&b, ", model delta %.1f%%", 100*r.ModelDelta)
+		}
+		b.WriteString(")\n")
+	}
 	b.WriteString("device util")
 	for d := range r.DeviceBusy {
 		fmt.Fprintf(&b, " d%d[%s]=%.1f%%", d, r.deviceLabel(d), 100*r.Utilization(d))

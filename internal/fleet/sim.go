@@ -69,14 +69,19 @@ func (f *Fleet) effectiveCycles(j *job, end uint64) uint64 {
 	return e
 }
 
-// inflight is one group executing on one device. The simulation result
-// (rep) is computed on a worker goroutine; the event loop learns the
-// group's completion time by waiting on done — but only when it has to,
-// thanks to the earliest lower bound below.
+// inflight is one group executing on one device. Under the Cycle engine
+// the result (rep) is computed on a worker goroutine and the event loop
+// learns the completion by waiting on done — but only when it has to,
+// thanks to the earliest lower bound below. Modeled flights are born
+// resolved: rep is the analytic prediction and done is already closed.
 type inflight struct {
 	device   int
 	typ      int
 	dispatch uint64
+	// seq is the dispatch sequence number; the unresolved heap breaks
+	// earliest-bound ties by it, reproducing the old linear scan's
+	// first-dispatched-wins order.
+	seq int
 	// earliest is a sound lower bound on the completion cycle, known at
 	// dispatch time without simulating: the device cannot retire warp
 	// instructions faster than its peak issue rate. It lets the event
@@ -87,13 +92,28 @@ type inflight struct {
 	earliest uint64
 	jobs     []*job
 	ilp      bool
+	// state tracks the flight through the event core's heaps (pending →
+	// resolved → retired, or → evicted from either); modeled marks
+	// completions computed by the analytic model rather than simulated.
+	state   flightState
+	modeled bool
+	// calKey is set on Hybrid warm-up flights: the composition whose
+	// calibration this flight's resolution feeds.
+	calKey string
 
 	done     chan struct{}
 	rep      sched.GroupReport
 	err      error
-	resolved bool
 	complete uint64
 }
+
+// closedDone is the pre-closed completion channel modeled flights
+// carry, so eviction bookkeeping can wait on any flight uniformly.
+var closedDone = func() chan struct{} {
+	ch := make(chan struct{})
+	close(ch)
+	return ch
+}()
 
 // lowerBoundCycles bounds a group's makespan on device type t from
 // below without simulating. Two sound bounds, take the tighter:
@@ -145,7 +165,10 @@ func (f *Fleet) lowerBoundCycles(members []*job, t int) uint64 {
 // over three event sources — job arrivals (known in advance), resolved
 // group completions, and unresolved in-flight groups (whose completion
 // is bounded below) — and always processes the provably-earliest event,
-// so the outcome is independent of worker timing.
+// so the outcome is independent of worker timing. All three sources are
+// indexed (completion and bound min-heaps, an idle-device heap in
+// placement order, a head-indexed priority queue), so one event costs
+// O(log n) instead of a scan over every flight and device.
 func (f *Fleet) Run(arrivals []Arrival) (Result, error) {
 	if len(arrivals) == 0 {
 		return Result{}, fmt.Errorf("fleet: empty arrival stream")
@@ -158,6 +181,7 @@ func (f *Fleet) Run(arrivals []Arrival) (Result, error) {
 	devices := len(f.devType)
 	res := Result{
 		Policy:     f.cfg.Policy,
+		Engine:     f.cfg.Engine,
 		Roster:     f.cfg.RosterString(),
 		Devices:    devices,
 		NC:         f.cfg.NC,
@@ -166,36 +190,58 @@ func (f *Fleet) Run(arrivals []Arrival) (Result, error) {
 	for d := range f.devType {
 		res.DeviceConfig = append(res.DeviceConfig, f.deviceName(d))
 	}
+	// idle mirrors idleDevs membership for the speculation pass; the
+	// heap itself hands the dispatch pass the fastest idle device.
 	idle := make([]bool, devices)
+	idleDevs := deviceHeap{pos: f.orderPos}
 	for d := range idle {
 		idle[d] = true
+		idleDevs.push(d)
 	}
 	// The pool holds one slot per device for the in-flight groups plus
 	// as many again for speculative pre-simulation, capped by the host.
-	workers := 2 * devices
-	if n := runtime.NumCPU(); workers > n {
-		workers = n
+	// The Modeled engine never simulates, so it skips the pool.
+	var sem chan struct{}
+	if f.cfg.Engine != Modeled {
+		workers := 2 * devices
+		if n := runtime.NumCPU(); workers > n {
+			workers = n
+		}
+		if workers < 2 {
+			workers = 2
+		}
+		sem = make(chan struct{}, workers)
 	}
-	if workers < 2 {
-		workers = 2
-	}
-	sem := make(chan struct{}, workers)
 	var specWG sync.WaitGroup
 	defer specWG.Wait()
 	speculated := make(map[string]bool)
 
 	const inf = math.MaxUint64
 	var (
-		flights   []*inflight
-		queue     []*job
+		// flightOf indexes the live flight by device (one per device);
+		// resolved/unresolved order them by completion and by earliest
+		// bound. Flights leave the heaps lazily via their state.
+		flightOf = make([]*inflight, devices)
+		resolved = flightHeap{live: flightResolved, less: func(a, b *inflight) bool {
+			return a.complete < b.complete || (a.complete == b.complete && a.device < b.device)
+		}}
+		unresolved = flightHeap{live: flightPending, less: func(a, b *inflight) bool {
+			return a.earliest < b.earliest || (a.earliest == b.earliest && a.seq < b.seq)
+		}}
+		queue     = jobQueue{slo: f.cfg.SLO.Enabled}
 		now       uint64
 		nextArr   int
+		seq       int
 		remaining = len(jobs)
+		hybrid    map[string]*hybridCal
 		// abandoned holds evicted flights whose simulations are still
 		// running; their results are discarded, but Run must not return
 		// (and tests must not race) while their workers live.
 		abandoned []*inflight
 	)
+	if f.cfg.Engine == Hybrid {
+		hybrid = make(map[string]*hybridCal)
+	}
 	defer func() {
 		for _, fl := range abandoned {
 			<-fl.done
@@ -204,20 +250,14 @@ func (f *Fleet) Run(arrivals []Arrival) (Result, error) {
 	for remaining > 0 {
 		// Admit arrivals due by now (priority order when SLO-aware).
 		for nextArr < len(jobs) && jobs[nextArr].arrival <= now {
-			queue = f.enqueue(queue, jobs[nextArr])
+			queue.insert(jobs[nextArr])
 			nextArr++
 		}
 		// Dispatch to idle devices while work is waiting, fastest device
 		// first: group formation is placement-aware, scoring candidates
 		// with the chosen device type's interference matrix.
-		for len(queue) > 0 {
-			d := -1
-			for _, cand := range f.order {
-				if idle[cand] {
-					d = cand
-					break
-				}
-			}
+		for queue.Len() > 0 {
+			d := idleDevs.pop()
 			if d < 0 {
 				break
 			}
@@ -228,68 +268,118 @@ func (f *Fleet) Run(arrivals []Arrival) (Result, error) {
 				device:   d,
 				typ:      t,
 				dispatch: now,
-				earliest: now + f.lowerBoundCycles(members, t),
+				seq:      seq,
 				jobs:     members,
 				ilp:      usedILP,
-				done:     make(chan struct{}),
 			}
-			flights = append(flights, fl)
-			go func(fl *inflight) {
-				sem <- struct{}{}
-				defer func() { <-sem }()
-				g := make(sched.Group, len(fl.jobs))
-				for i, m := range fl.jobs {
-					g[i] = m.apps[fl.typ]
+			seq++
+			useModel, calib := f.cfg.Engine == Modeled, 1.0
+			if f.cfg.Engine == Hybrid {
+				key := compositionKey(members, t)
+				cal := hybrid[key]
+				if cal == nil {
+					cal = &hybridCal{}
+					hybrid[key] = cal
 				}
-				fl.rep, fl.err = f.types[fl.typ].Scheduler().RunGroup(g, f.cfg.Policy)
-				close(fl.done)
-			}(fl)
+				if cal.started < f.cfg.HybridWarm {
+					cal.started++
+					fl.calKey = key
+				} else {
+					useModel, calib = true, cal.calibration()
+				}
+			}
+			if useModel {
+				// Born resolved: the model is the completion.
+				fl.rep, err = f.modelReport(members, t, calib)
+				if err != nil {
+					f.drain(flightOf)
+					return Result{}, err
+				}
+				fl.modeled = true
+				fl.done = closedDone
+				fl.state = flightResolved
+				fl.complete = now + f.flightCycles(fl)
+				fl.earliest = fl.complete
+				resolved.push(fl)
+			} else {
+				fl.done = make(chan struct{})
+				fl.earliest = now + f.lowerBoundCycles(members, t)
+				unresolved.push(fl)
+				go func(fl *inflight) {
+					sem <- struct{}{}
+					defer func() { <-sem }()
+					g := make(sched.Group, len(fl.jobs))
+					for i, m := range fl.jobs {
+						g[i] = m.apps[fl.typ]
+					}
+					fl.rep, fl.err = f.types[fl.typ].Scheduler().RunGroup(g, f.cfg.Policy)
+					close(fl.done)
+				}(fl)
+			}
+			flightOf[d] = fl
+		}
+		// A drained queue means no pending speculation guess can be
+		// dispatched next, so the dedup signatures are dead weight: reset
+		// the map rather than let a 100k-job run accumulate every
+		// historical group signature. A signature that recurs later costs
+		// one re-submitted RunGroup, which the scheduler's memo dedups.
+		if queue.Len() == 0 && len(speculated) > 0 {
+			clear(speculated)
 		}
 		// Preemption: when the head of the queue is a latency job that
 		// would miss its deadline waiting for the predicted next natural
 		// completion, clear one running all-batch group and loop back so
 		// the dispatch pass places the trigger on the freed device.
-		if f.cfg.SLO.Preempt && len(queue) > 0 && queue[0].slo == Latency {
-			if victim := f.preemptVictim(queue[0], flights, now); victim != nil {
-				f.evict(victim, queue[0], now, &res)
+		if f.cfg.SLO.Preempt && queue.Len() > 0 && queue.at(0).slo == Latency {
+			if victim := f.preemptVictim(queue.at(0), flightOf, now); victim != nil {
+				f.evict(victim, queue.at(0), now, &res)
+				if victim.calKey != "" {
+					// An evicted Hybrid warm-up never resolves, so it can
+					// never feed its composition's calibration — refund the
+					// warm-up slot so a later dispatch runs it instead of
+					// the composition silently staying uncalibrated.
+					hybrid[victim.calKey].started--
+					victim.calKey = ""
+				}
+				victim.state = flightEvicted
+				flightOf[victim.device] = nil
 				idle[victim.device] = true
-				flights = removeFlight(flights, victim)
+				idleDevs.push(victim.device)
 				abandoned = append(abandoned, victim)
 				for _, j := range victim.jobs {
-					queue = f.enqueue(queue, j)
+					queue.insert(j)
 				}
 				continue
 			}
 		}
 		// Pick the provably-earliest next event. Ties go to arrivals
 		// first (a job landing the instant a device frees still queues
-		// before the dispatch decision), then to the lowest device id.
+		// before the dispatch decision), then to the lowest device id
+		// among resolved completions (the heap key).
 		tArr := uint64(inf)
 		if nextArr < len(jobs) {
 			tArr = jobs[nextArr].arrival
 		}
-		var cBest, uBest *inflight
+		cBest, uBest := resolved.peek(), unresolved.peek()
 		cTime, uTime := uint64(inf), uint64(inf)
-		for _, fl := range flights {
-			if fl.resolved {
-				if fl.complete < cTime || (fl.complete == cTime && fl.device < cBest.device) {
-					cBest, cTime = fl, fl.complete
-				}
-			} else {
-				if fl.earliest < uTime {
-					uBest, uTime = fl, fl.earliest
-				}
-			}
+		if cBest != nil {
+			cTime = cBest.complete
+		}
+		if uBest != nil {
+			uTime = uBest.earliest
 		}
 		switch {
 		case tArr != inf && tArr <= cTime && tArr <= uTime:
 			now = tArr
 		case cBest != nil && cTime <= uTime:
 			now = cTime
+			resolved.pop()
+			cBest.state = flightRetired
 			f.retire(cBest, &res)
 			remaining -= len(cBest.jobs)
+			flightOf[cBest.device] = nil
 			idle[cBest.device] = true
-			flights = removeFlight(flights, cBest)
+			idleDevs.push(cBest.device)
 		case uBest != nil:
 			// The unresolved group with the earliest possible completion
 			// might be the next event; block until its worker reports.
@@ -302,24 +392,41 @@ func (f *Fleet) Run(arrivals []Arrival) (Result, error) {
 			// already done (or in flight — the scheduler dedups identical
 			// executions).
 			if runtime.NumCPU() > 1 || f.cfg.forceSpec {
-				f.speculate(queue, idle, now, sem, &specWG, speculated)
+				f.speculate(queue.view(), idle, now, sem, &specWG, speculated)
 			}
 			<-uBest.done
 			if uBest.err != nil {
-				f.drain(flights)
+				f.drain(flightOf)
 				return Result{}, uBest.err
 			}
-			uBest.resolved = true
 			uBest.complete = uBest.dispatch + f.flightCycles(uBest)
 			if uBest.complete < uBest.earliest {
 				// The bound was not sound after all — fail loudly rather
 				// than silently reorder events.
-				f.drain(flights)
+				f.drain(flightOf)
 				return Result{}, fmt.Errorf("fleet: completion %d before lower bound %d for group on device %d",
 					uBest.complete, uBest.earliest, uBest.device)
 			}
+			if uBest.calKey != "" {
+				if err := f.calibrate(hybrid[uBest.calKey], uBest); err != nil {
+					f.drain(flightOf)
+					return Result{}, err
+				}
+			}
+			uBest.state = flightResolved
+			resolved.push(uBest)
 		default:
 			return Result{}, fmt.Errorf("fleet: no dispatchable work with %d jobs outstanding", remaining)
+		}
+	}
+	if hybrid != nil {
+		samples, delta := 0, 0.0
+		for _, cal := range hybrid {
+			samples += cal.n
+			delta += cal.delta
+		}
+		if samples > 0 {
+			res.ModelDelta = delta / float64(samples)
 		}
 	}
 
@@ -341,6 +448,31 @@ func (f *Fleet) Run(arrivals []Arrival) (Result, error) {
 	return res, nil
 }
 
+// calibrate folds a resolved Hybrid warm-up flight into its
+// composition's calibration: the simulated per-member ends against the
+// raw (uncalibrated) model's predictions for the same group.
+func (f *Fleet) calibrate(cal *hybridCal, fl *inflight) error {
+	model, err := f.modelReport(fl.jobs, fl.typ, 1)
+	if err != nil {
+		return err
+	}
+	actual := make([]uint64, len(fl.jobs))
+	predicted := make([]uint64, len(fl.jobs))
+	for i := range fl.jobs {
+		// Raw simulated ends (group makespan fallback), deliberately not
+		// checkpoint-scaled: the model predicts full runs and the
+		// checkpoint scaling is applied downstream of both engines.
+		e := fl.rep.Cycles
+		if i < len(fl.rep.Stats) && fl.rep.Stats[i].EndCycle > 0 {
+			e = fl.rep.Stats[i].EndCycle
+		}
+		actual[i] = e
+		predicted[i] = model.Stats[i].EndCycle
+	}
+	cal.observe(actual, predicted)
+	return nil
+}
+
 // preemptVictim decides whether evicting a running group saves the
 // trigger latency job, and which group to clear. It returns nil when no
 // eviction is justified: the trigger can still meet its deadline by
@@ -349,10 +481,7 @@ func (f *Fleet) Run(arrivals []Arrival) (Result, error) {
 // group shields a latency member), or the deadline is already
 // unreachable even on a device freed right now (eviction would burn
 // batch progress without saving anything).
-func (f *Fleet) preemptVictim(trigger *job, flights []*inflight, now uint64) *inflight {
-	if len(flights) == 0 {
-		return nil
-	}
+func (f *Fleet) preemptVictim(trigger *job, flightOf []*inflight, now uint64) *inflight {
 	// Waiting means the dispatch loop hands the queue head to the FIRST
 	// device that frees — there is no holding back for a faster one —
 	// so the no-eviction outcome is the co-run on that flight's own
@@ -360,12 +489,18 @@ func (f *Fleet) preemptVictim(trigger *job, flights []*inflight, now uint64) *in
 	// by placement order, exactly as the real dispatch pass scans them.
 	var first *inflight
 	firstFree := uint64(math.MaxUint64)
-	for _, fl := range flights {
+	for _, fl := range flightOf {
+		if fl == nil {
+			continue
+		}
 		free := f.predictedFree(fl)
 		if first == nil || free < firstFree ||
 			(free == firstFree && f.orderPos[fl.device] < f.orderPos[first.device]) {
 			first, firstFree = fl, free
 		}
+	}
+	if first == nil {
+		return nil
 	}
 	run, ok := f.coRunCycles(trigger, first.typ)
 	if !ok {
@@ -384,7 +519,10 @@ func (f *Fleet) preemptVictim(trigger *job, flights []*inflight, now uint64) *in
 	// worth one batch group's progress; if it fails anyway, the waste is
 	// bounded and reported).
 	var victim *inflight
-	for _, fl := range flights {
+	for _, fl := range flightOf {
+		if fl == nil {
+			continue
+		}
 		evictable := true
 		for _, j := range fl.jobs {
 			if j.slo == Latency {
@@ -448,10 +586,11 @@ func (f *Fleet) coRunCycles(j *job, t int) (uint64, bool) {
 }
 
 // evict aborts fl at cycle now: its jobs re-enter the queue with
-// checkpointed progress and the device frees immediately. The group's
-// simulation keeps running on its worker — its result is discarded, but
-// the memo may still serve a later identical dispatch — so eviction
-// never blocks the event loop.
+// checkpointed progress and the device frees immediately. Under the
+// Cycle engine the group's simulation keeps running on its worker — its
+// result is discarded, but the memo may still serve a later identical
+// dispatch — so eviction never blocks the event loop; a modeled
+// flight's done channel is already closed.
 //
 // The checkpoint is taken from the solo-profile progress model, not from
 // simulator state: a job that ran elapsed cycles preserves up to
@@ -522,7 +661,7 @@ func (f *Fleet) evict(fl *inflight, trigger *job, now uint64, res *Result) {
 // loop's (halved) safety bound: the preemption decision wants a
 // realistic estimate, while event ordering needs a provable one.
 func (f *Fleet) predictedFree(fl *inflight) uint64 {
-	if fl.resolved {
+	if fl.state == flightResolved {
 		return fl.complete
 	}
 	est := fl.earliest
@@ -567,10 +706,11 @@ func (f *Fleet) soloCycles(j *job, t int) (uint64, bool) {
 }
 
 // memberEnd is member i's checkpoint-scaled completion offset within
-// flight fl: its simulated per-member end (falling back to the group
-// makespan) through the effective-cycles scaling. Both the event loop's
-// completion ordering (flightCycles) and the final accounting (retire)
-// read ends through this one helper, so the two can never disagree.
+// flight fl: its per-member end (simulated or modeled, falling back to
+// the group makespan) through the effective-cycles scaling. Both the
+// event loop's completion ordering (flightCycles) and the final
+// accounting (retire) read ends through this one helper, so the two can
+// never disagree.
 func (f *Fleet) memberEnd(fl *inflight, i int) uint64 {
 	e := fl.rep.Cycles
 	if i < len(fl.rep.Stats) && fl.rep.Stats[i].EndCycle > 0 {
@@ -609,9 +749,9 @@ func (f *Fleet) speculate(queue []*job, idle []bool, now uint64, sem chan struct
 	// dispatch would offer them work if they all freed at once. With
 	// aging on the prediction also guesses the dispatch time (now); a
 	// stale guess costs one wasted simulation, never correctness.
-	spec := append([]*job(nil), queue...)
+	spec := jobQueue{slo: f.cfg.SLO.Enabled, buf: append([]*job(nil), queue...)}
 	for _, d := range f.order {
-		if idle[d] || len(spec) == 0 {
+		if idle[d] || spec.Len() == 0 {
 			continue
 		}
 		t := f.devType[d]
@@ -703,26 +843,20 @@ func (f *Fleet) retire(fl *inflight, res *Result) {
 	} else {
 		res.GreedyGroups++
 	}
+	if fl.modeled {
+		res.ModeledGroups++
+	} else {
+		res.CycleGroups++
+	}
 	res.SMMoves += fl.rep.SMMoves
 }
 
 // drain waits out every outstanding worker before an error return, so
 // no goroutine outlives the run.
-func (f *Fleet) drain(flights []*inflight) {
-	for _, fl := range flights {
-		if !fl.resolved {
+func (f *Fleet) drain(flightOf []*inflight) {
+	for _, fl := range flightOf {
+		if fl != nil && fl.state == flightPending {
 			<-fl.done
 		}
 	}
-}
-
-// removeFlight drops one element, preserving order.
-func removeFlight(flights []*inflight, target *inflight) []*inflight {
-	out := flights[:0]
-	for _, fl := range flights {
-		if fl != target {
-			out = append(out, fl)
-		}
-	}
-	return out
 }

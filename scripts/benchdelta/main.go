@@ -1,0 +1,113 @@
+// Command benchdelta compares two BENCH_*.json snapshots produced by
+// scripts/bench.sh and prints per-benchmark, per-metric deltas, so a
+// bench run immediately shows how it moved against the last committed
+// baseline.
+//
+// Usage:
+//
+//	go run ./scripts/benchdelta baseline.json new.json
+//
+// Output is one line per (benchmark, metric) present in either file:
+// the baseline value, the new value and the relative change; metrics
+// only present on one side are marked new/gone. For time-like and
+// allocation metrics lower is better; benchdelta does not judge, it
+// only reports.
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"log"
+	"math"
+	"os"
+	"sort"
+)
+
+type entry struct {
+	Name       string             `json:"name"`
+	Iterations int                `json:"iterations"`
+	Metrics    map[string]float64 `json:"metrics"`
+}
+
+func load(path string) (map[string]entry, []string, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, nil, err
+	}
+	var list []entry
+	if err := json.Unmarshal(data, &list); err != nil {
+		return nil, nil, fmt.Errorf("%s: %w", path, err)
+	}
+	m := make(map[string]entry, len(list))
+	var order []string
+	for _, e := range list {
+		if _, dup := m[e.Name]; !dup {
+			order = append(order, e.Name)
+		}
+		m[e.Name] = e
+	}
+	return m, order, nil
+}
+
+func main() {
+	log.SetFlags(0)
+	if len(os.Args) != 3 {
+		log.Fatal("usage: benchdelta baseline.json new.json")
+	}
+	base, baseOrder, err := load(os.Args[1])
+	if err != nil {
+		log.Fatal(err)
+	}
+	cur, curOrder, err := load(os.Args[2])
+	if err != nil {
+		log.Fatal(err)
+	}
+	// New-file order first, then baseline-only benchmarks.
+	names := append([]string(nil), curOrder...)
+	for _, n := range baseOrder {
+		if _, ok := cur[n]; !ok {
+			names = append(names, n)
+		}
+	}
+	fmt.Printf("benchmark deltas (%s -> %s):\n", os.Args[1], os.Args[2])
+	for _, name := range names {
+		b, hasBase := base[name]
+		c, hasCur := cur[name]
+		switch {
+		case !hasCur:
+			fmt.Printf("  %-40s gone (was in baseline)\n", name)
+			continue
+		case !hasBase:
+			fmt.Printf("  %-40s new benchmark\n", name)
+			// Still print its metrics so the snapshot line is readable.
+		}
+		metrics := make([]string, 0, len(c.Metrics))
+		for k := range c.Metrics {
+			metrics = append(metrics, k)
+		}
+		for k := range b.Metrics {
+			if _, ok := c.Metrics[k]; !ok {
+				metrics = append(metrics, k)
+			}
+		}
+		sort.Strings(metrics)
+		for _, k := range metrics {
+			nv, hasN := c.Metrics[k]
+			ov, hasO := b.Metrics[k]
+			label := fmt.Sprintf("%s %s", name, k)
+			switch {
+			case !hasN:
+				fmt.Printf("  %-56s %12.4g -> gone\n", label, ov)
+			case !hasO:
+				fmt.Printf("  %-56s %12s -> %-12.4g (new)\n", label, "-", nv)
+			default:
+				delta := "n/a"
+				if ov != 0 {
+					d := 100 * (nv - ov) / math.Abs(ov)
+					delta = fmt.Sprintf("%+.1f%%", d)
+				}
+				fmt.Printf("  %-56s %12.4g -> %-12.4g %s\n", label, ov, nv, delta)
+			}
+		}
+	}
+}
