@@ -15,6 +15,7 @@ import (
 	"log"
 	"os"
 	"path/filepath"
+	"runtime"
 	"runtime/pprof"
 	"strings"
 	"time"
@@ -30,6 +31,7 @@ func main() {
 	setup := flag.Bool("setup", false, "print the experimental setup (Table 4.1) and exit")
 	csvDir := flag.String("csv", "", "also write each artifact as CSV into this directory")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile of the run to this file")
+	memprofile := flag.String("memprofile", "", "write a heap profile at exit to this file")
 	flag.Parse()
 
 	if *cpuprofile != "" {
@@ -43,12 +45,34 @@ func main() {
 		}
 		defer pprof.StopCPUProfile()
 	}
+	// writeHeap snapshots the heap to -memprofile (no-op when unset); it
+	// runs on both the normal and fatal exit paths, like the CPU profile
+	// flush below.
+	writeHeap := func() {
+		if *memprofile == "" {
+			return
+		}
+		f, err := os.Create(*memprofile)
+		if err != nil {
+			log.Print(err)
+			return
+		}
+		runtime.GC() // flush unreached allocations so the profile shows live heap
+		if err := pprof.WriteHeapProfile(f); err != nil {
+			log.Print(err)
+		}
+		if err := f.Close(); err != nil {
+			log.Print(err)
+		}
+	}
 	if err := run(*only, *seed, *setup, *csvDir); err != nil {
-		// Flush the profile before exiting: log.Fatal's os.Exit would
-		// skip the deferred StopCPUProfile and leave it unparsable.
+		// Flush the profiles before exiting: log.Fatal's os.Exit would
+		// skip the deferred StopCPUProfile and leave them unparsable.
 		pprof.StopCPUProfile()
+		writeHeap()
 		log.Fatal(err)
 	}
+	writeHeap()
 }
 
 func run(only string, seed uint64, setup bool, csvDir string) error {

@@ -39,8 +39,17 @@
 // calibrate the model and serves the rest from it, reporting the
 // model's fidelity delta in the summary.
 //
+// Observability: -timeseries FILE samples the run every
+// -sample-interval cycles (queue depth and class split, per-device
+// occupancy and busy cycles, cumulative completions/misses/evictions,
+// engine-mode counters) and writes the series as CSV — or JSON when
+// FILE ends in .json — ready for plotting; see internal/obs for the
+// column layout. cmd/sweep drives whole grids of these runs.
+//
 // The summary is deterministic: the same flags (and seed) produce
-// byte-identical output, whatever the host machine is doing.
+// byte-identical output, whatever the host machine is doing. The
+// -timeseries output shares the contract: same seed, byte-identical
+// series.
 //
 // Calibration (solo profiles + the all-pairs interference campaign) is
 // cached on disk per device configuration exactly like cmd/experiments
@@ -54,6 +63,7 @@ import (
 	"fmt"
 	"log"
 	"os"
+	"runtime"
 	"runtime/pprof"
 	"strconv"
 	"strings"
@@ -87,7 +97,10 @@ func main() {
 	csvPath := flag.String("csv", "", "also write the per-job records as CSV to this file")
 	engineFlag := flag.String("engine", "cycle", "completion engine: cycle | modeled | hybrid")
 	hybridWarm := flag.Int("hybrid-warm", 0, "cycle-accurate runs per group composition before the hybrid engine trusts the model (0 = default)")
+	timeseries := flag.String("timeseries", "", "write the per-interval time series to this file (CSV, or JSON with a .json extension)")
+	sampleInterval := flag.Uint64("sample-interval", 100_000, "time-series sampling interval in cycles (with -timeseries)")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile of the run to this file")
+	memprofile := flag.String("memprofile", "", "write a heap profile at exit to this file")
 	flag.Parse()
 
 	if *cpuprofile != "" {
@@ -101,14 +114,36 @@ func main() {
 		}
 		defer pprof.StopCPUProfile()
 	}
+	// writeHeap snapshots the heap to -memprofile (no-op when unset); it
+	// runs at normal exit and on the fatal paths, so a failed run still
+	// leaves its profile behind.
+	writeHeap := func() {
+		if *memprofile == "" {
+			return
+		}
+		f, err := os.Create(*memprofile)
+		if err != nil {
+			log.Print(err)
+			return
+		}
+		runtime.GC() // flush unreached allocations so the profile shows live heap
+		if err := pprof.WriteHeapProfile(f); err != nil {
+			log.Print(err)
+		}
+		if err := f.Close(); err != nil {
+			log.Print(err)
+		}
+	}
 	// log.Fatal's os.Exit skips deferred profile flushing, so every
 	// fatal below goes through fail instead.
 	fail := func(v ...any) {
 		pprof.StopCPUProfile()
+		writeHeap()
 		log.Fatal(v...)
 	}
 	failf := func(format string, v ...any) {
 		pprof.StopCPUProfile()
+		writeHeap()
 		log.Fatalf(format, v...)
 	}
 
@@ -157,16 +192,17 @@ func main() {
 	if set["hybrid-warm"] && engine != fleet.Hybrid {
 		failf("fleet: -hybrid-warm only applies to -engine hybrid (got %v)", engine)
 	}
-	var slo fleet.SLOConfig
-	switch strings.ToLower(*sloFlag) {
-	case "off":
-	case "priority":
-		slo.Enabled = true
-	case "preempt":
-		slo.Enabled = true
-		slo.Preempt = true
-	default:
-		failf("fleet: unknown -slo mode %q (off, priority, preempt)", *sloFlag)
+	if set["sample-interval"] {
+		if *timeseries == "" {
+			fail("fleet: -sample-interval needs -timeseries to write the series somewhere")
+		}
+		if *sampleInterval == 0 {
+			fail("fleet: -sample-interval must be positive")
+		}
+	}
+	slo, err := fleet.ParseSLOMode(*sloFlag)
+	if err != nil {
+		fail(err)
 	}
 	if kind == fleet.Trace {
 		for _, name := range []string{"latency-frac", "deadline"} {
@@ -214,7 +250,7 @@ func main() {
 	}
 	log.Printf("roster ready in %v", time.Since(start).Round(time.Second))
 
-	f, err := fleet.New(fleet.Config{
+	cfg := fleet.Config{
 		Devices:     roster,
 		NC:          *nc,
 		Policy:      policy,
@@ -224,7 +260,11 @@ func main() {
 		SLO:         slo,
 		Engine:      engine,
 		HybridWarm:  *hybridWarm,
-	})
+	}
+	if *timeseries != "" {
+		cfg.SampleEvery = *sampleInterval
+	}
+	f, err := fleet.New(cfg)
 	if err != nil {
 		fail(err)
 	}
@@ -267,6 +307,25 @@ func main() {
 		}
 		log.Printf("wrote per-job records to %s", *csvPath)
 	}
+	if *timeseries != "" {
+		out, err := os.Create(*timeseries)
+		if err != nil {
+			fail(err)
+		}
+		if strings.HasSuffix(*timeseries, ".json") {
+			err = res.Series.WriteJSON(out)
+		} else {
+			err = res.Series.WriteCSV(out)
+		}
+		if err != nil {
+			fail(err)
+		}
+		if err := out.Close(); err != nil {
+			fail(err)
+		}
+		log.Printf("wrote %d-sample time series to %s", res.Series.Rows(), *timeseries)
+	}
+	writeHeap()
 }
 
 // parseTrace parses "BLK@0,HS@1000" into arrivals. A "!DEADLINE"

@@ -77,15 +77,21 @@ func (a Artifact) String() string {
 			width = len(r.Label)
 		}
 	}
+	colw := 14
+	for _, c := range a.Columns {
+		if len(c) >= colw {
+			colw = len(c) + 1
+		}
+	}
 	fmt.Fprintf(&b, "%-*s", width+2, "")
 	for _, c := range a.Columns {
-		fmt.Fprintf(&b, "%14s", c)
+		fmt.Fprintf(&b, "%*s", colw, c)
 	}
 	b.WriteByte('\n')
 	for _, r := range a.Rows {
 		fmt.Fprintf(&b, "%-*s", width+2, r.Label)
 		for _, v := range r.Values {
-			fmt.Fprintf(&b, "%14.4f", v)
+			fmt.Fprintf(&b, "%*.4f", colw, v)
 		}
 		b.WriteByte('\n')
 	}

@@ -145,6 +145,7 @@ func (s *Suite) gens() []gen {
 		{"FleetHetero", s.FleetHetero},
 		{"FleetSLO", s.FleetSLO},
 		{"FleetScale", s.FleetScale},
+		{"FleetSweep", s.FleetSweep},
 	}
 }
 

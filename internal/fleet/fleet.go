@@ -65,6 +65,13 @@ type Config struct {
 	// switching to the calibrated model (0 selects DefaultHybridWarm;
 	// ignored outside Hybrid).
 	HybridWarm int
+	// SampleEvery enables the per-interval time-series collector: every
+	// SampleEvery fleet cycles the event loop samples queue depth,
+	// per-device occupancy and the cumulative counters into
+	// Result.Series (see internal/obs). 0 — the default — disables
+	// sampling entirely; the collector is purely an observer and never
+	// changes dispatch decisions or event order.
+	SampleEvery uint64
 
 	// forceSpec makes the event loop pre-simulate likely next groups
 	// even on a single-CPU host, where speculation otherwise only burns

@@ -4,6 +4,7 @@ import (
 	"flag"
 	"os"
 	"path/filepath"
+	"strings"
 	"testing"
 
 	"repro/internal/sched"
@@ -87,15 +88,48 @@ func goldenCases(t *testing.T) []struct {
 	}
 }
 
+// goldenSampleEvery is the sampling interval the golden runs enable.
+// The runs predate the collector, so passing them with sampling ON is
+// itself an assertion: the collector observes without perturbing a
+// single dispatch decision or completion cycle.
+const goldenSampleEvery = 20_000
+
+// compareGolden asserts got matches the named golden file byte for
+// byte, or rewrites it under -update.
+func compareGolden(t *testing.T, name, got string) {
+	t.Helper()
+	path := filepath.Join("testdata", name)
+	if *update {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("missing golden (run with -update to capture): %v", err)
+	}
+	if got != string(want) {
+		t.Errorf("diverged from %s:\n--- want ---\n%s--- got ---\n%s", name, want, got)
+	}
+}
+
 // TestCycleEngineGoldens asserts the Cycle engine reproduces the
 // pre-rewrite dispatcher byte for byte on the three scenario shapes:
 // the summary (throughput, utilization, all latency percentiles) and
 // the eviction trace together pin every observable decision the event
-// loop makes.
+// loop makes. The runs sample a time series on the side, locked by its
+// own golden — and since the summary goldens predate the collector,
+// their passing doubles as proof the sampler is purely passive.
 func TestCycleEngineGoldens(t *testing.T) {
 	for _, tc := range goldenCases(t) {
 		t.Run(tc.name, func(t *testing.T) {
-			f, err := New(tc.cfg())
+			cfg := tc.cfg()
+			cfg.SampleEvery = goldenSampleEvery
+			f, err := New(cfg)
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -103,24 +137,15 @@ func TestCycleEngineGoldens(t *testing.T) {
 			if err != nil {
 				t.Fatal(err)
 			}
-			got := res.Summary() + res.EvictionTrace()
-			path := filepath.Join("testdata", "cycle_"+tc.name+".golden")
-			if *update {
-				if err := os.MkdirAll("testdata", 0o755); err != nil {
-					t.Fatal(err)
-				}
-				if err := os.WriteFile(path, []byte(got), 0o644); err != nil {
-					t.Fatal(err)
-				}
-				return
+			compareGolden(t, "cycle_"+tc.name+".golden", res.Summary()+res.EvictionTrace())
+			if res.Series == nil {
+				t.Fatal("SampleEvery set but Result.Series is nil")
 			}
-			want, err := os.ReadFile(path)
-			if err != nil {
-				t.Fatalf("missing golden (run with -update to capture): %v", err)
+			var csv strings.Builder
+			if err := res.Series.WriteCSV(&csv); err != nil {
+				t.Fatal(err)
 			}
-			if got != string(want) {
-				t.Errorf("Cycle engine diverged from the golden:\n--- want ---\n%s--- got ---\n%s", want, got)
-			}
+			compareGolden(t, "timeseries_"+tc.name+".golden", csv.String())
 		})
 	}
 }

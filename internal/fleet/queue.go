@@ -27,6 +27,10 @@ type jobQueue struct {
 	head int
 	// slo selects SLO-aware ordering (latency before batch).
 	slo bool
+	// latency counts waiting Latency-class jobs, maintained by the
+	// mutators below so the observability sampler reads the queue's class
+	// split in O(1) instead of walking the backlog every interval.
+	latency int
 }
 
 // Len is the number of waiting jobs.
@@ -58,6 +62,9 @@ func (q *jobQueue) before(a, b *job) bool {
 
 // insert places j at its priority position.
 func (q *jobQueue) insert(j *job) {
+	if j.slo == Latency {
+		q.latency++
+	}
 	v := q.view()
 	pos := sort.Search(len(v), func(i int) bool { return q.before(j, v[i]) })
 	q.buf = append(q.buf, j)
@@ -73,6 +80,9 @@ func (q *jobQueue) insert(j *job) {
 // groups are exactly the queue prefix).
 func (q *jobQueue) advance(n int) {
 	for k := q.head; k < q.head+n; k++ {
+		if q.buf[k].slo == Latency {
+			q.latency--
+		}
 		q.buf[k] = nil
 	}
 	q.head += n
@@ -96,6 +106,9 @@ func (q *jobQueue) removeTaken(taken map[*job]bool) {
 	for ; i < len(q.buf) && found < len(taken); i++ {
 		if taken[q.buf[i]] {
 			found++
+			if q.buf[i].slo == Latency {
+				q.latency--
+			}
 		} else {
 			kept = append(kept, q.buf[i])
 		}

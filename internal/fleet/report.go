@@ -5,6 +5,7 @@ import (
 	"strings"
 
 	"repro/internal/classify"
+	"repro/internal/obs"
 	"repro/internal/sched"
 	"repro/internal/stats"
 )
@@ -95,6 +96,11 @@ type Result struct {
 	ModelDelta float64
 	// Evictions records every preemption in event order.
 	Evictions []EvictionRecord
+	// Series is the per-interval time series sampled during the run,
+	// present exactly when Config.SampleEvery > 0 (see internal/obs for
+	// the column layout and renderings). Like the summary, it is
+	// deterministic: same seed and configuration, byte-identical series.
+	Series *obs.Series
 }
 
 // Throughput is the fleet analogue of Equation 1.1: retired thread

@@ -242,6 +242,12 @@ func (f *Fleet) Run(arrivals []Arrival) (Result, error) {
 	if f.cfg.Engine == Hybrid {
 		hybrid = make(map[string]*hybridCal)
 	}
+	// The observability sampler; nil when sampling is off, so the hot
+	// loop pays exactly one pointer check per time advance.
+	var col *sampler
+	if f.cfg.SampleEvery > 0 {
+		col = newSampler(f.cfg.SampleEvery, devices)
+	}
 	defer func() {
 		for _, fl := range abandoned {
 			<-fl.done
@@ -333,6 +339,10 @@ func (f *Fleet) Run(arrivals []Arrival) (Result, error) {
 		if f.cfg.SLO.Preempt && queue.Len() > 0 && queue.at(0).slo == Latency {
 			if victim := f.preemptVictim(queue.at(0), flightOf, now); victim != nil {
 				f.evict(victim, queue.at(0), now, &res)
+				if col != nil {
+					// The aborted attempt's device time is real busy time.
+					col.addBusy(victim.device, victim.dispatch, now)
+				}
 				if victim.calKey != "" {
 					// An evicted Hybrid warm-up never resolves, so it can
 					// never feed its composition's calibration — refund the
@@ -370,12 +380,25 @@ func (f *Fleet) Run(arrivals []Arrival) (Result, error) {
 		}
 		switch {
 		case tArr != inf && tArr <= cTime && tArr <= uTime:
+			// Sample every interval boundary the advance crosses with the
+			// pre-advance state; events at tArr itself fold into the row
+			// at (or after) tArr, emitted on a later advance.
+			if col != nil {
+				col.advanceTo(tArr, &queue, flightOf, &res)
+			}
 			now = tArr
 		case cBest != nil && cTime <= uTime:
+			if col != nil {
+				col.advanceTo(cTime, &queue, flightOf, &res)
+			}
 			now = cTime
 			resolved.pop()
 			cBest.state = flightRetired
 			f.retire(cBest, &res)
+			if col != nil {
+				col.noteRetire(cBest)
+				col.addBusy(cBest.device, cBest.dispatch, cBest.complete)
+			}
 			remaining -= len(cBest.jobs)
 			flightOf[cBest.device] = nil
 			idle[cBest.device] = true
@@ -418,6 +441,9 @@ func (f *Fleet) Run(arrivals []Arrival) (Result, error) {
 		default:
 			return Result{}, fmt.Errorf("fleet: no dispatchable work with %d jobs outstanding", remaining)
 		}
+	}
+	if col != nil {
+		res.Series = col.finish(res.Makespan, &queue, flightOf, &res)
 	}
 	if hybrid != nil {
 		samples, delta := 0, 0.0

@@ -43,6 +43,24 @@ func ParseSLOClass(s string) (SLOClass, error) {
 	}
 }
 
+// ParseSLOMode maps the CLI's -slo mode spellings to a dispatch
+// configuration: "off" is class-blind, "priority" queues latency jobs
+// first, "preempt" additionally evicts running batch groups to save
+// deadlines. Shared by cmd/fleet and the sweep grid so both spell the
+// modes identically.
+func ParseSLOMode(s string) (SLOConfig, error) {
+	switch strings.ToLower(s) {
+	case "off":
+		return SLOConfig{}, nil
+	case "priority":
+		return SLOConfig{Enabled: true}, nil
+	case "preempt":
+		return SLOConfig{Enabled: true, Preempt: true}, nil
+	default:
+		return SLOConfig{}, fmt.Errorf("fleet: unknown SLO mode %q (off, priority, preempt)", s)
+	}
+}
+
 // SLOConfig parameterizes class-aware dispatch. The zero value disables
 // it entirely, reproducing the class-blind dispatcher of earlier
 // revisions.

@@ -1,0 +1,140 @@
+// Package obs holds the observability layer's data containers: fixed-
+// column, integer-valued time series sampled at a constant cycle
+// interval, with deterministic CSV and JSON renderings. The fleet event
+// loop fills one Series per run (internal/fleet wires the sampling);
+// this package deliberately knows nothing about fleets, so any layer
+// that wants a plottable per-interval trace can reuse it.
+//
+// The storage is a single flat []uint64 in row-major order — appending
+// a row copies the caller's scratch slice into the tail, so a run's
+// steady state performs no per-sample allocations (the flat buffer
+// grows by amortized doubling, and callers that know the makespan can
+// pre-size it away entirely).
+package obs
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"strconv"
+)
+
+// Series is a fixed-column time series of uint64 samples. The zero
+// value is not usable; construct with NewSeries.
+type Series struct {
+	// interval is the sampling interval in cycles (every row covers the
+	// interval ending at its cycle column).
+	interval uint64
+	// columns labels the values of every row, in storage order.
+	columns []string
+	// data is the row-major sample storage.
+	data []uint64
+}
+
+// NewSeries builds an empty series with the given sampling interval and
+// column labels. capRows pre-sizes the storage (0 is fine: the buffer
+// grows by amortized doubling).
+func NewSeries(interval uint64, columns []string, capRows int) *Series {
+	cols := append([]string(nil), columns...)
+	return &Series{
+		interval: interval,
+		columns:  cols,
+		data:     make([]uint64, 0, capRows*len(cols)),
+	}
+}
+
+// Interval is the sampling interval in cycles.
+func (s *Series) Interval() uint64 { return s.interval }
+
+// Columns is the column labels in storage order. Callers must not
+// mutate the returned slice.
+func (s *Series) Columns() []string { return s.columns }
+
+// Rows is the number of appended samples.
+func (s *Series) Rows() int {
+	if len(s.columns) == 0 {
+		return 0
+	}
+	return len(s.data) / len(s.columns)
+}
+
+// Append copies one sample row into the series. The row length must
+// match the column count exactly — a mismatch is a programming error in
+// the sampler, reported loudly rather than silently mis-aligned.
+func (s *Series) Append(row []uint64) {
+	if len(row) != len(s.columns) {
+		panic(fmt.Sprintf("obs: sample has %d values for %d columns", len(row), len(s.columns)))
+	}
+	s.data = append(s.data, row...)
+}
+
+// At returns the value at row r, column c.
+func (s *Series) At(r, c int) uint64 { return s.data[r*len(s.columns)+c] }
+
+// Set overwrites the value at row r, column c. The fleet sampler uses
+// it to merge per-interval busy-cycle accounting (known only when a
+// flight retires) into rows that were emitted while the flight was
+// still running.
+func (s *Series) Set(r, c int, v uint64) { s.data[r*len(s.columns)+c] = v }
+
+// Col returns the index of the named column, or -1.
+func (s *Series) Col(name string) int {
+	for i, c := range s.columns {
+		if c == name {
+			return i
+		}
+	}
+	return -1
+}
+
+// WriteCSV renders the series as CSV: a header row of the column
+// labels, then one record per sample, raw integers. The output is
+// deterministic — identical series, byte-identical CSV.
+func (s *Series) WriteCSV(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	for i, c := range s.columns {
+		if i > 0 {
+			bw.WriteByte(',')
+		}
+		bw.WriteString(c)
+	}
+	bw.WriteByte('\n')
+	var buf [20]byte // fits a full uint64
+	for r := 0; r < s.Rows(); r++ {
+		base := r * len(s.columns)
+		for c := range s.columns {
+			if c > 0 {
+				bw.WriteByte(',')
+			}
+			bw.Write(strconv.AppendUint(buf[:0], s.data[base+c], 10))
+		}
+		bw.WriteByte('\n')
+	}
+	if err := bw.Flush(); err != nil {
+		return fmt.Errorf("obs: write csv: %w", err)
+	}
+	return nil
+}
+
+// seriesJSON is the stable JSON shape of a series.
+type seriesJSON struct {
+	Interval uint64     `json:"interval"`
+	Columns  []string   `json:"columns"`
+	Rows     [][]uint64 `json:"rows"`
+}
+
+// WriteJSON renders the series as one JSON document with the sampling
+// interval, the column labels and the rows. Deterministic, like the
+// CSV form.
+func (s *Series) WriteJSON(w io.Writer) error {
+	out := seriesJSON{Interval: s.interval, Columns: s.columns, Rows: make([][]uint64, s.Rows())}
+	for r := range out.Rows {
+		out.Rows[r] = s.data[r*len(s.columns) : (r+1)*len(s.columns)]
+	}
+	enc := json.NewEncoder(w)
+	if err := enc.Encode(out); err != nil {
+		return fmt.Errorf("obs: write json: %w", err)
+	}
+	return nil
+}

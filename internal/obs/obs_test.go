@@ -1,0 +1,98 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+func sample() *Series {
+	s := NewSeries(100, []string{"cycle", "queue", "busy"}, 4)
+	s.Append([]uint64{100, 3, 1})
+	s.Append([]uint64{200, 0, 2})
+	return s
+}
+
+func TestSeriesAccessors(t *testing.T) {
+	s := sample()
+	if s.Interval() != 100 {
+		t.Fatalf("interval = %d", s.Interval())
+	}
+	if s.Rows() != 2 {
+		t.Fatalf("rows = %d", s.Rows())
+	}
+	if got := s.At(1, 1); got != 0 {
+		t.Fatalf("At(1,1) = %d", got)
+	}
+	if s.Col("busy") != 2 || s.Col("nope") != -1 {
+		t.Fatalf("Col lookup wrong: busy=%d nope=%d", s.Col("busy"), s.Col("nope"))
+	}
+	s.Set(1, 1, 9)
+	if got := s.At(1, 1); got != 9 {
+		t.Fatalf("Set did not stick: %d", got)
+	}
+}
+
+func TestSeriesAppendRejectsWrongWidth(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("short row accepted")
+		}
+	}()
+	sample().Append([]uint64{1, 2})
+}
+
+func TestSeriesWriteCSV(t *testing.T) {
+	var b bytes.Buffer
+	if err := sample().WriteCSV(&b); err != nil {
+		t.Fatal(err)
+	}
+	want := "cycle,queue,busy\n100,3,1\n200,0,2\n"
+	if b.String() != want {
+		t.Fatalf("csv = %q, want %q", b.String(), want)
+	}
+}
+
+func TestSeriesWriteJSON(t *testing.T) {
+	var b bytes.Buffer
+	if err := sample().WriteJSON(&b); err != nil {
+		t.Fatal(err)
+	}
+	var got seriesJSON
+	if err := json.Unmarshal(b.Bytes(), &got); err != nil {
+		t.Fatalf("invalid json %q: %v", b.String(), err)
+	}
+	if got.Interval != 100 || len(got.Columns) != 3 || len(got.Rows) != 2 {
+		t.Fatalf("round trip = %+v", got)
+	}
+	if got.Rows[0][0] != 100 || got.Rows[1][2] != 2 {
+		t.Fatalf("rows = %v", got.Rows)
+	}
+	// Two renders are byte-identical (determinism contract).
+	var b2 bytes.Buffer
+	if err := sample().WriteJSON(&b2); err != nil {
+		t.Fatal(err)
+	}
+	if b.String() != b2.String() {
+		t.Fatalf("json not deterministic:\n%s\n%s", b.String(), b2.String())
+	}
+}
+
+func TestSeriesEmpty(t *testing.T) {
+	s := NewSeries(50, []string{"cycle"}, 0)
+	var b bytes.Buffer
+	if err := s.WriteCSV(&b); err != nil {
+		t.Fatal(err)
+	}
+	if b.String() != "cycle\n" {
+		t.Fatalf("empty csv = %q", b.String())
+	}
+	b.Reset()
+	if err := s.WriteJSON(&b); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), `"rows":[]`) {
+		t.Fatalf("empty json = %q", b.String())
+	}
+}

@@ -23,6 +23,11 @@ func percentileSorted(sorted []float64, p float64) float64 {
 	if len(sorted) == 0 {
 		return 0
 	}
+	// NaN p compares false against both range checks below and would
+	// otherwise flow into the index math; propagate it instead.
+	if math.IsNaN(p) {
+		return math.NaN()
+	}
 	if p <= 0 {
 		return sorted[0]
 	}

@@ -44,6 +44,56 @@ func TestPercentileDoesNotMutateInput(t *testing.T) {
 	}
 }
 
+// TestPercentileNaNP locks that a NaN percentile propagates as NaN
+// instead of panicking: NaN compares false against both range clamps,
+// so without an explicit guard it reached the rank/index arithmetic
+// and indexed out of range.
+func TestPercentileNaNP(t *testing.T) {
+	got := Percentile([]float64{1, 2, 3}, math.NaN())
+	if !math.IsNaN(got) {
+		t.Fatalf("Percentile(_, NaN) = %v, want NaN", got)
+	}
+	if got := Percentile(nil, math.NaN()); got != 0 {
+		t.Fatalf("Percentile(nil, NaN) = %v, want 0 (empty-input lock)", got)
+	}
+}
+
+// TestPercentileInfSamples locks behavior on infinite samples: they
+// sort to the extremes and interpolation involving them follows IEEE
+// arithmetic, with no panic.
+func TestPercentileInfSamples(t *testing.T) {
+	in := []float64{math.Inf(1), 1, math.Inf(-1)}
+	if got := Percentile(in, 0); !math.IsInf(got, -1) {
+		t.Fatalf("p0 = %v, want -Inf", got)
+	}
+	if got := Percentile(in, 100); !math.IsInf(got, 1) {
+		t.Fatalf("p100 = %v, want +Inf", got)
+	}
+	if got := Percentile(in, 50); got != 1 {
+		t.Fatalf("p50 = %v, want 1", got)
+	}
+}
+
+// TestPercentileInfP locks that infinite p hits the range clamps like
+// any other out-of-range value.
+func TestPercentileInfP(t *testing.T) {
+	in := []float64{1, 2, 3}
+	if got := Percentile(in, math.Inf(-1)); got != 1 {
+		t.Fatalf("p=-Inf = %v, want min", got)
+	}
+	if got := Percentile(in, math.Inf(1)); got != 3 {
+		t.Fatalf("p=+Inf = %v, want max", got)
+	}
+}
+
+func TestSummarizeDoesNotMutateInput(t *testing.T) {
+	in := []float64{3, 1, 2}
+	Summarize(in)
+	if in[0] != 3 || in[1] != 1 || in[2] != 2 {
+		t.Fatalf("input mutated: %v", in)
+	}
+}
+
 func TestSummarize(t *testing.T) {
 	tests := []struct {
 		name    string

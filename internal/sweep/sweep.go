@@ -1,0 +1,218 @@
+// Package sweep expands a scenario grid — dispatch policy × completion
+// engine × roster × arrival process × SLO mode — into fleet runs, fans
+// them over a bounded worker pool, and collects every cell's summary
+// metrics into one tidy artifact (CSV or JSON) with the cell parameters
+// as leading columns. It is the Go-native analogue of mgpusim's
+// collect-stats/compare-stats scripting: one command produces the whole
+// comparison table, and Delta diffs two such artifacts cell by cell.
+//
+// Determinism carries through: the grid expands in a fixed order, every
+// arrival process is generated once per kind from a seed derived only
+// from the grid seed, cells of the same arrival kind see the very same
+// traffic (so differences between cells are pure configuration), and
+// the artifact's cells appear in grid order regardless of which worker
+// finished first — the same grid twice is byte-identical output.
+package sweep
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/fleet"
+	"repro/internal/sched"
+)
+
+// Grid is a sweep specification: the axes to cross plus the scalar
+// parameters every cell shares. The JSON form is what cmd/sweep's
+// -config flag reads.
+type Grid struct {
+	// Policies, Engines, Rosters, Arrivals and SLOs are the grid axes,
+	// spelled exactly like the cmd/fleet flags (-policy, -engine,
+	// -fleet, -arrivals, -slo). Empty axes default to a single entry:
+	// ilp-smra, modeled, 4xGTX480, poisson, off.
+	Policies []string `json:"policies"`
+	Engines  []string `json:"engines"`
+	Rosters  []string `json:"rosters"`
+	Arrivals []string `json:"arrivals"`
+	SLOs     []string `json:"slos"`
+	// NC, Jobs, Rate, LatencyFrac, Deadline, Aging and HybridWarm are
+	// shared by every cell (zero picks the cmd/fleet defaults: NC 2,
+	// 32 jobs, rate 0.5/kcycle).
+	NC          int     `json:"nc"`
+	Jobs        int     `json:"jobs"`
+	Rate        float64 `json:"rate"`
+	LatencyFrac float64 `json:"latency_frac"`
+	Deadline    uint64  `json:"deadline"`
+	Aging       float64 `json:"aging"`
+	HybridWarm  int     `json:"hybrid_warm"`
+	// Seed seeds the arrival streams (one derived stream per arrival
+	// kind, so every cell of a kind replays identical traffic).
+	Seed uint64 `json:"seed"`
+}
+
+// withDefaults resolves empty axes and zero scalars.
+func (g Grid) withDefaults() Grid {
+	def := func(axis []string, v string) []string {
+		if len(axis) == 0 {
+			return []string{v}
+		}
+		return axis
+	}
+	g.Policies = def(g.Policies, "ilp-smra")
+	g.Engines = def(g.Engines, "modeled")
+	g.Rosters = def(g.Rosters, "4xGTX480")
+	g.Arrivals = def(g.Arrivals, "poisson")
+	g.SLOs = def(g.SLOs, "off")
+	if g.NC == 0 {
+		g.NC = 2
+	}
+	if g.Jobs == 0 {
+		g.Jobs = 32
+	}
+	if g.Rate == 0 {
+		g.Rate = 0.5
+	}
+	if g.Seed == 0 {
+		g.Seed = 1
+	}
+	return g
+}
+
+// Cell is one fully-resolved grid point.
+type Cell struct {
+	Policy  sched.Policy
+	Engine  fleet.EngineMode
+	Roster  string
+	Arrival fleet.ArrivalKind
+	SLOName string
+	SLO     fleet.SLOConfig
+}
+
+// ParamColumns names Cell.Params' entries, in order — the artifact's
+// leading columns, and how Delta identifies the same cell across two
+// artifacts.
+var ParamColumns = []string{"policy", "engine", "roster", "arrivals", "slo"}
+
+// Params is the cell's identity as column values, in ParamColumns
+// order. Policies use the CLI spelling (fcfs, ilp-smra) rather than the
+// paper's display names (Even/FCFS), so an artifact's parameter columns
+// feed straight back into a grid — and two artifacts key the same cell
+// identically even when their grids used different aliases.
+func (c Cell) Params() []string {
+	return []string{policyName(c.Policy), c.Engine.String(), c.Roster, c.Arrival.String(), c.SLOName}
+}
+
+// policyName is the canonical CLI spelling of a policy (Policy.String
+// renders the paper's display names instead).
+func policyName(p sched.Policy) string {
+	switch p {
+	case sched.Serial:
+		return "serial"
+	case sched.FCFS:
+		return "fcfs"
+	case sched.ProfileBased:
+		return "profile"
+	case sched.ILP:
+		return "ilp"
+	case sched.ILPSMRA:
+		return "ilp-smra"
+	default:
+		return strings.ToLower(p.String())
+	}
+}
+
+// Expand resolves the grid into its cells, validating every axis entry
+// up front (a typo fails the whole sweep before any cell runs). The
+// order is fixed — roster, then arrivals, then policy, then engine,
+// then SLO mode — so the artifact's rows are reproducible.
+func (g Grid) Expand() ([]Cell, error) {
+	g = g.withDefaults()
+	policies := make([]sched.Policy, len(g.Policies))
+	for i, s := range g.Policies {
+		p, err := sched.ParsePolicy(s)
+		if err != nil {
+			return nil, err
+		}
+		policies[i] = p
+	}
+	engines := make([]fleet.EngineMode, len(g.Engines))
+	for i, s := range g.Engines {
+		e, err := fleet.ParseEngine(s)
+		if err != nil {
+			return nil, err
+		}
+		engines[i] = e
+	}
+	arrivals := make([]fleet.ArrivalKind, len(g.Arrivals))
+	for i, s := range g.Arrivals {
+		k, err := fleet.ParseArrivalKind(s)
+		if err != nil {
+			return nil, err
+		}
+		if k == fleet.Trace {
+			return nil, fmt.Errorf("sweep: trace arrivals need per-entry data; grids sweep generated processes (poisson, bursty)")
+		}
+		arrivals[i] = k
+	}
+	slos := make([]fleet.SLOConfig, len(g.SLOs))
+	for i, s := range g.SLOs {
+		cfg, err := fleet.ParseSLOMode(s)
+		if err != nil {
+			return nil, err
+		}
+		slos[i] = cfg
+	}
+	for _, r := range g.Rosters {
+		if r == "" {
+			return nil, fmt.Errorf("sweep: empty roster entry")
+		}
+	}
+	var cells []Cell
+	for _, roster := range g.Rosters {
+		for _, arr := range arrivals {
+			for _, pol := range policies {
+				for _, eng := range engines {
+					for si, slo := range slos {
+						cells = append(cells, Cell{
+							Policy:  pol,
+							Engine:  eng,
+							Roster:  roster,
+							Arrival: arr,
+							// Normalized spelling, so two artifacts key the
+							// same cell identically whatever case the grid
+							// used.
+							SLOName: strings.ToLower(g.SLOs[si]),
+							SLO:     slo,
+						})
+					}
+				}
+			}
+		}
+	}
+	return cells, nil
+}
+
+// MetricColumns names every cell's collected metrics, in the order
+// Metrics returns them. Cycle-valued metrics are reported in kilocycles
+// to match the summary's spelling.
+var MetricColumns = []string{
+	"throughput", "makespan_kcyc", "mean_util",
+	"wait_p50_kcyc", "wait_p95_kcyc", "wait_p99_kcyc",
+	"turn_p50_kcyc", "turn_p95_kcyc", "turn_p99_kcyc",
+	"latency_jobs", "misses", "miss_rate", "evictions", "wasted_kcyc",
+	"groups", "groups_ilp", "groups_cycle", "groups_modeled",
+}
+
+// Metrics projects one run's result onto MetricColumns.
+func Metrics(res fleet.Result) []float64 {
+	wait := res.WaitSummary()
+	turn := res.TurnaroundSummary()
+	return []float64{
+		res.Throughput(), float64(res.Makespan) / 1000, res.MeanUtilization(),
+		wait.P50, wait.P95, wait.P99,
+		turn.P50, turn.P95, turn.P99,
+		float64(res.LatencyJobs()), float64(res.DeadlineMisses()), res.MissRate(),
+		float64(len(res.Evictions)), float64(res.WastedCycles()) / 1000,
+		float64(res.Groups), float64(res.ILPGroups), float64(res.CycleGroups), float64(res.ModeledGroups),
+	}
+}

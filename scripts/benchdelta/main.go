@@ -8,15 +8,17 @@
 //	go run ./scripts/benchdelta baseline.json new.json
 //
 // Output is one line per (benchmark, metric) present in either file:
-// the baseline value, the new value and the relative change; metrics
-// only present on one side are marked new/gone. For time-like and
-// allocation metrics lower is better; benchdelta does not judge, it
-// only reports.
+// the baseline value, the new value and the relative change. Metrics or
+// whole benchmarks present on one side only are marked new/gone — with
+// their values still printed — rather than misreported as changes. For
+// time-like and allocation metrics lower is better; benchdelta does not
+// judge, it only reports.
 package main
 
 import (
 	"encoding/json"
 	"fmt"
+	"io"
 	"log"
 	"math"
 	"os"
@@ -34,6 +36,12 @@ func load(path string) (map[string]entry, []string, error) {
 	if err != nil {
 		return nil, nil, err
 	}
+	return parse(data, path)
+}
+
+// parse decodes one snapshot, keeping first-seen order and deduplicating
+// by name (last entry wins, as bench.sh appends reruns).
+func parse(data []byte, path string) (map[string]entry, []string, error) {
 	var list []entry
 	if err := json.Unmarshal(data, &list); err != nil {
 		return nil, nil, fmt.Errorf("%s: %w", path, err)
@@ -49,6 +57,67 @@ func load(path string) (map[string]entry, []string, error) {
 	return m, order, nil
 }
 
+// metricNames is the union of both sides' metric names: the new side's
+// sorted first, then baseline-only ones (also sorted).
+func metricNames(b, c map[string]float64) []string {
+	names := make([]string, 0, len(c))
+	for k := range c {
+		names = append(names, k)
+	}
+	sort.Strings(names)
+	var gone []string
+	for k := range b {
+		if _, ok := c[k]; !ok {
+			gone = append(gone, k)
+		}
+	}
+	sort.Strings(gone)
+	return append(names, gone...)
+}
+
+// diff writes the per-benchmark, per-metric comparison. Benchmarks in
+// the new snapshot print in its order, baseline-only benchmarks follow;
+// both one-sided benchmarks and one-sided metrics report their actual
+// values tagged new/gone instead of a bogus delta.
+func diff(base map[string]entry, baseOrder []string, cur map[string]entry, curOrder []string, w io.Writer) {
+	names := append([]string(nil), curOrder...)
+	for _, n := range baseOrder {
+		if _, ok := cur[n]; !ok {
+			names = append(names, n)
+		}
+	}
+	for _, name := range names {
+		b, hasBase := base[name]
+		c, hasCur := cur[name]
+		switch {
+		case !hasCur:
+			fmt.Fprintf(w, "  %-40s gone (was in baseline)\n", name)
+		case !hasBase:
+			fmt.Fprintf(w, "  %-40s new benchmark\n", name)
+		}
+		// Both one-sided cases still print their metrics below, so the
+		// snapshot lines stay readable either way.
+		for _, k := range metricNames(b.Metrics, c.Metrics) {
+			nv, hasN := c.Metrics[k]
+			ov, hasO := b.Metrics[k]
+			label := fmt.Sprintf("%s %s", name, k)
+			switch {
+			case !hasN:
+				fmt.Fprintf(w, "  %-56s %12.4g -> gone\n", label, ov)
+			case !hasO:
+				fmt.Fprintf(w, "  %-56s %12s -> %-12.4g (new)\n", label, "-", nv)
+			default:
+				delta := "n/a"
+				if ov != 0 {
+					d := 100 * (nv - ov) / math.Abs(ov)
+					delta = fmt.Sprintf("%+.1f%%", d)
+				}
+				fmt.Fprintf(w, "  %-56s %12.4g -> %-12.4g %s\n", label, ov, nv, delta)
+			}
+		}
+	}
+}
+
 func main() {
 	log.SetFlags(0)
 	if len(os.Args) != 3 {
@@ -62,52 +131,6 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	// New-file order first, then baseline-only benchmarks.
-	names := append([]string(nil), curOrder...)
-	for _, n := range baseOrder {
-		if _, ok := cur[n]; !ok {
-			names = append(names, n)
-		}
-	}
 	fmt.Printf("benchmark deltas (%s -> %s):\n", os.Args[1], os.Args[2])
-	for _, name := range names {
-		b, hasBase := base[name]
-		c, hasCur := cur[name]
-		switch {
-		case !hasCur:
-			fmt.Printf("  %-40s gone (was in baseline)\n", name)
-			continue
-		case !hasBase:
-			fmt.Printf("  %-40s new benchmark\n", name)
-			// Still print its metrics so the snapshot line is readable.
-		}
-		metrics := make([]string, 0, len(c.Metrics))
-		for k := range c.Metrics {
-			metrics = append(metrics, k)
-		}
-		for k := range b.Metrics {
-			if _, ok := c.Metrics[k]; !ok {
-				metrics = append(metrics, k)
-			}
-		}
-		sort.Strings(metrics)
-		for _, k := range metrics {
-			nv, hasN := c.Metrics[k]
-			ov, hasO := b.Metrics[k]
-			label := fmt.Sprintf("%s %s", name, k)
-			switch {
-			case !hasN:
-				fmt.Printf("  %-56s %12.4g -> gone\n", label, ov)
-			case !hasO:
-				fmt.Printf("  %-56s %12s -> %-12.4g (new)\n", label, "-", nv)
-			default:
-				delta := "n/a"
-				if ov != 0 {
-					d := 100 * (nv - ov) / math.Abs(ov)
-					delta = fmt.Sprintf("%+.1f%%", d)
-				}
-				fmt.Printf("  %-56s %12.4g -> %-12.4g %s\n", label, ov, nv, delta)
-			}
-		}
-	}
+	diff(base, baseOrder, cur, curOrder, os.Stdout)
 }

@@ -1,0 +1,97 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// snapshot builds a parsed snapshot from literal JSON.
+func snapshot(t *testing.T, js string) (map[string]entry, []string) {
+	t.Helper()
+	m, order, err := parse([]byte(js), "test.json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m, order
+}
+
+func TestDiffReportsChangesAndDirection(t *testing.T) {
+	base, baseOrder := snapshot(t, `[{"name":"BenchmarkA","metrics":{"ns/op":100,"allocs/op":8}}]`)
+	cur, curOrder := snapshot(t, `[{"name":"BenchmarkA","metrics":{"ns/op":150,"allocs/op":8}}]`)
+	var buf bytes.Buffer
+	diff(base, baseOrder, cur, curOrder, &buf)
+	out := buf.String()
+	if !strings.Contains(out, "+50.0%") {
+		t.Errorf("missing +50%% delta:\n%s", out)
+	}
+	if !strings.Contains(out, "+0.0%") {
+		t.Errorf("missing flat allocs delta:\n%s", out)
+	}
+}
+
+// TestDiffOneSidedBenchmarks locks the graceful handling of benchmarks
+// present in only one snapshot: both directions are labeled, and their
+// metric values still print (tagged new/gone) instead of fake deltas.
+func TestDiffOneSidedBenchmarks(t *testing.T) {
+	base, baseOrder := snapshot(t, `[
+		{"name":"BenchmarkKept","metrics":{"ns/op":10}},
+		{"name":"BenchmarkRemoved","metrics":{"ns/op":42,"B/op":1024}}]`)
+	cur, curOrder := snapshot(t, `[
+		{"name":"BenchmarkKept","metrics":{"ns/op":12}},
+		{"name":"BenchmarkAdded","metrics":{"ns/op":7}}]`)
+	var buf bytes.Buffer
+	diff(base, baseOrder, cur, curOrder, &buf)
+	out := buf.String()
+	for _, want := range []string{
+		"BenchmarkRemoved", "gone (was in baseline)",
+		"BenchmarkRemoved ns/op", "-> gone", // removed benchmark's values still shown
+		"BenchmarkAdded", "new benchmark",
+		"(new)", // added benchmark's values tagged new
+		"+20.0%",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("diff output missing %q:\n%s", want, out)
+		}
+	}
+	// The removed benchmark's B/op metric must appear exactly once, as
+	// a gone line — not as a delta against zero.
+	if strings.Count(out, "BenchmarkRemoved B/op") != 1 {
+		t.Errorf("BenchmarkRemoved B/op misreported:\n%s", out)
+	}
+	// New-snapshot order first, baseline-only benchmarks after.
+	if strings.Index(out, "BenchmarkAdded") > strings.Index(out, "BenchmarkRemoved") {
+		t.Errorf("baseline-only benchmark printed before new-snapshot ones:\n%s", out)
+	}
+}
+
+func TestDiffOneSidedMetrics(t *testing.T) {
+	base, baseOrder := snapshot(t, `[{"name":"BenchmarkA","metrics":{"ns/op":100,"old":5}}]`)
+	cur, curOrder := snapshot(t, `[{"name":"BenchmarkA","metrics":{"ns/op":90,"fresh":3}}]`)
+	var buf bytes.Buffer
+	diff(base, baseOrder, cur, curOrder, &buf)
+	out := buf.String()
+	for _, want := range []string{"-10.0%", "BenchmarkA old", "-> gone", "BenchmarkA fresh", "(new)"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("diff output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestParseDeduplicatesByName(t *testing.T) {
+	m, order := snapshot(t, `[
+		{"name":"BenchmarkA","metrics":{"ns/op":1}},
+		{"name":"BenchmarkA","metrics":{"ns/op":2}}]`)
+	if len(order) != 1 {
+		t.Fatalf("order = %v, want one entry", order)
+	}
+	if m["BenchmarkA"].Metrics["ns/op"] != 2 {
+		t.Fatalf("last entry should win: %v", m["BenchmarkA"].Metrics)
+	}
+}
+
+func TestParseRejectsGarbage(t *testing.T) {
+	if _, _, err := parse([]byte("not json"), "x.json"); err == nil {
+		t.Fatal("garbage accepted")
+	}
+}
