@@ -1,0 +1,73 @@
+// Command simlint is the repository's static-analysis gate: a
+// multichecker over six custom analyzers that encode the simulator's
+// determinism and hot-path contracts (maprange, wallclock, globalrand,
+// totalorder, hotpath, pkgdoc — see ARCHITECTURE.md, "Static analysis").
+// CI runs it over the whole module on every PR; violations that runtime
+// tests would only catch later as golden churn or bench regressions are
+// rejected at lint time instead.
+//
+// Usage (from the repository root):
+//
+//	go run ./cmd/simlint ./...          # report findings, exit 1 if any
+//	go run ./cmd/simlint -fix ./...     # apply safe suggested fixes
+//	go run ./cmd/simlint -list          # print the suite and each contract
+//
+// Findings print as file:line:col: analyzer: message. A finding the
+// code cannot reasonably avoid is suppressed in place with
+// //simlint:ignore <analyzer> -- <reason>; reasonless ignores are
+// themselves findings.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/analysis/simlint"
+)
+
+func main() {
+	fix := flag.Bool("fix", false, "apply safe suggested fixes in place (e.g. sort.Slice -> sort.SliceStable)")
+	list := flag.Bool("list", false, "list the analyzers and the contracts they enforce")
+	flag.Parse()
+
+	if *list {
+		for _, a := range simlint.Analyzers {
+			fmt.Printf("%-12s %s\n", a.Name, a.Doc)
+		}
+		return
+	}
+
+	patterns := flag.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	findings, err := simlint.Run("", patterns...)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "simlint:", err)
+		os.Exit(2)
+	}
+	if *fix {
+		n, err := simlint.ApplyFixes(findings)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "simlint: applying fixes:", err)
+			os.Exit(2)
+		}
+		var remaining []simlint.Finding
+		for _, f := range findings {
+			if len(f.Fixes) == 0 {
+				remaining = append(remaining, f)
+			}
+		}
+		fmt.Printf("simlint: fixed %d finding(s), %d remaining\n", n, len(remaining))
+		findings = remaining
+	}
+	for _, f := range findings {
+		fmt.Println(f)
+	}
+	if len(findings) > 0 {
+		fmt.Fprintf(os.Stderr, "simlint: %d finding(s)\n", len(findings))
+		os.Exit(1)
+	}
+	fmt.Printf("simlint: %d analyzers clean\n", len(simlint.Analyzers))
+}

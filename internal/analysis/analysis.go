@@ -1,0 +1,107 @@
+// Package analysis is a dependency-free miniature of the
+// golang.org/x/tools/go/analysis framework: an Analyzer is a named check
+// with a Run function over a type-checked package (a Pass), and reports
+// positioned Diagnostics that may carry machine-applicable SuggestedFixes.
+//
+// The repository cannot vendor x/tools (the build is hermetic), so this
+// package mirrors the upstream API shape — Analyzer, Pass, Diagnostic,
+// SuggestedFix, TextEdit — closely enough that migrating the simlint
+// analyzers onto the real framework is a mechanical import swap. The
+// pieces upstream gets from go/packages live in the sibling package
+// load (building type-checked packages from `go list -export` output)
+// and analysistest (fixture-driven golden tests using `// want` comments).
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// Analyzer describes one static check. Name appears in diagnostics and
+// in //simlint:ignore directives; Doc is the one-paragraph contract the
+// check enforces.
+type Analyzer struct {
+	Name string
+	Doc  string
+	Run  func(*Pass) error
+}
+
+// Pass is one analyzer's view of one type-checked package. The driver
+// constructs a Pass per (analyzer, package) pair; analyzers report
+// findings through Report.
+type Pass struct {
+	Analyzer *Analyzer
+
+	Fset      *token.FileSet
+	Files     []*ast.File
+	Pkg       *types.Package
+	TypesInfo *types.Info
+
+	// PkgPath is the package import path ("repro/internal/fleet").
+	// Path-scoped analyzers (wallclock, globalrand) key their
+	// allowlists off it.
+	PkgPath string
+
+	diagnostics []Diagnostic
+}
+
+// Report records one finding.
+func (p *Pass) Report(d Diagnostic) {
+	if d.Category == "" {
+		d.Category = p.Analyzer.Name
+	}
+	p.diagnostics = append(p.diagnostics, d)
+}
+
+// Reportf records a finding at pos with a formatted message and no fix.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	p.Report(Diagnostic{Pos: pos, Message: fmt.Sprintf(format, args...)})
+}
+
+// Diagnostics returns the findings reported so far, before ignore
+// directives are applied.
+func (p *Pass) Diagnostics() []Diagnostic { return p.diagnostics }
+
+// Diagnostic is one positioned finding.
+type Diagnostic struct {
+	Pos      token.Pos
+	End      token.Pos // optional: end of the flagged region
+	Category string    // analyzer name; filled by Report if empty
+	Message  string
+
+	// SuggestedFixes holds zero or more machine-applicable rewrites.
+	// The driver applies the first fix of each diagnostic under -fix.
+	SuggestedFixes []SuggestedFix
+}
+
+// SuggestedFix is one rewrite that resolves a diagnostic.
+type SuggestedFix struct {
+	Message   string
+	TextEdits []TextEdit
+}
+
+// TextEdit replaces the source range [Pos, End) with NewText.
+type TextEdit struct {
+	Pos     token.Pos
+	End     token.Pos
+	NewText []byte
+}
+
+// RunAnalyzer runs one analyzer over one package and returns its
+// findings with //simlint:ignore suppressions already applied.
+func RunAnalyzer(a *Analyzer, fset *token.FileSet, files []*ast.File, pkg *types.Package, info *types.Info, pkgPath string) ([]Diagnostic, error) {
+	pass := &Pass{
+		Analyzer:  a,
+		Fset:      fset,
+		Files:     files,
+		Pkg:       pkg,
+		TypesInfo: info,
+		PkgPath:   pkgPath,
+	}
+	if err := a.Run(pass); err != nil {
+		return nil, err
+	}
+	return Suppress(fset, files, pass.diagnostics), nil
+}

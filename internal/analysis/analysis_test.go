@@ -1,0 +1,104 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"strings"
+	"testing"
+)
+
+const directiveSrc = `package p
+
+func f() {
+	a() //simlint:ignore check -- same-line waiver
+	//simlint:ignore check -- next-line waiver
+	b()
+	//simlint:ignore check
+	c()
+	//simlint:ignore other -- wrong analyzer
+	d()
+	//simlint:ignore check, second -- two analyzers at once
+	e()
+	//simlint:ignore -- nameless
+	g()
+	//simlint:ignore nosuch -- unknown analyzer
+	h()
+}
+`
+
+func parse(t *testing.T, src string) (*token.FileSet, []*ast.File) {
+	t.Helper()
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "p.go", src, parser.ParseComments)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return fset, []*ast.File{f}
+}
+
+// lineOf returns the 1-based line containing the first occurrence of
+// needle, as a token.Pos-producing diagnostic anchor.
+func posOnLine(fset *token.FileSet, files []*ast.File, line int) token.Pos {
+	var pos token.Pos
+	ast.Inspect(files[0], func(n ast.Node) bool {
+		if n == nil || pos != token.NoPos {
+			return false
+		}
+		if fset.Position(n.Pos()).Line == line {
+			pos = n.Pos()
+			return false
+		}
+		return true
+	})
+	return pos
+}
+
+func TestSuppress(t *testing.T) {
+	fset, files := parse(t, directiveSrc)
+	lineFor := func(call string) int {
+		for i, l := range strings.Split(directiveSrc, "\n") {
+			if strings.Contains(l, call+"()") {
+				return i + 1
+			}
+		}
+		t.Fatalf("call %s not found", call)
+		return 0
+	}
+	mk := func(category, call string) Diagnostic {
+		return Diagnostic{Pos: posOnLine(fset, files, lineFor(call)), Category: category, Message: call}
+	}
+	diags := []Diagnostic{
+		mk("check", "a"), // same-line directive: suppressed
+		mk("check", "b"), // directive on line above: suppressed
+		mk("check", "c"), // reasonless directive: kept
+		mk("check", "d"), // directive names another analyzer: kept
+		mk("check", "e"), // multi-name directive: suppressed
+		mk("second", "e"),
+	}
+	kept := Suppress(fset, files, diags)
+	var names []string
+	for _, d := range kept {
+		names = append(names, d.Message)
+	}
+	if got, want := strings.Join(names, ","), "c,d"; got != want {
+		t.Errorf("Suppress kept %q, want %q", got, want)
+	}
+}
+
+func TestCheckDirectives(t *testing.T) {
+	fset, files := parse(t, directiveSrc)
+	known := map[string]bool{"check": true, "second": true, "other": true}
+	var msgs []string
+	for _, d := range CheckDirectives(fset, files, known) {
+		msgs = append(msgs, d.Message)
+	}
+	if len(msgs) != 3 {
+		t.Fatalf("want 3 directive findings (reasonless, nameless, unknown), got %d: %v", len(msgs), msgs)
+	}
+	for i, want := range []string{"needs a reason", "names no analyzer", "unknown analyzer"} {
+		if !strings.Contains(msgs[i], want) {
+			t.Errorf("finding %d = %q, want substring %q", i, msgs[i], want)
+		}
+	}
+}

@@ -1,0 +1,164 @@
+// Package analysistest runs a simlint analyzer over fixture packages in
+// a testdata directory and diffs its findings against `// want` comments
+// embedded in the fixtures, mirroring the golden-test workflow of
+// golang.org/x/tools/go/analysis/analysistest:
+//
+//	m := map[string]int{}
+//	for k := range m { // want `maprange: .*`
+//		out = append(out, k)
+//	}
+//
+// A want comment is a backquoted regular expression that must match a
+// diagnostic reported on the same line; lines without a want comment
+// must produce no diagnostic. Fixtures live under testdata/<name>/ so
+// the deliberately-broken code stays out of the module's build graph,
+// and each fixture directory is compiled as a single package whose
+// import path the test chooses (most pose as repro/internal/... so the
+// path-scoped analyzers fire).
+package analysistest
+
+import (
+	"fmt"
+	"go/token"
+	"os"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strings"
+	"testing"
+
+	"repro/internal/analysis"
+	"repro/internal/analysis/load"
+)
+
+// Run type-checks the fixture package rooted at dir (a directory of .go
+// files), runs the analyzer over it under the posed import path, and
+// reports any mismatch between diagnostics and `// want` comments as
+// test errors.
+func Run(t *testing.T, a *analysis.Analyzer, dir, importPath string) {
+	t.Helper()
+	result := run(t, a, dir, importPath)
+	check(t, a.Name, result.fset, result.diags, wants(t, result.files))
+}
+
+// result carries one fixture run's outcome.
+type result struct {
+	fset  *token.FileSet
+	diags []analysis.Diagnostic
+	files []string
+}
+
+func run(t *testing.T, a *analysis.Analyzer, dir, importPath string) result {
+	t.Helper()
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatalf("reading fixture dir: %v", err)
+	}
+	var files []string
+	for _, e := range entries {
+		if !e.IsDir() && strings.HasSuffix(e.Name(), ".go") {
+			files = append(files, filepath.Join(dir, e.Name()))
+		}
+	}
+	if len(files) == 0 {
+		t.Fatalf("no fixture files in %s", dir)
+	}
+	sort.Strings(files)
+
+	pkg, err := load.Check(importPath, files)
+	if err != nil {
+		t.Fatalf("compiling fixtures: %v", err)
+	}
+	diags, err := analysis.RunAnalyzer(a, pkg.Fset, pkg.Files, pkg.Types, pkg.Info, importPath)
+	if err != nil {
+		t.Fatalf("running %s: %v", a.Name, err)
+	}
+	return result{fset: pkg.Fset, diags: diags, files: files}
+}
+
+// RunExpectNone type-checks the fixture package at dir under the posed
+// import path and asserts the analyzer reports nothing at all, `// want`
+// comments notwithstanding. Path-scoped analyzers use it to verify they
+// stay quiet when the same violating code sits outside their scope.
+func RunExpectNone(t *testing.T, a *analysis.Analyzer, dir, importPath string) {
+	t.Helper()
+	result := run(t, a, dir, importPath)
+	for _, d := range result.diags {
+		pos := result.fset.Position(d.Pos)
+		t.Errorf("%s:%d: unexpected diagnostic outside analyzer scope: %s: %s", pos.Filename, pos.Line, d.Category, d.Message)
+	}
+}
+
+// StripWants removes `// want ...` expectation comments from fixture
+// source, for tests that need a plain copy of a fixture (e.g. to
+// exercise fix application on disk).
+func StripWants(src string) string {
+	lines := strings.Split(src, "\n")
+	for i, line := range lines {
+		if loc := wantRE.FindStringIndex(line); loc != nil {
+			lines[i] = strings.TrimRight(line[:loc[0]], " \t")
+		}
+	}
+	return strings.Join(lines, "\n")
+}
+
+// want is one expectation: a regexp that must match a diagnostic
+// reported at file:line.
+type want struct {
+	file string
+	line int
+	re   *regexp.Regexp
+	hit  bool
+}
+
+var wantRE = regexp.MustCompile("// want `([^`]*)`")
+
+func wants(t *testing.T, files []string) []*want {
+	t.Helper()
+	var out []*want
+	for _, fn := range files {
+		data, err := os.ReadFile(fn)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i, line := range strings.Split(string(data), "\n") {
+			m := wantRE.FindStringSubmatch(line)
+			if m == nil {
+				continue
+			}
+			re, err := regexp.Compile(m[1])
+			if err != nil {
+				t.Fatalf("%s:%d: bad want regexp: %v", fn, i+1, err)
+			}
+			out = append(out, &want{file: fn, line: i + 1, re: re})
+		}
+	}
+	return out
+}
+
+func check(t *testing.T, name string, fset *token.FileSet, diags []analysis.Diagnostic, wanted []*want) {
+	t.Helper()
+	for _, d := range diags {
+		pos := fset.Position(d.Pos)
+		text := fmt.Sprintf("%s: %s", d.Category, d.Message)
+		matched := false
+		for _, w := range wanted {
+			if w.hit || filepath.Clean(w.file) != filepath.Clean(pos.Filename) || w.line != pos.Line {
+				continue
+			}
+			if w.re.MatchString(text) {
+				w.hit = true
+				matched = true
+				break
+			}
+		}
+		if !matched {
+			t.Errorf("%s:%d: unexpected diagnostic: %s", pos.Filename, pos.Line, text)
+		}
+	}
+	for _, w := range wanted {
+		if !w.hit {
+			t.Errorf("%s:%d: expected diagnostic matching %q from %s, got none", w.file, w.line, w.re, name)
+		}
+	}
+}

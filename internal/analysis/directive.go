@@ -1,0 +1,126 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"sort"
+	"strings"
+)
+
+// ignorePrefix introduces a suppression directive:
+//
+//	//simlint:ignore maprange -- CSV column order is canonicalised downstream
+//
+// The directive names one or more analyzers (comma-separated) and MUST
+// carry a reason after " -- "; a reasonless ignore is itself reported by
+// CheckDirectives. A directive suppresses matching diagnostics on its
+// own line and on the line directly below it (the usual comment-above-
+// statement placement).
+const ignorePrefix = "simlint:ignore"
+
+// directive is one parsed //simlint:ignore comment.
+type directive struct {
+	line      int // line the comment sits on
+	names     []string
+	hasReason bool
+	pos       token.Pos
+}
+
+func parseDirectives(fset *token.FileSet, files []*ast.File) []directive {
+	var out []directive
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text := strings.TrimPrefix(c.Text, "//")
+				text = strings.TrimSpace(text)
+				if !strings.HasPrefix(text, ignorePrefix) {
+					continue
+				}
+				rest := strings.TrimSpace(strings.TrimPrefix(text, ignorePrefix))
+				d := directive{line: fset.Position(c.Pos()).Line, pos: c.Pos()}
+				if names, reason, ok := strings.Cut(rest, "--"); ok {
+					d.hasReason = strings.TrimSpace(reason) != ""
+					rest = names
+				}
+				d.names = strings.FieldsFunc(rest, func(r rune) bool { return r == ',' || r == ' ' || r == '\t' })
+				out = append(out, d)
+			}
+		}
+	}
+	return out
+}
+
+// Suppress drops diagnostics covered by a well-formed //simlint:ignore
+// directive for their analyzer on the same line or the line above.
+func Suppress(fset *token.FileSet, files []*ast.File, diags []Diagnostic) []Diagnostic {
+	dirs := parseDirectives(fset, files)
+	if len(dirs) == 0 {
+		return diags
+	}
+	// covered["name"] holds the set of suppressed lines for one analyzer.
+	covered := map[string]map[int]bool{}
+	for _, d := range dirs {
+		if !d.hasReason {
+			continue // malformed; CheckDirectives reports it
+		}
+		for _, n := range d.names {
+			if covered[n] == nil {
+				covered[n] = map[int]bool{}
+			}
+			covered[n][d.line] = true
+			covered[n][d.line+1] = true
+		}
+	}
+	var kept []Diagnostic
+	for _, d := range diags {
+		if covered[d.Category][fset.Position(d.Pos).Line] {
+			continue
+		}
+		kept = append(kept, d)
+	}
+	return kept
+}
+
+// CheckDirectives validates every //simlint:ignore in files: each must
+// name at least one known analyzer and carry a " -- reason" tail. Known
+// maps analyzer name -> true; pass nil to skip the name check.
+func CheckDirectives(fset *token.FileSet, files []*ast.File, known map[string]bool) []Diagnostic {
+	var out []Diagnostic
+	for _, d := range parseDirectives(fset, files) {
+		switch {
+		case !d.hasReason:
+			out = append(out, Diagnostic{
+				Pos:      d.pos,
+				Category: "simlint",
+				Message:  "simlint:ignore directive needs a reason: //simlint:ignore <analyzer> -- <why>",
+			})
+		case len(d.names) == 0:
+			out = append(out, Diagnostic{
+				Pos:      d.pos,
+				Category: "simlint",
+				Message:  "simlint:ignore directive names no analyzer",
+			})
+		default:
+			for _, n := range d.names {
+				if known != nil && !known[n] {
+					out = append(out, Diagnostic{
+						Pos:      d.pos,
+						Category: "simlint",
+						Message:  fmt.Sprintf("simlint:ignore names unknown analyzer %q (known: %s)", n, knownList(known)),
+					})
+				}
+			}
+		}
+	}
+	return out
+}
+
+func knownList(known map[string]bool) string {
+	names := make([]string, 0, len(known))
+	for n := range known {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return strings.Join(names, ", ")
+}

@@ -1,0 +1,49 @@
+// Package globalrand confines randomness to the repository's seeded,
+// splittable streams. Importing math/rand (or /v2, or crypto/rand)
+// anywhere but internal/rng introduces either a global generator whose
+// sequence depends on what other code consumed before you, or true
+// entropy — both destroy run-to-run reproducibility. All stochastic
+// behaviour (arrival processes, queue shuffles, synthetic traces) must
+// flow through internal/rng's pure hash streams, which are a function
+// of the seed alone.
+package globalrand
+
+import (
+	"strconv"
+	"strings"
+
+	"repro/internal/analysis"
+)
+
+// bannedImports are the entropy-bearing packages only internal/rng may
+// wrap.
+var bannedImports = map[string]bool{
+	"math/rand":    true,
+	"math/rand/v2": true,
+	"crypto/rand":  true,
+}
+
+// Analyzer is the globalrand check.
+var Analyzer = &analysis.Analyzer{
+	Name: "globalrand",
+	Doc:  "forbid math/rand and crypto/rand outside internal/rng — all randomness derives from the seeded splittable streams",
+	Run:  run,
+}
+
+func run(pass *analysis.Pass) error {
+	if strings.HasSuffix(pass.PkgPath, "/internal/rng") || pass.PkgPath == "internal/rng" {
+		return nil
+	}
+	for _, f := range pass.Files {
+		for _, spec := range f.Imports {
+			path, err := strconv.Unquote(spec.Path.Value)
+			if err != nil || !bannedImports[path] {
+				continue
+			}
+			pass.Reportf(spec.Pos(),
+				"import of %s outside internal/rng: global or true randomness breaks seed-reproducibility; use internal/rng's seeded streams",
+				path)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,18 @@
+package globalrand_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/analysistest"
+	"repro/internal/analysis/globalrand"
+)
+
+func TestGlobalRand(t *testing.T) {
+	analysistest.Run(t, globalrand.Analyzer, "testdata/outside", "repro/internal/fixture")
+}
+
+// TestGlobalRandAllowsRNG verifies internal/rng itself may import the
+// entropy sources it wraps.
+func TestGlobalRandAllowsRNG(t *testing.T) {
+	analysistest.RunExpectNone(t, globalrand.Analyzer, "testdata/insiderng", "repro/internal/rng")
+}

@@ -1,0 +1,16 @@
+// Package fixture holds the allowlisted side of the globalrand check:
+// internal/rng itself wraps the entropy sources, so the same imports
+// that are rejected elsewhere must pass when the package poses as
+// repro/internal/rng.
+package fixture
+
+import (
+	crand "crypto/rand"
+	"math/rand"
+)
+
+// Roll is fine here: internal/rng is the one place generators live.
+func Roll() int { return rand.Intn(6) }
+
+// Entropy is fine here for the same reason.
+func Entropy(buf []byte) { _, _ = crand.Read(buf) }

@@ -1,0 +1,16 @@
+// Package fixture exercises the globalrand analyzer: entropy-bearing
+// imports outside internal/rng are flagged; the seeded streams and
+// annotated imports pass.
+package fixture
+
+import (
+	crand "crypto/rand" // want `globalrand: import of crypto/rand outside internal/rng`
+	"math/rand"         // want `globalrand: import of math/rand outside internal/rng`
+)
+
+// Roll consumes the global generator whose sequence depends on every
+// other consumer: the import above is the finding.
+func Roll() int { return rand.Intn(6) }
+
+// Entropy reads true randomness, unreproducible by construction.
+func Entropy(buf []byte) { _, _ = crand.Read(buf) }

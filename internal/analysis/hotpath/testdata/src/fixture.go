@@ -1,0 +1,79 @@
+// Package fixture exercises the hotpath analyzer: annotated functions
+// reject allocation-introducing constructs; the same code passes
+// un-annotated, and reasoned waivers pass annotated.
+package fixture
+
+import "fmt"
+
+type state struct {
+	buf   []int
+	table map[int]int
+}
+
+func consume(x any) {}
+
+// Hot is annotated and full of per-call allocations: every construct
+// below is flagged.
+//
+//simlint:hotpath
+func Hot(s *state, v int) {
+	cb := func() int { return v } // want `hotpath: closure literal in hotpath Hot allocates`
+	_ = cb
+	p := &state{} // want `hotpath: &fixture.state literal in hotpath Hot escapes to the heap`
+	_ = p
+	lit := []int{v} // want `hotpath: \[\]int composite literal in hotpath Hot allocates per call`
+	_ = lit
+	m := map[int]int{} // want `hotpath: map\[int\]int composite literal in hotpath Hot allocates per call`
+	_ = m
+	tmp := make([]int, 8) // want `hotpath: make in hotpath Hot allocates per call`
+	_ = tmp
+	q := new(state) // want `hotpath: new in hotpath Hot allocates per call`
+	_ = q
+	_ = fmt.Sprintf("%d", v) // want `hotpath: fmt call in hotpath Hot allocates`
+	var local []int
+	local = append(local, v) // want `hotpath: append grows "local", a slice local to hotpath Hot`
+	_ = local
+	consume(v) // want `hotpath: passing concrete int as interface any in hotpath Hot boxes the argument`
+	var sink any
+	sink = v // want `hotpath: storing concrete int into interface any in hotpath Hot boxes the value`
+	_ = sink
+}
+
+// Cold is the identical body without the annotation: nothing fires.
+func Cold(s *state, v int) {
+	cb := func() int { return v }
+	_ = cb
+	lit := []int{v}
+	_ = lit
+	tmp := make([]int, 8)
+	_ = tmp
+	_ = fmt.Sprintf("%d", v)
+	consume(v)
+}
+
+// HotClean is annotated and steady-state allocation-free: index writes,
+// arithmetic, appends into caller-owned buffers, and field reuse all
+// pass.
+//
+//simlint:hotpath
+func HotClean(s *state, row []uint64, v int) []uint64 {
+	s.buf = s.buf[:0]
+	s.table[v] = v * 2
+	row[0] = uint64(v)
+	row = append(row, uint64(v)) // parameter-owned buffer: amortised, allowed
+	s.buf = append(s.buf, v)     // field-owned buffer: hoisted, allowed
+	return row
+}
+
+// HotWaived is annotated but its one allocation sits on a reasoned
+// cold path: the ignore directive suppresses it.
+//
+//simlint:hotpath
+func HotWaived(s *state, v int) error {
+	if v < 0 {
+		//simlint:ignore hotpath -- cold invariant-violation path, never taken in steady state
+		return fmt.Errorf("negative v %d", v)
+	}
+	s.table[v] = v
+	return nil
+}

@@ -1,0 +1,210 @@
+// Package load builds type-checked packages for the simlint analyzers
+// without depending on golang.org/x/tools/go/packages. It shells out to
+// `go list -deps -export -json` to enumerate packages and compile export
+// data, parses the target packages' non-test sources with go/parser, and
+// type-checks them with go/types, resolving every import (stdlib and
+// intra-module alike) through the gc export data the list step produced.
+// The result is exactly the Pass input the analysis framework needs:
+// syntax, *types.Package, and a fully populated *types.Info.
+package load
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"sort"
+)
+
+// Package is one parsed, type-checked package ready for analysis.
+type Package struct {
+	ImportPath string
+	Dir        string
+	Fset       *token.FileSet
+	Files      []*ast.File
+	Types      *types.Package
+	Info       *types.Info
+}
+
+// listPkg is the subset of `go list -json` output the loader consumes.
+type listPkg struct {
+	ImportPath string
+	Dir        string
+	Standard   bool
+	GoFiles    []string
+	Export     string
+	Match      []string
+	Incomplete bool
+	Error      *struct{ Err string }
+}
+
+// Load enumerates the packages matching patterns (relative to dir, or
+// the current directory if dir is empty), compiles export data for them
+// and their dependencies, and returns the matched packages parsed and
+// type-checked. Test files are not analyzed: simlint enforces contracts
+// on shipping code, and fixtures exercise deliberate violations that
+// must stay out of the build graph.
+func Load(dir string, patterns ...string) ([]*Package, error) {
+	pkgs, err := goList(dir, append([]string{"-deps"}, patterns...))
+	if err != nil {
+		return nil, err
+	}
+	exports := map[string]string{}
+	var targets []*listPkg
+	for _, p := range pkgs {
+		if p.Export != "" {
+			exports[p.ImportPath] = p.Export
+		}
+		if len(p.Match) > 0 {
+			if p.Error != nil {
+				return nil, fmt.Errorf("load: %s: %s", p.ImportPath, p.Error.Err)
+			}
+			targets = append(targets, p)
+		}
+	}
+	sort.SliceStable(targets, func(i, j int) bool { return targets[i].ImportPath < targets[j].ImportPath })
+
+	fset := token.NewFileSet()
+	imp := importer.ForCompiler(fset, "gc", func(path string) (io.ReadCloser, error) {
+		f, ok := exports[path]
+		if !ok {
+			return nil, fmt.Errorf("no export data for %q", path)
+		}
+		return os.Open(f)
+	})
+
+	var out []*Package
+	for _, t := range targets {
+		p, err := check(fset, imp, t)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, p)
+	}
+	return out, nil
+}
+
+// Check parses and type-checks one ad-hoc package from the given files,
+// resolving imports through freshly listed export data. The analysistest
+// harness uses it to compile testdata fixtures that live outside the
+// module's build graph. importPath is the path the checked package
+// claims (fixtures typically pose as "repro/internal/..." so that
+// path-scoped analyzers fire).
+func Check(importPath string, filenames []string) (*Package, error) {
+	fset := token.NewFileSet()
+	var files []*ast.File
+	importSet := map[string]bool{}
+	for _, fn := range filenames {
+		f, err := parser.ParseFile(fset, fn, nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+		for _, spec := range f.Imports {
+			importSet[importString(spec)] = true
+		}
+	}
+	imports := make([]string, 0, len(importSet))
+	for p := range importSet {
+		imports = append(imports, p)
+	}
+	sort.Strings(imports)
+
+	exports := map[string]string{}
+	if len(imports) > 0 {
+		pkgs, err := goList("", append([]string{"-deps"}, imports...))
+		if err != nil {
+			return nil, err
+		}
+		for _, p := range pkgs {
+			if p.Export != "" {
+				exports[p.ImportPath] = p.Export
+			}
+		}
+	}
+	imp := importer.ForCompiler(fset, "gc", func(path string) (io.ReadCloser, error) {
+		f, ok := exports[path]
+		if !ok {
+			return nil, fmt.Errorf("no export data for %q", path)
+		}
+		return os.Open(f)
+	})
+	return typeCheck(fset, imp, importPath, "", files)
+}
+
+// goList runs `go list -export -json` with the given extra args (the
+// first args may themselves be flags, e.g. "-deps") and decodes the
+// JSON stream.
+func goList(dir string, args []string) ([]*listPkg, error) {
+	cmdArgs := append([]string{"list", "-e", "-export", "-json=ImportPath,Dir,Standard,GoFiles,Export,Match,Incomplete,Error"}, args...)
+	cmd := exec.Command("go", cmdArgs...)
+	cmd.Dir = dir
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	out, err := cmd.Output()
+	if err != nil {
+		return nil, fmt.Errorf("go list: %v\n%s", err, stderr.String())
+	}
+	var pkgs []*listPkg
+	dec := json.NewDecoder(bytes.NewReader(out))
+	for {
+		var p listPkg
+		if err := dec.Decode(&p); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, fmt.Errorf("go list: decoding output: %v", err)
+		}
+		pkgs = append(pkgs, &p)
+	}
+	return pkgs, nil
+}
+
+func check(fset *token.FileSet, imp types.Importer, t *listPkg) (*Package, error) {
+	var files []*ast.File
+	for _, name := range t.GoFiles {
+		fn := filepath.Join(t.Dir, name)
+		f, err := parser.ParseFile(fset, fn, nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	return typeCheck(fset, imp, t.ImportPath, t.Dir, files)
+}
+
+func typeCheck(fset *token.FileSet, imp types.Importer, importPath, dir string, files []*ast.File) (*Package, error) {
+	info := &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+		Implicits:  map[ast.Node]types.Object{},
+		Scopes:     map[ast.Node]*types.Scope{},
+	}
+	conf := types.Config{Importer: imp}
+	pkg, err := conf.Check(importPath, fset, files, info)
+	if err != nil {
+		return nil, fmt.Errorf("type-checking %s: %v", importPath, err)
+	}
+	return &Package{
+		ImportPath: importPath,
+		Dir:        dir,
+		Fset:       fset,
+		Files:      files,
+		Types:      pkg,
+		Info:       info,
+	}, nil
+}
+
+func importString(spec *ast.ImportSpec) string {
+	s := spec.Path.Value
+	return s[1 : len(s)-1] // strip quotes
+}

@@ -1,0 +1,48 @@
+package load_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/load"
+)
+
+// TestLoadTypeChecks loads a small real package and verifies the loader
+// delivers syntax plus a populated types.Info resolved through export
+// data.
+func TestLoadTypeChecks(t *testing.T) {
+	pkgs, err := load.Load("", "repro/internal/rng")
+	if err != nil {
+		t.Fatalf("Load: %v", err)
+	}
+	if len(pkgs) != 1 {
+		t.Fatalf("got %d packages, want 1", len(pkgs))
+	}
+	p := pkgs[0]
+	if p.ImportPath != "repro/internal/rng" {
+		t.Errorf("ImportPath = %q", p.ImportPath)
+	}
+	if len(p.Files) == 0 {
+		t.Error("no parsed files")
+	}
+	if p.Types == nil || p.Types.Scope().Lookup("Mix64") == nil {
+		t.Error("type information missing: rng.Mix64 not in package scope")
+	}
+	if len(p.Info.Defs) == 0 || len(p.Info.Uses) == 0 {
+		t.Error("types.Info not populated")
+	}
+}
+
+// TestLoadMultiplePatterns verifies pattern expansion and that targets
+// come back sorted by import path.
+func TestLoadMultiplePatterns(t *testing.T) {
+	pkgs, err := load.Load("", "repro/internal/rng", "repro/internal/fifo")
+	if err != nil {
+		t.Fatalf("Load: %v", err)
+	}
+	if len(pkgs) != 2 {
+		t.Fatalf("got %d packages, want 2", len(pkgs))
+	}
+	if pkgs[0].ImportPath != "repro/internal/fifo" || pkgs[1].ImportPath != "repro/internal/rng" {
+		t.Errorf("unsorted targets: %s, %s", pkgs[0].ImportPath, pkgs[1].ImportPath)
+	}
+}

@@ -1,0 +1,240 @@
+// Package maprange flags iteration over Go maps in internal packages
+// when the loop body feeds ordering-sensitive sinks. Go randomises map
+// iteration order per run, so a map range that appends to a slice,
+// writes output, or sends on a channel silently breaks the repository's
+// determinism contract (identical seeds must produce byte-identical
+// summaries and goldens at any concurrency).
+//
+// The canonical fix is the sorted-keys idiom, which the analyzer
+// recognises and allows:
+//
+//	keys := make([]K, 0, len(m))
+//	for k := range m {
+//		keys = append(keys, k)
+//	}
+//	sort.Slice(keys, ...)        // or sort.Strings/Ints/slices.Sort
+//	for _, k := range keys { ... use m[k] ... }
+//
+// Pure aggregation (counters, sums, min/max, building another map,
+// deleting keys) is order-insensitive and passes. Genuinely safe map
+// ranges that the analyzer cannot prove safe can be annotated
+// //simlint:ignore maprange -- <reason>.
+package maprange
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+
+	"repro/internal/analysis"
+)
+
+// Analyzer is the maprange check.
+var Analyzer = &analysis.Analyzer{
+	Name: "maprange",
+	Doc:  "flag map iteration whose body feeds ordering-sensitive sinks (slice append, output writes, channel sends) in internal packages",
+	Run:  run,
+}
+
+func run(pass *analysis.Pass) error {
+	if !strings.Contains(pass.PkgPath, "/internal/") {
+		return nil
+	}
+	for _, f := range pass.Files {
+		// parent maps each range statement to the statement list that
+		// contains it and its index there, so the sorted-keys idiom can
+		// look at the statement that follows the loop.
+		parent := map[*ast.RangeStmt]parentSlot{}
+		ast.Inspect(f, func(n ast.Node) bool {
+			var list []ast.Stmt
+			switch b := n.(type) {
+			case *ast.BlockStmt:
+				list = b.List
+			case *ast.CaseClause:
+				list = b.Body
+			case *ast.CommClause:
+				list = b.Body
+			default:
+				return true
+			}
+			for i, s := range list {
+				if rs, ok := s.(*ast.RangeStmt); ok {
+					parent[rs] = parentSlot{list, i}
+				}
+			}
+			return true
+		})
+
+		ast.Inspect(f, func(n ast.Node) bool {
+			rs, ok := n.(*ast.RangeStmt)
+			if !ok {
+				return true
+			}
+			if !analysis.IsMap(pass.TypesInfo.Types[rs.X].Type) {
+				return true
+			}
+			sinks := bodySinks(pass, rs)
+			if len(sinks.desc) == 0 {
+				return true
+			}
+			// Collect-then-sort: when the loop's only ordering-sensitive
+			// effect is appending to one slice and the statement after
+			// the loop sorts that slice, the map's iteration order is
+			// laundered out — this is the canonical sorted-keys idiom
+			// and its filter/collect variants.
+			if sinks.onlyAppendsTo != nil {
+				if slot, ok := parent[rs]; ok && sortedNext(pass, slot, sinks.onlyAppendsTo) {
+					return true
+				}
+			}
+			pass.Report(analysis.Diagnostic{
+				Pos: rs.For,
+				End: rs.End(),
+				Message: fmt.Sprintf(
+					"map iteration order is nondeterministic but the loop body %s; collect the keys, sort them, and range the sorted slice (or annotate //simlint:ignore maprange -- <reason>)",
+					strings.Join(sinks.desc, " and ")),
+			})
+			return true
+		})
+	}
+	return nil
+}
+
+type parentSlot struct {
+	list []ast.Stmt
+	idx  int
+}
+
+// sinkSet describes the ordering-sensitive operations of a loop body.
+// onlyAppendsTo is the single outer slice every sink appends to, or nil
+// when the body has non-append sinks or appends to multiple targets.
+type sinkSet struct {
+	desc          []string
+	onlyAppendsTo types.Object
+}
+
+// bodySinks returns every ordering-sensitive operation in the loop
+// body: appends to slices declared outside the loop, fmt calls,
+// Write*/Encode*/Print* method calls, and channel sends.
+func bodySinks(pass *analysis.Pass, rs *ast.RangeStmt) sinkSet {
+	var sinks sinkSet
+	onlyAppends := true
+	ast.Inspect(rs.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.SendStmt:
+			sinks.desc = append(sinks.desc, "sends on a channel")
+			onlyAppends = false
+		case *ast.AssignStmt:
+			if tgt, obj := outerAppendTarget(pass, rs, n); tgt != "" {
+				sinks.desc = append(sinks.desc, fmt.Sprintf("appends to %q", tgt))
+				switch {
+				case obj == nil:
+					onlyAppends = false // field/element target: can't track
+				case sinks.onlyAppendsTo == nil:
+					sinks.onlyAppendsTo = obj
+				case sinks.onlyAppendsTo != obj:
+					onlyAppends = false
+				}
+			}
+		case *ast.CallExpr:
+			if analysis.IsPkgCall(pass.TypesInfo, n, "fmt") {
+				sinks.desc = append(sinks.desc, "calls fmt")
+				onlyAppends = false
+				return true
+			}
+			if sel, ok := n.Fun.(*ast.SelectorExpr); ok && pass.TypesInfo.Selections[sel] != nil {
+				name := sel.Sel.Name
+				if strings.HasPrefix(name, "Write") || strings.HasPrefix(name, "Encode") || strings.HasPrefix(name, "Print") {
+					sinks.desc = append(sinks.desc, fmt.Sprintf("calls %s", name))
+					onlyAppends = false
+				}
+			}
+		}
+		return true
+	})
+	if !onlyAppends {
+		sinks.onlyAppendsTo = nil
+	}
+	return sinks
+}
+
+// outerAppendTarget reports the name and object of the outside-the-loop
+// slice that assign grows via append, or "" if assign is not such an
+// append. The object is nil for non-identifier targets (fields,
+// elements).
+func outerAppendTarget(pass *analysis.Pass, rs *ast.RangeStmt, assign *ast.AssignStmt) (string, types.Object) {
+	for i, rhs := range assign.Rhs {
+		call, ok := ast.Unparen(rhs).(*ast.CallExpr)
+		if !ok || len(call.Args) == 0 {
+			continue
+		}
+		fnID, ok := ast.Unparen(call.Fun).(*ast.Ident)
+		if !ok || fnID.Name != "append" {
+			continue
+		}
+		if _, isBuiltin := pass.TypesInfo.Uses[fnID].(*types.Builtin); !isBuiltin {
+			continue // shadowed: not the builtin append
+		}
+		if i >= len(assign.Lhs) {
+			continue
+		}
+		id, ok := ast.Unparen(assign.Lhs[i]).(*ast.Ident)
+		if !ok {
+			// Appending to a field or element (s.rows = append(s.rows, ...))
+			// is still an ordering-sensitive sink.
+			return exprString(assign.Lhs[i]), nil
+		}
+		obj := pass.TypesInfo.Uses[id]
+		if obj == nil {
+			obj = pass.TypesInfo.Defs[id]
+		}
+		if obj != nil && !within(obj.Pos(), rs) {
+			return id.Name, obj
+		}
+	}
+	return "", nil
+}
+
+// sortedNext reports whether the statement directly after the loop in
+// its enclosing statement list is a sort/slices call over obj.
+func sortedNext(pass *analysis.Pass, slot parentSlot, obj types.Object) bool {
+	if slot.idx+1 >= len(slot.list) {
+		return false
+	}
+	next, ok := slot.list[slot.idx+1].(*ast.ExprStmt)
+	if !ok {
+		return false
+	}
+	call, ok := next.X.(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	if !analysis.IsPkgCall(pass.TypesInfo, call, "sort") && !analysis.IsPkgCall(pass.TypesInfo, call, "slices") {
+		return false
+	}
+	for _, arg := range call.Args {
+		if id, ok := ast.Unparen(arg).(*ast.Ident); ok && pass.TypesInfo.Uses[id] == obj {
+			return true
+		}
+	}
+	return false
+}
+
+func within(pos token.Pos, n ast.Node) bool {
+	return n.Pos() <= pos && pos < n.End()
+}
+
+func exprString(e ast.Expr) string {
+	switch e := e.(type) {
+	case *ast.Ident:
+		return e.Name
+	case *ast.SelectorExpr:
+		return exprString(e.X) + "." + e.Sel.Name
+	case *ast.IndexExpr:
+		return exprString(e.X) + "[...]"
+	default:
+		return "expression"
+	}
+}

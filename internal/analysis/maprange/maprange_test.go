@@ -1,0 +1,18 @@
+package maprange_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/analysistest"
+	"repro/internal/analysis/maprange"
+)
+
+func TestMapRange(t *testing.T) {
+	analysistest.Run(t, maprange.Analyzer, "testdata/src", "repro/internal/fixture")
+}
+
+// TestMapRangeOutsideInternal re-checks the same fixtures posing as a
+// cmd package: the analyzer is scoped to internal/ and must stay quiet.
+func TestMapRangeOutsideInternal(t *testing.T) {
+	analysistest.RunExpectNone(t, maprange.Analyzer, "testdata/src", "repro/cmd/fixture")
+}

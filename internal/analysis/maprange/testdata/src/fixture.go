@@ -1,0 +1,88 @@
+// Package fixture exercises the maprange analyzer: map iterations that
+// feed ordering-sensitive sinks are flagged; aggregation, the
+// sorted-keys idiom, and annotated loops pass.
+package fixture
+
+import (
+	"fmt"
+	"sort"
+)
+
+// AppendNoSort feeds an outer slice straight from map order: flagged.
+func AppendNoSort(m map[string]int) []string {
+	var out []string
+	for k := range m { // want `maprange: map iteration order is nondeterministic but the loop body appends to "out"`
+		out = append(out, k)
+	}
+	return out
+}
+
+// PrintDirect writes output in map order: flagged.
+func PrintDirect(m map[string]int) {
+	for k, v := range m { // want `maprange: .*calls fmt`
+		fmt.Println(k, v)
+	}
+}
+
+// SendDirect streams values in map order: flagged.
+func SendDirect(m map[string]int, ch chan int) {
+	for _, v := range m { // want `maprange: .*sends on a channel`
+		ch <- v
+	}
+}
+
+// FieldAppend grows a struct field in map order: flagged even though
+// the target is not a plain identifier.
+type collector struct{ rows []string }
+
+func (c *collector) FieldAppend(m map[string]int) {
+	for k := range m { // want `maprange: .*appends to "c.rows"`
+		c.rows = append(c.rows, k)
+	}
+}
+
+// SortedKeys is the canonical idiom: collect, sort, then range the
+// slice. The collection loop passes.
+func SortedKeys(m map[string]int) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// FilterCollect appends under a condition but sorts straight after:
+// the map's order never escapes, so it passes.
+func FilterCollect(m map[string]int, min int) []string {
+	var out []string
+	for k, v := range m {
+		if v >= min {
+			out = append(out, k)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Aggregate is order-insensitive: counters and a derived map.
+func Aggregate(m map[string]int) (int, map[int]bool) {
+	total := 0
+	seen := map[int]bool{}
+	for _, v := range m {
+		total += v
+		seen[v] = true
+	}
+	return total, seen
+}
+
+// Annotated is order-sensitive but deliberately waived with a reasoned
+// ignore directive.
+func Annotated(m map[string]int) []string {
+	var out []string
+	//simlint:ignore maprange -- order is canonicalised by the caller before use
+	for k := range m {
+		out = append(out, k)
+	}
+	return out
+}

@@ -1,0 +1,16 @@
+package pkgdoc_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/analysistest"
+	"repro/internal/analysis/pkgdoc"
+)
+
+func TestPkgdocMissing(t *testing.T) {
+	analysistest.Run(t, pkgdoc.Analyzer, "testdata/nodoc", "repro/internal/nodoc")
+}
+
+func TestPkgdocPresent(t *testing.T) {
+	analysistest.RunExpectNone(t, pkgdoc.Analyzer, "testdata/doc", "repro/internal/doc")
+}

@@ -1,0 +1,5 @@
+// Package doc carries a package-level doc comment on its first file,
+// which is all the pkgdoc analyzer asks of a package.
+package doc
+
+func A() int { return 1 }

@@ -1,0 +1,5 @@
+package doc
+
+// B lives in a doc-less file of a documented package: fine, one
+// documented file per package suffices.
+func B() int { return 2 }

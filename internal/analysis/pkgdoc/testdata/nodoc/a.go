@@ -1,0 +1,5 @@
+package nodoc // want `pkgdoc: package nodoc has no package-level doc comment`
+
+// A has a doc comment, but the package clause itself has none on any
+// file — that is the finding.
+func A() int { return 1 }

@@ -1,0 +1,4 @@
+package nodoc
+
+// B also carries only function-level docs.
+func B() int { return 2 }

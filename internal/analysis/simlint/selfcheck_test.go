@@ -1,0 +1,62 @@
+package simlint_test
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/analysis/simlint"
+)
+
+// repoRoot walks up from the working directory to the module root.
+func repoRoot(t *testing.T) string {
+	t.Helper()
+	dir, err := os.Getwd()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for {
+		if _, err := os.Stat(filepath.Join(dir, "go.mod")); err == nil {
+			return dir
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			t.Fatal("go.mod not found above test directory")
+		}
+		dir = parent
+	}
+}
+
+// TestRepoIsLintClean is the smoke test the CI gate depends on: the
+// whole module must run clean under every analyzer, so a violation
+// introduced anywhere fails here before it ships as golden churn or a
+// bench regression.
+func TestRepoIsLintClean(t *testing.T) {
+	if testing.Short() {
+		t.Skip("compiles the whole module via go list -export; skipped in -short")
+	}
+	findings, err := simlint.Run(repoRoot(t), "./...")
+	if err != nil {
+		t.Fatalf("simlint.Run: %v", err)
+	}
+	for _, f := range findings {
+		t.Errorf("%s", f)
+	}
+}
+
+func TestSuiteShape(t *testing.T) {
+	if len(simlint.Analyzers) != 6 {
+		t.Fatalf("suite has %d analyzers, want 6", len(simlint.Analyzers))
+	}
+	known := simlint.Known()
+	for _, name := range []string{"maprange", "wallclock", "globalrand", "totalorder", "hotpath", "pkgdoc"} {
+		if !known[name] {
+			t.Errorf("missing analyzer %q", name)
+		}
+	}
+	for _, a := range simlint.Analyzers {
+		if a.Doc == "" {
+			t.Errorf("analyzer %s has no Doc", a.Name)
+		}
+	}
+}

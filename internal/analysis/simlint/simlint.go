@@ -1,0 +1,147 @@
+// Package simlint assembles the repository's analyzer suite — maprange,
+// wallclock, globalrand, totalorder, hotpath, pkgdoc — into one runner
+// shared by the cmd/simlint multichecker and the self-check test that
+// keeps the repo lint-clean. See ARCHITECTURE.md's "Static analysis"
+// section for what each analyzer enforces and why.
+package simlint
+
+import (
+	"fmt"
+	"go/token"
+	"os"
+	"sort"
+
+	"repro/internal/analysis"
+	"repro/internal/analysis/globalrand"
+	"repro/internal/analysis/hotpath"
+	"repro/internal/analysis/load"
+	"repro/internal/analysis/maprange"
+	"repro/internal/analysis/pkgdoc"
+	"repro/internal/analysis/totalorder"
+	"repro/internal/analysis/wallclock"
+)
+
+// Analyzers is the full suite, in reporting order.
+var Analyzers = []*analysis.Analyzer{
+	globalrand.Analyzer,
+	hotpath.Analyzer,
+	maprange.Analyzer,
+	pkgdoc.Analyzer,
+	totalorder.Analyzer,
+	wallclock.Analyzer,
+}
+
+// Known maps analyzer name -> true, for validating ignore directives.
+func Known() map[string]bool {
+	m := make(map[string]bool, len(Analyzers))
+	for _, a := range Analyzers {
+		m[a.Name] = true
+	}
+	return m
+}
+
+// Finding is one reported diagnostic with its resolved position.
+type Finding struct {
+	Position token.Position
+	Analyzer string
+	Message  string
+	Fixes    []analysis.SuggestedFix
+	fset     *token.FileSet
+}
+
+func (f Finding) String() string {
+	return fmt.Sprintf("%s:%d:%d: %s: %s", f.Position.Filename, f.Position.Line, f.Position.Column, f.Analyzer, f.Message)
+}
+
+// Run loads the packages matching patterns (resolved in dir) and runs
+// the whole suite plus directive validation, returning findings sorted
+// by position.
+func Run(dir string, patterns ...string) ([]Finding, error) {
+	pkgs, err := load.Load(dir, patterns...)
+	if err != nil {
+		return nil, err
+	}
+	known := Known()
+	var out []Finding
+	for _, pkg := range pkgs {
+		var diags []analysis.Diagnostic
+		for _, a := range Analyzers {
+			ds, err := analysis.RunAnalyzer(a, pkg.Fset, pkg.Files, pkg.Types, pkg.Info, pkg.ImportPath)
+			if err != nil {
+				return nil, fmt.Errorf("%s on %s: %v", a.Name, pkg.ImportPath, err)
+			}
+			diags = append(diags, ds...)
+		}
+		diags = append(diags, analysis.CheckDirectives(pkg.Fset, pkg.Files, known)...)
+		for _, d := range diags {
+			out = append(out, Finding{
+				Position: pkg.Fset.Position(d.Pos),
+				Analyzer: d.Category,
+				Message:  d.Message,
+				Fixes:    d.SuggestedFixes,
+				fset:     pkg.Fset,
+			})
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i].Position, out[j].Position
+		if a.Filename != b.Filename {
+			return a.Filename < b.Filename
+		}
+		if a.Line != b.Line {
+			return a.Line < b.Line
+		}
+		if a.Column != b.Column {
+			return a.Column < b.Column
+		}
+		return out[i].Analyzer < out[j].Analyzer
+	})
+	return out, nil
+}
+
+// ApplyFixes applies the first suggested fix of every finding that has
+// one, editing files in place, and returns how many findings it fixed.
+// Edits are applied per file from the end backwards so earlier offsets
+// stay valid.
+func ApplyFixes(findings []Finding) (int, error) {
+	type edit struct {
+		start, end int // byte offsets
+		newText    []byte
+	}
+	perFile := map[string][]edit{}
+	fixed := 0
+	for _, f := range findings {
+		if len(f.Fixes) == 0 {
+			continue
+		}
+		fixed++
+		for _, te := range f.Fixes[0].TextEdits {
+			start := f.fset.Position(te.Pos)
+			end := f.fset.Position(te.End)
+			perFile[start.Filename] = append(perFile[start.Filename], edit{start.Offset, end.Offset, te.NewText})
+		}
+	}
+	files := make([]string, 0, len(perFile))
+	for name := range perFile {
+		files = append(files, name)
+	}
+	sort.Strings(files)
+	for _, name := range files {
+		edits := perFile[name]
+		data, err := os.ReadFile(name)
+		if err != nil {
+			return fixed, err
+		}
+		sort.SliceStable(edits, func(i, j int) bool { return edits[i].start > edits[j].start })
+		for _, e := range edits {
+			if e.start < 0 || e.end > len(data) || e.start > e.end {
+				return fixed, fmt.Errorf("fix out of range in %s", name)
+			}
+			data = append(data[:e.start], append(e.newText, data[e.end:]...)...)
+		}
+		if err := os.WriteFile(name, data, 0o644); err != nil {
+			return fixed, err
+		}
+	}
+	return fixed, nil
+}

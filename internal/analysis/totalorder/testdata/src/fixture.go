@@ -1,0 +1,52 @@
+// Package fixture exercises the totalorder analyzer: sort.Slice with a
+// bare single-key less-func is flagged (floats get the NaN message);
+// sort.SliceStable and tie-break chains pass.
+package fixture
+
+import "sort"
+
+type rec struct {
+	score float64
+	load  int
+	id    int
+}
+
+// ByScore orders by a float with no tie-break: flagged with the NaN
+// message.
+func ByScore(rs []rec) {
+	sort.Slice(rs, func(i, j int) bool { return rs[i].score < rs[j].score }) // want `totalorder: sort.Slice less-func compares floats`
+}
+
+// ByLoad orders by one non-unique int key: flagged.
+func ByLoad(rs []rec) {
+	sort.Slice(rs, func(i, j int) bool { return rs[i].load > rs[j].load }) // want `totalorder: sort.Slice with a single-key less-func`
+}
+
+// ByLoadStable uses the stable sort: insertion order is the
+// deterministic tie-break, passes.
+func ByLoadStable(rs []rec) {
+	sort.SliceStable(rs, func(i, j int) bool { return rs[i].load > rs[j].load })
+}
+
+// ByScoreChained falls through to a unique key on ties: passes.
+func ByScoreChained(rs []rec) {
+	sort.Slice(rs, func(i, j int) bool {
+		if rs[i].score != rs[j].score {
+			return rs[i].score < rs[j].score
+		}
+		return rs[i].id < rs[j].id
+	})
+}
+
+// ByLoadOrID chains in one expression: passes.
+func ByLoadOrID(rs []rec) {
+	sort.Slice(rs, func(i, j int) bool {
+		return rs[i].load > rs[j].load || (rs[i].load == rs[j].load && rs[i].id < rs[j].id)
+	})
+}
+
+// Annotated sorts provably-unique keys with a reasoned waiver: passes.
+func Annotated(ids []int) {
+	//simlint:ignore totalorder -- ids are unique by construction (device indices)
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+}

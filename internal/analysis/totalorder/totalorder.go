@@ -1,0 +1,91 @@
+// Package totalorder guards sorting determinism. A sort.Slice whose
+// less-func is a single key comparison leaves equal elements in
+// unspecified relative order (sort.Slice is not stable), and a float
+// key additionally makes the order partial: NaN compares false against
+// everything, so the "sorted" permutation depends on input order and
+// pivot choice. Both turn golden files timing- and history-dependent.
+//
+// The analyzer flags sort.Slice calls whose less-func is one bare
+// comparison. Passing idioms: sort.SliceStable with any less-func
+// (insertion order is the deterministic tie-break), or a sort.Slice
+// whose less-func chains to a tie-breaker (a || / && chain or
+// multi-statement body ending on a unique key). Each finding carries a
+// machine-applicable suggested fix rewriting the call to
+// sort.SliceStable, which `simlint -fix` applies.
+package totalorder
+
+import (
+	"go/ast"
+	"go/token"
+
+	"repro/internal/analysis"
+)
+
+// Analyzer is the totalorder check.
+var Analyzer = &analysis.Analyzer{
+	Name: "totalorder",
+	Doc:  "flag sort.Slice less-funcs that compare a single (or floating-point) key with no deterministic tie-break; require sort.SliceStable or a tie-break chain",
+	Run:  run,
+}
+
+func run(pass *analysis.Pass) error {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok || len(call.Args) != 2 {
+				return true
+			}
+			if !analysis.IsPkgCall(pass.TypesInfo, call, "sort", "Slice") {
+				return true
+			}
+			less, ok := ast.Unparen(call.Args[1]).(*ast.FuncLit)
+			if !ok {
+				return true
+			}
+			cmp := bareComparison(less)
+			if cmp == nil {
+				return true // tie-break chain or opaque body: assume total
+			}
+			msg := "sort.Slice with a single-key less-func: equal keys land in input-dependent relative order; use sort.SliceStable or add a deterministic tie-break chain"
+			if analysis.IsFloat(pass.TypesInfo.Types[cmp.X].Type) || analysis.IsFloat(pass.TypesInfo.Types[cmp.Y].Type) {
+				msg = "sort.Slice less-func compares floats with no tie-break: NaN makes the order partial and equal keys land input-dependently; use sort.SliceStable or add a total tie-break chain"
+			}
+			d := analysis.Diagnostic{Pos: call.Pos(), End: call.End(), Message: msg}
+			if sel, ok := call.Fun.(*ast.SelectorExpr); ok {
+				d.SuggestedFixes = []analysis.SuggestedFix{{
+					Message: "replace sort.Slice with sort.SliceStable",
+					TextEdits: []analysis.TextEdit{{
+						Pos:     sel.Sel.Pos(),
+						End:     sel.Sel.End(),
+						NewText: []byte("SliceStable"),
+					}},
+				}}
+			}
+			pass.Report(d)
+			return true
+		})
+	}
+	return nil
+}
+
+// bareComparison returns the sole comparison of a single-expression
+// less-func body (`return a.x < b.x`), or nil when the body chains,
+// branches, or otherwise encodes a tie-break.
+func bareComparison(less *ast.FuncLit) *ast.BinaryExpr {
+	if len(less.Body.List) != 1 {
+		return nil
+	}
+	ret, ok := less.Body.List[0].(*ast.ReturnStmt)
+	if !ok || len(ret.Results) != 1 {
+		return nil
+	}
+	cmp, ok := ast.Unparen(ret.Results[0]).(*ast.BinaryExpr)
+	if !ok {
+		return nil
+	}
+	switch cmp.Op {
+	case token.LSS, token.GTR, token.LEQ, token.GEQ:
+		return cmp
+	}
+	return nil
+}

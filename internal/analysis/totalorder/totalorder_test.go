@@ -1,0 +1,76 @@
+package totalorder_test
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/analysis/analysistest"
+	"repro/internal/analysis/simlint"
+	"repro/internal/analysis/totalorder"
+)
+
+func TestTotalOrder(t *testing.T) {
+	analysistest.Run(t, totalorder.Analyzer, "testdata/src", "repro/internal/fixture")
+}
+
+// TestSuggestedFix runs the analyzer's machine fix over a copy of the
+// fixtures and verifies the flagged calls become sort.SliceStable (and
+// nothing else changes).
+func TestSuggestedFix(t *testing.T) {
+	src, err := os.ReadFile("testdata/src/fixture.go")
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+	fn := filepath.Join(dir, "fixture.go")
+	// Strip want comments so the copy is plain source.
+	clean := analysistest.StripWants(string(src))
+	if err := os.WriteFile(fn, []byte(clean), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	goMod := filepath.Join(dir, "go.mod")
+	if err := os.WriteFile(goMod, []byte("module fixture\n\ngo 1.24\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	findings, err := simlint.Run(dir, ".")
+	if err != nil {
+		t.Fatalf("simlint.Run: %v", err)
+	}
+	var fixable []simlint.Finding
+	for _, f := range findings {
+		if f.Analyzer == "totalorder" {
+			fixable = append(fixable, f)
+		}
+	}
+	if len(fixable) != 2 {
+		t.Fatalf("want 2 totalorder findings in fix fixture, got %d: %v", len(fixable), findings)
+	}
+	if n, err := simlint.ApplyFixes(fixable); err != nil || n != 2 {
+		t.Fatalf("ApplyFixes = %d, %v; want 2, nil", n, err)
+	}
+	fixed, err := os.ReadFile(fn)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := string(fixed)
+	if strings.Contains(got, "sort.Slice(rs, func(i, j int) bool { return rs[i].score") ||
+		strings.Contains(got, "sort.Slice(rs, func(i, j int) bool { return rs[i].load") {
+		t.Errorf("flagged sort.Slice calls survived -fix:\n%s", got)
+	}
+	if strings.Count(got, "sort.SliceStable") != strings.Count(clean, "sort.SliceStable")+2 {
+		t.Errorf("expected exactly the two flagged calls rewritten to SliceStable:\n%s", got)
+	}
+
+	// The fixed file must now be clean.
+	after, err := simlint.Run(dir, ".")
+	if err != nil {
+		t.Fatalf("simlint.Run after fix: %v", err)
+	}
+	for _, f := range after {
+		if f.Analyzer == "totalorder" {
+			t.Errorf("finding survived fix: %s", f)
+		}
+	}
+}

@@ -1,0 +1,17 @@
+// Package fixture holds the allowlisted side of the wallclock check: a
+// cmd-scoped package may report wall-clock durations, so the same calls
+// that internal/ rejects must pass here.
+package fixture
+
+import (
+	"fmt"
+	"time"
+)
+
+// Report measures and prints a human wall-clock duration — fine in a
+// command-line frontend.
+func Report() {
+	start := time.Now()
+	time.Sleep(time.Millisecond)
+	fmt.Println("took", time.Since(start))
+}

@@ -1,0 +1,39 @@
+// Package fixture exercises the wallclock analyzer: host-clock reads
+// are flagged under internal/, pure time arithmetic and annotated
+// lines pass.
+package fixture
+
+import "time"
+
+// Elapsed reads the host clock twice: both flagged.
+func Elapsed() time.Duration {
+	start := time.Now() // want `wallclock: time.Now reads the host clock`
+	doWork()
+	return time.Since(start) // want `wallclock: time.Since reads the host clock`
+}
+
+// Poll schedules against the host clock: flagged.
+func Poll() {
+	for range time.Tick(time.Second) { // want `wallclock: time.Tick reads the host clock`
+		doWork()
+	}
+}
+
+// Delay sleeps on the host clock: flagged.
+func Delay() {
+	time.Sleep(time.Millisecond) // want `wallclock: time.Sleep reads the host clock`
+}
+
+// PureArithmetic only converts and compares durations: passes.
+func PureArithmetic(cycles uint64, hz uint64) time.Duration {
+	return time.Duration(cycles * uint64(time.Second) / hz)
+}
+
+// Annotated reads the clock with a reasoned waiver: passes.
+func Annotated() time.Duration {
+	//simlint:ignore wallclock -- progress logging only, value never reaches a summary
+	t := time.Now()
+	return time.Duration(t.Unix())
+}
+
+func doWork() {}

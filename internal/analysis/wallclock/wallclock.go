@@ -1,0 +1,59 @@
+// Package wallclock forbids reading the host's wall clock inside
+// internal packages. Simulation time is the event loop's cycle counter;
+// a time.Now or time.Since in internal code couples results to the
+// machine the run happens on and breaks the identical-seeds →
+// byte-identical-goldens contract. Command-line frontends under cmd/
+// may report human wall-clock durations and are outside the analyzer's
+// scope (it fires only on import paths containing "/internal/").
+package wallclock
+
+import (
+	"go/ast"
+	"strings"
+
+	"repro/internal/analysis"
+)
+
+// banned lists the time-package functions that observe the host clock
+// or schedule against it.
+var banned = map[string]bool{
+	"Now":       true,
+	"Since":     true,
+	"Until":     true,
+	"Tick":      true,
+	"After":     true,
+	"AfterFunc": true,
+	"NewTicker": true,
+	"NewTimer":  true,
+	"Sleep":     true,
+}
+
+// Analyzer is the wallclock check.
+var Analyzer = &analysis.Analyzer{
+	Name: "wallclock",
+	Doc:  "forbid time.Now/Since/Tick and friends under internal/ — simulation time comes from the event loop, never the host clock",
+	Run:  run,
+}
+
+func run(pass *analysis.Pass) error {
+	if !strings.Contains(pass.PkgPath, "/internal/") {
+		return nil
+	}
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			fn := analysis.CalleeFunc(pass.TypesInfo, call)
+			if fn == nil || fn.Pkg() == nil || fn.Pkg().Path() != "time" || !banned[fn.Name()] {
+				return true
+			}
+			pass.Reportf(call.Pos(),
+				"time.%s reads the host clock; internal packages must take time from the event loop (cycle counters), leave wall-clock reporting to cmd/*",
+				fn.Name())
+			return true
+		})
+	}
+	return nil
+}

@@ -1,0 +1,18 @@
+package wallclock_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/analysistest"
+	"repro/internal/analysis/wallclock"
+)
+
+func TestWallclock(t *testing.T) {
+	analysistest.Run(t, wallclock.Analyzer, "testdata/internal", "repro/internal/fixture")
+}
+
+// TestWallclockAllowsCmd verifies cmd/* stays allowlisted for
+// wall-clock reporting.
+func TestWallclockAllowsCmd(t *testing.T) {
+	analysistest.RunExpectNone(t, wallclock.Analyzer, "testdata/cmd", "repro/cmd/fixture")
+}

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"sort"
 
 	"repro/internal/classify"
 	"repro/internal/config"
@@ -167,9 +168,16 @@ func (p *Pipeline) LoadCalibration(path string, apps []kernel.Params) error {
 	if len(f.Profiles) != len(apps) {
 		return fmt.Errorf("core: calibration has %d profiles for %d apps", len(f.Profiles), len(apps))
 	}
+	// Iterate class names sorted so a file with several bad labels
+	// reports the same one on every run.
+	names := make([]string, 0, len(f.Classes))
+	for name := range f.Classes {
+		names = append(names, name)
+	}
+	sort.Strings(names)
 	classes := make(map[string]classify.Class, len(f.Classes))
-	for name, label := range f.Classes {
-		cls, err := classify.ParseClass(label)
+	for _, name := range names {
+		cls, err := classify.ParseClass(f.Classes[name])
 		if err != nil {
 			return fmt.Errorf("core: calibration class for %s: %w", name, err)
 		}

@@ -312,6 +312,8 @@ func (f *Fleet) buildMatchTables() {
 // Equation 3.4 efficiency of their class multiset on device type t
 // (identical to match.Efficiency on the sorted pattern, without the
 // per-candidate allocation and re-scoring).
+//
+//simlint:hotpath
 func (f *Fleet) patternEff(t int, members []*job, extra *job) float64 {
 	if f.patIndex == nil {
 		return match.Efficiency(f.types[t].Matrix(), pattern(members, extra, t))
@@ -375,6 +377,6 @@ func pattern(members []*job, extra *job, t int) match.Pattern {
 		p = append(p, m.apps[t].Class)
 	}
 	p = append(p, extra.apps[t].Class)
-	sort.Slice(p, func(i, j int) bool { return p[i] < p[j] })
+	sort.SliceStable(p, func(i, j int) bool { return p[i] < p[j] })
 	return p
 }

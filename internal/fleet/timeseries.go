@@ -153,6 +153,8 @@ func (s *sampler) growBuckets(b uint64) {
 }
 
 // emit appends one row at cycle edge from the live loop state.
+//
+//simlint:hotpath
 func (s *sampler) emit(edge uint64, q *jobQueue, flightOf []*inflight, res *Result) {
 	row := s.scratch
 	row[colCycle] = edge

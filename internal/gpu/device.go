@@ -234,6 +234,8 @@ func (d *Device) ReassignSM(smID int, h AppHandle) error {
 }
 
 // Step advances the device one core cycle.
+//
+//simlint:hotpath
 func (d *Device) Step() {
 	d.cycle++
 	now := d.cycle

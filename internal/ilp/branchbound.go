@@ -46,7 +46,7 @@ func Solve(p Problem) (Solution, error) {
 			return Solution{}, fmt.Errorf("ilp: branch-and-bound node limit reached")
 		}
 		// Best-first: explore the node with the highest parent bound.
-		sort.Slice(queue, func(i, j int) bool { return queue[i].bound < queue[j].bound })
+		sort.SliceStable(queue, func(i, j int) bool { return queue[i].bound < queue[j].bound })
 		nd := queue[len(queue)-1]
 		queue = queue[:len(queue)-1]
 		if nd.bound <= best.Objective+intTol {

@@ -77,6 +77,8 @@ func (c *smraController) Moves() int { return c.moves }
 func (c *smraController) NextEval() uint64 { return c.lastEval + c.cfg.TCCycles }
 
 // Tick must be called after every device step.
+//
+//simlint:hotpath
 func (c *smraController) Tick() {
 	c.recycleFinished()
 	now := c.d.Cycle()

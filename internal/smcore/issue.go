@@ -11,6 +11,8 @@ import (
 // most one instruction from a ready warp it owns. Scheduler s owns warp
 // slots where slot % SchedulersPerSM == s, mirroring the odd/even warp
 // split of Fermi's dual schedulers.
+//
+//simlint:hotpath
 func (sm *SM) Tick(now uint64) {
 	if now < sm.idleUntil {
 		return
