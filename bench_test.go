@@ -11,6 +11,7 @@
 package repro
 
 import (
+	"fmt"
 	"sync"
 	"testing"
 	"time"
@@ -320,35 +321,10 @@ func fleetBenchPipeline(b *testing.B) *core.Pipeline {
 
 func fleetBenchNames() []string { return []string{"miniM", "miniMC", "miniC", "miniA"} }
 
-// BenchmarkFleetDispatch stresses the dispatcher's hot path in
-// isolation: thousands of jobs all waiting at cycle zero, so one run is
-// back-to-back group formations (windowed ILP over the memoized
-// pattern-efficiency tables and solve memo) plus event-core heap
-// operations, with the Modeled engine supplying completions instantly.
-// The ns/job metric is the fleet's per-job dispatch overhead.
-func BenchmarkFleetDispatch(b *testing.B) {
-	p := fleetBenchPipeline(b)
-	names := fleetBenchNames()
-	const jobs = 4096
-	arr := make([]fleet.Arrival, jobs)
-	for i := range arr {
-		arr[i] = fleet.Arrival{Name: names[i%len(names)], Cycle: 0}
-	}
-	b.ResetTimer()
-	for i := 0; i < b.N; i++ {
-		f, err := fleet.New(fleet.Config{
-			Devices: []fleet.DeviceSpec{{Pipe: p, Count: 8}},
-			NC:      2, Policy: sched.ILP, Engine: fleet.Modeled,
-		})
-		if err != nil {
-			b.Fatal(err)
-		}
-		if _, err := f.Run(arr); err != nil {
-			b.Fatal(err)
-		}
-	}
-	b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N)/jobs, "ns/job")
-}
+// BenchmarkFleetDispatch lives in internal/fleet (alloc_test.go): the
+// steady-state dispatch round it times needs package-internal access to
+// exclude per-run setup, which is what lets -benchmem pin its hot loop
+// at 0 allocs/op.
 
 // fleetRunBenchArrivals is the shared 1k-job traffic for the engine
 // comparison; fleetRunBenchConfig the shared fleet shape.
@@ -431,6 +407,47 @@ func BenchmarkFleetRunModeled(b *testing.B) {
 	b.StopTimer()
 	modeledNs := float64(b.Elapsed().Nanoseconds()) / float64(b.N)
 	b.ReportMetric(cycleNs/modeledNs, "cycle/modeled-x")
+	b.ReportMetric(modeledNs/1000, "ns/job")
+}
+
+// BenchmarkFleetSharded measures the sharded modeled path end to end: a
+// 16-device fleet serving 32k Poisson jobs at 1, 4 and 8 event-loop
+// shards. Dispatch is FCFS so the subject is the event core itself —
+// admit, route, commit, retire — rather than the windowed ILP's LP
+// solves, which BenchmarkFleetDispatch measures in isolation. The
+// output bytes are identical at every count (the determinism tests
+// enforce it), so ns/job across sub-benchmarks is a pure wall-time
+// comparison — the million-jobs-per-second headline is Mjobs/s at
+// shards >= 4.
+func BenchmarkFleetSharded(b *testing.B) {
+	p := fleetBenchPipeline(b)
+	const jobs = 32768
+	arr, err := fleet.ArrivalConfig{Kind: fleet.Poisson, Jobs: jobs, Rate: 4, Seed: 7}.Generate(fleetBenchNames())
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, shards := range []int{1, 4, 8} {
+		b.Run(fmt.Sprintf("shards=%d", shards), func(b *testing.B) {
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				f, err := fleet.New(fleet.Config{
+					Devices: []fleet.DeviceSpec{{Pipe: p, Count: 16}},
+					NC:      2, Policy: sched.FCFS, Engine: fleet.Modeled,
+					Shards: shards,
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				if _, err := f.Run(arr); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.StopTimer()
+			perJob := float64(b.Elapsed().Nanoseconds()) / float64(b.N) / jobs
+			b.ReportMetric(perJob, "ns/job")
+			b.ReportMetric(1e3/perJob, "Mjobs/s")
+		})
+	}
 }
 
 // --- Substrate micro-benchmarks ----------------------------------------

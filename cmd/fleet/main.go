@@ -37,7 +37,12 @@
 // that runs 100k jobs on 64 devices in seconds; hybrid simulates the
 // first -hybrid-warm occurrences of each (device type, composition) to
 // calibrate the model and serves the rest from it, reporting the
-// model's fidelity delta in the summary.
+// model's fidelity delta in the summary. With -engine modeled, -shards
+// N partitions the roster across N parallel event loops coupled by a
+// deterministic router: a given seed and shard count always reproduce
+// the same bytes (-shards 1 byte-matches the single loop), and N > 1
+// trades the global backlog for K split queues — lower wall time on
+// big rosters, with the K-way schedule echoed in a "shards:" header.
 //
 // Observability: -timeseries FILE samples the run every
 // -sample-interval cycles (queue depth and class split, per-device
@@ -97,6 +102,7 @@ func main() {
 	csvPath := flag.String("csv", "", "also write the per-job records as CSV to this file")
 	engineFlag := flag.String("engine", "cycle", "completion engine: cycle | modeled | hybrid")
 	hybridWarm := flag.Int("hybrid-warm", 0, "cycle-accurate runs per group composition before the hybrid engine trusts the model (0 = default)")
+	shards := flag.Int("shards", 0, "parallel event-loop shards for -engine modeled (0/1 = single loop; same seed and count reproduce the same bytes)")
 	timeseries := flag.String("timeseries", "", "write the per-interval time series to this file (CSV, or JSON with a .json extension)")
 	sampleInterval := flag.Uint64("sample-interval", 100_000, "time-series sampling interval in cycles (with -timeseries)")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile of the run to this file")
@@ -192,6 +198,9 @@ func main() {
 	if set["hybrid-warm"] && engine != fleet.Hybrid {
 		failf("fleet: -hybrid-warm only applies to -engine hybrid (got %v)", engine)
 	}
+	if set["shards"] && *shards > 1 && engine != fleet.Modeled {
+		failf("fleet: -shards only applies to -engine modeled (got %v)", engine)
+	}
 	if set["sample-interval"] {
 		if *timeseries == "" {
 			fail("fleet: -sample-interval needs -timeseries to write the series somewhere")
@@ -260,6 +269,7 @@ func main() {
 		SLO:         slo,
 		Engine:      engine,
 		HybridWarm:  *hybridWarm,
+		Shards:      *shards,
 	}
 	if *timeseries != "" {
 		cfg.SampleEvery = *sampleInterval
@@ -292,6 +302,16 @@ func main() {
 	case slo.Enabled || *latencyFrac > 0:
 		fmt.Printf("slo: mode=%s latency-frac=%.2f deadline=%d aging=%g\n",
 			strings.ToLower(*sloFlag), *latencyFrac, acfg.Resolved().Deadline, *aging)
+	}
+	// The shard count shapes the simulated schedule (the router splits
+	// the backlog K ways), so artifacts must say which K produced them;
+	// at 0/1 the line is omitted and output matches previous releases.
+	if res.Shards > 1 {
+		epoch := cfg.ShardEpoch
+		if epoch == 0 {
+			epoch = fleet.DefaultShardEpoch
+		}
+		fmt.Printf("shards: %d event loops, epoch=%d cycles\n", res.Shards, epoch)
 	}
 	fmt.Print(res.Summary())
 	if *csvPath != "" {

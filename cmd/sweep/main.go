@@ -1,5 +1,5 @@
 // Command sweep runs a scenario grid — dispatch policy × completion
-// engine × roster × arrival process × SLO mode — over a bounded worker
+// engine × roster × arrival process × SLO mode × shard count — over a bounded worker
 // pool and collects every cell's summary metrics into one tidy CSV or
 // JSON artifact, the Go-native analogue of hand-driving cmd/fleet once
 // per configuration. The same binary diffs two such artifacts cell by
@@ -33,6 +33,7 @@ import (
 	"fmt"
 	"log"
 	"os"
+	"strconv"
 	"strings"
 	"time"
 
@@ -49,6 +50,7 @@ func main() {
 	rosters := flag.String("rosters", "", "semicolon-separated rosters, each COUNTxCONFIG,... (default 4xGTX480)")
 	arrivals := flag.String("arrivals", "", "comma-separated arrival processes: poisson, bursty (default poisson)")
 	slos := flag.String("slo", "", "comma-separated SLO modes: off, priority, preempt (default off)")
+	shards := flag.String("shards", "", "comma-separated event-loop shard counts for the modeled engine (default 1)")
 	nc := flag.Int("nc", 0, "co-run group size per device (0 = default 2)")
 	jobs := flag.Int("jobs", 0, "arriving jobs per cell (0 = default 32)")
 	rate := flag.Float64("rate", 0, "mean arrival rate in jobs per 1000 cycles (0 = default 0.5)")
@@ -101,6 +103,16 @@ func main() {
 	axis(&g.Rosters, *rosters, ";")
 	axis(&g.Arrivals, *arrivals, ",")
 	axis(&g.SLOs, *slos, ",")
+	if *shards != "" {
+		g.Shards = g.Shards[:0]
+		for _, v := range strings.Split(*shards, ",") {
+			n, err := strconv.Atoi(strings.TrimSpace(v))
+			if err != nil {
+				log.Fatalf("sweep: -shards entry %q: %v", v, err)
+			}
+			g.Shards = append(g.Shards, n)
+		}
+	}
 	scalar := func(set bool, apply func()) {
 		if set {
 			apply()

@@ -53,12 +53,76 @@ func (f *Fleet) windowFor(q []*job, t int) int {
 	return w
 }
 
-// agingWeights maps each waiting job in the window to its aging
-// multiplier input: wait normalized to the longest wait in the window,
-// in [0,1]. A nil map means aging is off (zero weight or an empty
+// dispatcher owns one event loop's dispatch scratch state: the solve
+// memo, the aging-weight and class-pattern buffers group formation and
+// the analytic engine reuse across calls, and the retired-flight pool.
+// The classic loop builds one; each shard of a sharded run builds its
+// own, so parallel loops never share mutable state (the Fleet itself is
+// read-only after New). Everything here is buffer reuse and
+// memoization — a dispatcher never changes what is dispatched.
+type dispatcher struct {
+	f *Fleet
+	// solveMemo memoizes matcher solves per (type, window composition);
+	// see solveWindow. Nil when the match tables are disabled.
+	solveMemo []map[[classify.NumClasses]int]match.Result
+	// agingW is the window-aligned aging-weight scratch agingWeights
+	// fills (index i weights window[i]).
+	agingW []float64
+	// patBuf is the reused class-pattern scratch for modelReportInto.
+	patBuf match.Pattern
+	// free pools retired modeled flights for reuse: their member slice
+	// and report buffers keep their capacity, so steady-state dispatch
+	// recycles records instead of allocating one per group.
+	free []*inflight
+}
+
+// newDispatcher builds the per-event-loop scratch state.
+func (f *Fleet) newDispatcher() *dispatcher {
+	d := &dispatcher{f: f}
+	if f.ncPatterns != nil {
+		d.solveMemo = make([]map[[classify.NumClasses]int]match.Result, len(f.types))
+		for t := range d.solveMemo {
+			d.solveMemo[t] = make(map[[classify.NumClasses]int]match.Result)
+		}
+	}
+	return d
+}
+
+// newFlight returns a zeroed in-flight record, reusing a pooled one's
+// buffers when available.
+func (d *dispatcher) newFlight() *inflight {
+	if n := len(d.free); n > 0 {
+		fl := d.free[n-1]
+		d.free[n-1] = nil
+		d.free = d.free[:n-1]
+		return fl
+	}
+	return &inflight{}
+}
+
+// recycle returns a retired modeled flight's record to the pool,
+// keeping the member slice and report buffers (which the modeled
+// engine owns and overwrites wholesale) but dropping every reference.
+// Only retired flights may be recycled: evicted ones remain lazily
+// referenced by the completion heaps until a later peek discards them.
+func (d *dispatcher) recycle(fl *inflight) {
+	jobs := fl.jobs
+	for i := range jobs {
+		jobs[i] = nil
+	}
+	apps, classes, sts := fl.rep.Apps[:0], fl.rep.Classes[:0], fl.rep.Stats[:0]
+	*fl = inflight{}
+	fl.jobs = jobs[:0]
+	fl.rep.Apps, fl.rep.Classes, fl.rep.Stats = apps, classes, sts
+	d.free = append(d.free, fl)
+}
+
+// agingWeights fills the window-aligned aging scratch: entry i is
+// window[i]'s wait normalized to the longest wait in the window, in
+// [0,1]. A nil result means aging is off (zero weight or an empty
 // window).
-func (f *Fleet) agingWeights(window []*job, now uint64) map[*job]float64 {
-	if f.cfg.Aging == 0 || len(window) == 0 {
+func (d *dispatcher) agingWeights(window []*job, now uint64) []float64 {
+	if d.f.cfg.Aging == 0 || len(window) == 0 {
 		return nil
 	}
 	maxWait := uint64(0)
@@ -70,11 +134,23 @@ func (f *Fleet) agingWeights(window []*job, now uint64) map[*job]float64 {
 	if maxWait == 0 {
 		return nil
 	}
-	out := make(map[*job]float64, len(window))
+	d.agingW = d.agingW[:0]
 	for _, j := range window {
-		out[j] = float64(now-j.arrival) / float64(maxWait)
+		d.agingW = append(d.agingW, float64(now-j.arrival)/float64(maxWait))
 	}
-	return out
+	return d.agingW
+}
+
+// containsJob reports whether a formed group (at most NC members)
+// already holds j — the linear scan that replaced the per-dispatch
+// taken maps, allocation-free and faster at group sizes up to 8.
+func containsJob(members []*job, j *job) bool {
+	for _, m := range members {
+		if m == j {
+			return true
+		}
+	}
+	return false
 }
 
 // formGroup pops the next co-run group from the live queue (jobs that
@@ -106,28 +182,32 @@ func (f *Fleet) agingWeights(window []*job, now uint64) map[*job]float64 {
 // their efficiency multiplied by 1+Aging*w, so tail latency competes
 // with raw packing. With SLO dispatch on, the queue is priority-ordered,
 // so the seed job is the oldest waiting latency job whenever one exists.
-func (f *Fleet) formGroup(queue *jobQueue, t int, now uint64) (members []*job, usedILP bool) {
+// The members are appended into dst (the flight's reused member
+// buffer, passed in truncated to length zero), so steady-state
+// dispatch forms groups without allocating.
+func (d *dispatcher) formGroup(dst []*job, queue *jobQueue, t int, now uint64) (members []*job, usedILP bool) {
+	f := d.f
 	switch f.cfg.Policy {
 	case sched.Serial:
-		members = []*job{queue.at(0)}
+		dst = append(dst, queue.at(0))
 		queue.advance(1)
-		return members, false
+		return dst, false
 	case sched.FCFS, sched.ProfileBased:
 		n := f.cfg.NC
 		if n > queue.Len() {
 			n = queue.Len()
 		}
-		members = append([]*job(nil), queue.view()[:n]...)
+		dst = append(dst, queue.view()[:n]...)
 		queue.advance(n)
-		return members, false
+		return dst, false
 	}
 	// ILP / ILPSMRA.
 	if queue.Len() >= f.cfg.GreedyBelow && queue.Len() >= f.cfg.NC {
-		if g := f.formILPGroup(queue, t, now); g != nil {
+		if g := d.formILPGroup(dst, queue, t, now); g != nil {
 			return g, true
 		}
 	}
-	return f.formGreedyGroup(queue, t, now), false
+	return d.formGreedyGroup(dst[:0], queue, t, now), false
 }
 
 // formGreedyGroup starts from the head waiting job and repeatedly adds
@@ -135,39 +215,40 @@ func (f *Fleet) formGroup(queue *jobQueue, t int, now uint64) (members []*job, u
 // efficiency on device type t's interference matrix. Candidates come
 // from the same window prefix the ILP would see, so a deep queue does
 // not make dispatch linear in the backlog.
-func (f *Fleet) formGreedyGroup(queue *jobQueue, t int, now uint64) []*job {
+//
+//simlint:hotpath
+func (d *dispatcher) formGreedyGroup(dst []*job, queue *jobQueue, t int, now uint64) []*job {
+	f := d.f
 	q := queue.view()
 	window := q
 	if w := f.windowFor(q, t); len(window) > w {
 		window = window[:w]
 	}
-	aging := f.agingWeights(window, now)
-	members := []*job{q[0]}
-	taken := map[*job]bool{q[0]: true}
-	for len(members) < f.cfg.NC {
-		var best *job
+	aging := d.agingWeights(window, now)
+	dst = append(dst, q[0])
+	for len(dst) < f.cfg.NC {
+		best := -1
 		bestEff := -1.0
-		for _, cand := range window {
-			if taken[cand] {
+		for wi, cand := range window {
+			if containsJob(dst, cand) {
 				continue
 			}
-			eff := f.patternEff(t, members, cand)
+			eff := f.patternEff(t, dst, cand)
 			if aging != nil {
-				eff *= 1 + f.cfg.Aging*aging[cand]
+				eff *= 1 + f.cfg.Aging*aging[wi]
 			}
 			// Strict > keeps the earliest-arrived candidate on ties.
 			if eff > bestEff {
-				best, bestEff = cand, eff
+				best, bestEff = wi, eff
 			}
 		}
-		if best == nil {
+		if best < 0 {
 			break
 		}
-		members = append(members, best)
-		taken[best] = true
+		dst = append(dst, window[best])
 	}
-	queue.removeTaken(taken)
-	return members
+	queue.removeJobs(dst)
+	return dst
 }
 
 // formILPGroup solves the matcher over the queue's window-prefix class
@@ -177,7 +258,10 @@ func (f *Fleet) formGreedyGroup(queue *jobQueue, t int, now uint64) []*job {
 // active the pattern efficiencies handed to the solver are age-weighted
 // per class (match.AgedEfficiencies), so a pattern containing a starved
 // class outbids a marginally better-packing one.
-func (f *Fleet) formILPGroup(queue *jobQueue, t int, now uint64) []*job {
+//
+//simlint:hotpath
+func (d *dispatcher) formILPGroup(dst []*job, queue *jobQueue, t int, now uint64) []*job {
+	f := d.f
 	q := queue.view()
 	window := q
 	if w := f.windowFor(q, t); len(window) > w {
@@ -189,18 +273,21 @@ func (f *Fleet) formILPGroup(queue *jobQueue, t int, now uint64) []*job {
 	}
 	var res match.Result
 	var err error
-	if aging := f.agingWeights(window, now); aging != nil {
+	if aging := d.agingWeights(window, now); aging != nil {
+		// The aging path re-weights and re-solves per dispatch (waits
+		// change every cycle, so the solve cannot be memoized); the
+		// zero-allocation contract covers the memoized aging-off path.
 		patterns, eff := f.ncPatternTable(t)
 		var classWait [classify.NumClasses]float64
-		for _, j := range window {
-			if w := aging[j]; w > classWait[j.apps[t].Class] {
+		for wi, j := range window {
+			if w := aging[wi]; w > classWait[j.apps[t].Class] {
 				classWait[j.apps[t].Class] = w
 			}
 		}
 		eff = match.AgedEfficiencies(patterns, eff, classWait, f.cfg.Aging)
 		res, err = match.SolveWithEff(patterns, eff, counts, f.cfg.NC)
 	} else {
-		res, err = f.solveWindow(t, counts)
+		res, err = d.solveWindow(t, counts)
 	}
 	if err != nil {
 		return nil
@@ -221,14 +308,11 @@ func (f *Fleet) formILPGroup(queue *jobQueue, t int, now uint64) []*job {
 		return nil
 	}
 	// Materialize with the head waiting job of each required class.
-	taken := make(map[*job]bool, f.cfg.NC)
-	var members []*job
 	for _, cls := range res.Patterns[best] {
 		found := false
 		for _, cand := range window {
-			if cand.apps[t].Class == cls && !taken[cand] {
-				members = append(members, cand)
-				taken[cand] = true
+			if cand.apps[t].Class == cls && !containsJob(dst, cand) {
+				dst = append(dst, cand)
 				found = true
 				break
 			}
@@ -237,8 +321,8 @@ func (f *Fleet) formILPGroup(queue *jobQueue, t int, now uint64) []*job {
 			return nil // matcher over-committed; should not happen
 		}
 	}
-	queue.removeTaken(taken)
-	return members
+	queue.removeJobs(dst)
+	return dst
 }
 
 // --- Memoized matcher inputs -------------------------------------------
@@ -291,7 +375,6 @@ func (f *Fleet) buildMatchTables() {
 	f.ncPatterns = match.Patterns(f.cfg.NC)
 	f.effAll = make([][]float64, len(f.types))
 	f.ncEff = make([][]float64, len(f.types))
-	f.solveMemo = make([]map[[classify.NumClasses]int]match.Result, len(f.types))
 	for t := range f.types {
 		m := f.types[t].Matrix()
 		eff := make([]float64, len(all))
@@ -304,7 +387,6 @@ func (f *Fleet) buildMatchTables() {
 			nc[i] = match.Efficiency(m, p)
 		}
 		f.ncEff[t] = nc
-		f.solveMemo[t] = make(map[[classify.NumClasses]int]match.Result)
 	}
 }
 
@@ -352,19 +434,22 @@ func (f *Fleet) ncPatternTable(t int) ([]match.Pattern, []float64) {
 // solveWindow runs the matcher over one window composition, memoized
 // per device type: with aging off the solve is a pure function of the
 // class counts, and saturated phases present the same composition for
-// thousands of consecutive dispatches.
-func (f *Fleet) solveWindow(t int, counts [classify.NumClasses]int) (match.Result, error) {
-	if f.solveMemo == nil {
+// thousands of consecutive dispatches. The memo lives on the
+// dispatcher (not the Fleet) so each shard's event loop memoizes
+// privately and the Fleet stays read-only under concurrency.
+func (d *dispatcher) solveWindow(t int, counts [classify.NumClasses]int) (match.Result, error) {
+	f := d.f
+	if d.solveMemo == nil {
 		return match.Solve(f.types[t].Matrix(), counts, f.cfg.NC)
 	}
-	if res, ok := f.solveMemo[t][counts]; ok {
+	if res, ok := d.solveMemo[t][counts]; ok {
 		return res, nil
 	}
 	res, err := match.SolveWithEff(f.ncPatterns, f.ncEff[t], counts, f.cfg.NC)
 	if err != nil {
 		return match.Result{}, err
 	}
-	f.solveMemo[t][counts] = res
+	d.solveMemo[t][counts] = res
 	return res, nil
 }
 

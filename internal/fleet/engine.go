@@ -86,11 +86,10 @@ func (f *Fleet) modelReport(members []*job, t int, calib float64) (sched.GroupRe
 			pat[i] = j.apps[t].Class
 		}
 	}
-	prof := f.types[t].Profiler()
 	rep := sched.GroupReport{}
 	for i, j := range members {
-		r, ok := prof.Peek(j.name(), 0)
-		if !ok {
+		sp := j.solo[t]
+		if !sp.ok {
 			return sched.GroupReport{}, fmt.Errorf("fleet: no solo profile for %q on %s (modeled engine needs a calibrated universe)",
 				j.name(), f.types[t].Config().Name)
 		}
@@ -98,7 +97,7 @@ func (f *Fleet) modelReport(members []*job, t int, calib float64) (sched.GroupRe
 		if pat != nil {
 			s = match.MemberSlowdown(m, pat, i)
 		}
-		end := uint64(math.Ceil(float64(r.Cycles) * s * calib))
+		end := uint64(math.Ceil(float64(sp.cycles) * s * calib))
 		if end < 1 {
 			end = 1
 		}
@@ -106,7 +105,7 @@ func (f *Fleet) modelReport(members []*job, t int, calib float64) (sched.GroupRe
 		rep.Classes = append(rep.Classes, j.apps[t].Class)
 		rep.Stats = append(rep.Stats, stats.App{
 			Name:               j.name(),
-			ThreadInstructions: r.ThreadInstructions,
+			ThreadInstructions: sp.instrs,
 			EndCycle:           end,
 			Done:               true,
 		})
@@ -115,6 +114,85 @@ func (f *Fleet) modelReport(members []*job, t int, calib float64) (sched.GroupRe
 		}
 	}
 	return rep, nil
+}
+
+// modelReportInto is modelReport rewritten for the steady state: the
+// prediction lands in the flight's own (recycled) report buffers and
+// the class pattern in the dispatcher's scratch, so a modeled dispatch
+// allocates nothing once the pools are warm. Semantics are identical
+// to modelReport — same solo data, same slowdowns, same rounding.
+//
+//simlint:hotpath
+func (d *dispatcher) modelReportInto(fl *inflight, calib float64) error {
+	f := d.f
+	t := fl.typ
+	m := f.types[t].Matrix()
+	d.patBuf = d.patBuf[:0]
+	if m != nil && len(fl.jobs) > 1 {
+		for _, j := range fl.jobs {
+			d.patBuf = append(d.patBuf, j.apps[t].Class)
+		}
+	}
+	pat := d.patBuf
+	rep := &fl.rep
+	rep.Apps = rep.Apps[:0]
+	rep.Classes = rep.Classes[:0]
+	rep.Stats = rep.Stats[:0]
+	rep.Cycles = 0
+	rep.SMMoves = 0
+	for i, j := range fl.jobs {
+		sp := j.solo[t]
+		if !sp.ok {
+			return d.missingSolo(j, t)
+		}
+		s := 1.0
+		if len(pat) > 0 {
+			s = match.MemberSlowdown(m, pat, i)
+		}
+		end := uint64(math.Ceil(float64(sp.cycles) * s * calib))
+		if end < 1 {
+			end = 1
+		}
+		rep.Apps = append(rep.Apps, j.name())
+		rep.Classes = append(rep.Classes, j.apps[t].Class)
+		rep.Stats = append(rep.Stats, stats.App{
+			Name:               j.name(),
+			ThreadInstructions: sp.instrs,
+			EndCycle:           end,
+			Done:               true,
+		})
+		if end > rep.Cycles {
+			rep.Cycles = end
+		}
+	}
+	return nil
+}
+
+// missingSolo builds the cold-path error for an uncalibrated member
+// (kept out of the hot-path functions so they stay fmt-free).
+func (d *dispatcher) missingSolo(j *job, t int) error {
+	return fmt.Errorf("fleet: no solo profile for %q on %s (modeled engine needs a calibrated universe)",
+		j.name(), d.f.types[t].Config().Name)
+}
+
+// commitModeled resolves a modeled flight at dispatch time: one
+// analytic report and one completion-heap event cover the whole group,
+// where the group's members each used to pay their own allocations.
+// The flight is born resolved — its pre-closed done channel keeps
+// eviction bookkeeping uniform with simulated flights.
+//
+//simlint:hotpath
+func (d *dispatcher) commitModeled(fl *inflight, now uint64, calib float64, resolved *flightHeap) error {
+	if err := d.modelReportInto(fl, calib); err != nil {
+		return err
+	}
+	fl.modeled = true
+	fl.done = closedDone
+	fl.state = flightResolved
+	fl.complete = now + d.f.flightCycles(fl)
+	fl.earliest = fl.complete
+	resolved.push(fl)
+	return nil
 }
 
 // compositionKey identifies a (device type, group composition) for the

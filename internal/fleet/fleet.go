@@ -5,7 +5,6 @@ import (
 	"sort"
 	"strings"
 
-	"repro/internal/classify"
 	"repro/internal/core"
 	"repro/internal/match"
 	"repro/internal/sched"
@@ -72,6 +71,25 @@ type Config struct {
 	// sampling entirely; the collector is purely an observer and never
 	// changes dispatch decisions or event order.
 	SampleEvery uint64
+	// Shards partitions the roster into this many independent event
+	// loops, each running on its own goroutine with its own clock,
+	// queue and completion heap, coupled only through the arrival
+	// router's epoch barrier (see shard.go). 0 or 1 — the default —
+	// runs the single classic loop, byte-identical to previous
+	// releases. The determinism contract holds at every count: a given
+	// seed and shard count always reproduce byte-identical summaries
+	// and time series, however the host schedules the shard
+	// goroutines. Counts above 1 partition the backlog, so the
+	// simulated schedule is that of a K-way-split fleet — reproducible
+	// for that K, not a byte-copy of the single-loop schedule.
+	// Requires the Modeled engine (the Cycle and Hybrid engines
+	// already parallelize across their worker pool).
+	Shards int
+	// ShardEpoch is the router's synchronization quantum in fleet
+	// cycles: arrivals are assigned to shards one epoch at a time, at a
+	// barrier where every shard's state is settled and deterministic. 0
+	// selects DefaultShardEpoch; ignored with Shards <= 1.
+	ShardEpoch uint64
 
 	// forceSpec makes the event loop pre-simulate likely next groups
 	// even on a single-CPU host, where speculation otherwise only burns
@@ -100,6 +118,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.Engine == Hybrid && c.HybridWarm == 0 {
 		c.HybridWarm = DefaultHybridWarm
+	}
+	if c.Shards > 1 && c.ShardEpoch == 0 {
+		c.ShardEpoch = DefaultShardEpoch
 	}
 	c.SLO = c.SLO.withDefaults()
 	return c
@@ -176,6 +197,17 @@ func (c Config) validate() error {
 	if c.HybridWarm < 0 {
 		return fmt.Errorf("fleet: hybrid warm-up count %d must not be negative", c.HybridWarm)
 	}
+	if c.Shards < 0 {
+		return fmt.Errorf("fleet: shard count %d must not be negative", c.Shards)
+	}
+	if c.Shards > 1 {
+		if c.Engine != Modeled {
+			return fmt.Errorf("fleet: %v engine cannot shard (its worker pool already parallelizes simulations); Shards > 1 requires the modeled engine", c.Engine)
+		}
+		if c.Shards > c.TotalDevices() {
+			return fmt.Errorf("fleet: %d shards exceed the roster's %d devices", c.Shards, c.TotalDevices())
+		}
+	}
 	if c.Engine != Cycle && c.NC >= 2 {
 		// The analytic model predicts co-run slowdowns from the
 		// interference matrix; without one it would silently model every
@@ -218,15 +250,15 @@ type Fleet struct {
 	orderPos []int
 
 	// Memoized matcher inputs (see buildMatchTables): the class-pattern
-	// lists for every group size up to NC, each pattern's efficiency
-	// per device type, and a per-type solve memo keyed by window
-	// composition. Nil outside the ILP policies (or for NC outside the
-	// packed-key range), where the direct computation is used instead.
+	// lists for every group size up to NC and each pattern's efficiency
+	// per device type. Nil outside the ILP policies (or for NC outside
+	// the packed-key range), where the direct computation is used
+	// instead. All read-only after New — the mutable solve memo lives on
+	// each event loop's dispatcher so shards never share writes.
 	patIndex   map[uint64]int
 	effAll     [][]float64
 	ncPatterns []match.Pattern
 	ncEff      [][]float64
-	solveMemo  []map[[classify.NumClasses]int]match.Result
 }
 
 // New builds a fleet over the configured roster.

@@ -24,7 +24,7 @@ var (
 // one device configuration over the miniature testkit universe — the
 // expensive part of every fleet test. The mini kernels are small enough
 // that even the full 60-SM device calibrates in well under a second.
-func pipelineFor(t *testing.T, cfg config.GPUConfig) *core.Pipeline {
+func pipelineFor(t testing.TB, cfg config.GPUConfig) *core.Pipeline {
 	t.Helper()
 	pipeMu.Lock()
 	defer pipeMu.Unlock()
@@ -43,7 +43,7 @@ func pipelineFor(t *testing.T, cfg config.GPUConfig) *core.Pipeline {
 }
 
 // testPipeline returns the default (Small-8SM) test pipeline.
-func testPipeline(t *testing.T) *core.Pipeline {
+func testPipeline(t testing.TB) *core.Pipeline {
 	return pipelineFor(t, testkit.Config())
 }
 

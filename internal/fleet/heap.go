@@ -18,6 +18,11 @@ package fleet
 // Flights leave the heaps lazily: eviction and resolution mark the
 // flight's state and peek/pop discard stale roots, so removal never
 // needs an index into the heap.
+//
+// Heap traffic is per flight, never per job: a modeled dispatch commits
+// the whole group as one resolved entry (commitModeled), so an NC-member
+// completion costs one push and one pop, not NC of each — the batching
+// half of the steady-state zero-allocation dispatch contract.
 
 // flightState tracks which heap (if any) a flight is live in.
 type flightState int

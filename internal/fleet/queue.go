@@ -12,7 +12,7 @@ import "sort"
 //     Arrivals are admitted in cycle order, so in the common case the
 //     position is the tail and insertion is an O(1) append; only
 //     evicted jobs re-entering the queue pay the mid-queue copy.
-//   - removeTaken: group formation only ever draws members from the
+//   - removeJobs: group formation only ever draws members from the
 //     queue's window prefix (at most MaxWindow deep, or the FCFS/Serial
 //     head), so removal compacts the surviving prefix entries onto the
 //     freed slots and advances the head — O(window), independent of the
@@ -86,15 +86,18 @@ func (q *jobQueue) advance(n int) {
 		q.buf[k] = nil
 	}
 	q.head += n
+	q.compact()
 }
 
-// removeTaken removes the jobs in taken from the queue, preserving the
-// order of the survivors. Every taken job must lie in the queue prefix
-// group formation scanned (the dispatch window); the scan stops as soon
-// as all of them are found, so the cost is O(window + survivors in the
-// prefix), never O(backlog).
-func (q *jobQueue) removeTaken(taken map[*job]bool) {
-	if len(taken) == 0 {
+// removeJobs removes the given jobs (a just-formed group, at most NC
+// entries) from the queue, preserving the order of the survivors.
+// Every member must lie in the queue prefix group formation scanned
+// (the dispatch window); the scan stops as soon as all of them are
+// found, so the cost is O(window · NC + survivors in the prefix),
+// never O(backlog), and — unlike the taken-map predecessor — it
+// allocates nothing.
+func (q *jobQueue) removeJobs(members []*job) {
+	if len(members) == 0 {
 		return
 	}
 	found := 0
@@ -103,8 +106,8 @@ func (q *jobQueue) removeTaken(taken map[*job]bool) {
 	var keptBuf [MaxWindow]*job
 	kept := keptBuf[:0]
 	i := q.head
-	for ; i < len(q.buf) && found < len(taken); i++ {
-		if taken[q.buf[i]] {
+	for ; i < len(q.buf) && found < len(members); i++ {
+		if containsJob(members, q.buf[i]) {
 			found++
 			if q.buf[i].slo == Latency {
 				q.latency--
@@ -121,4 +124,25 @@ func (q *jobQueue) removeTaken(taken map[*job]bool) {
 		q.buf[k] = nil
 	}
 	q.head = newHead
+	q.compact()
+}
+
+// compact slides the live suffix back to the front once the dead
+// prefix dominates the buffer. Without it the head-indexed buffer only
+// ever grows (inserts append at the tail while the head advances), so
+// a long run reallocates forever and holds O(total jobs) slots; with
+// it the buffer is bounded by twice the live backlog and steady-state
+// dispatch stays allocation-free. The copy is amortized O(1) per
+// removed job: each compaction moves at most as many entries as were
+// consumed since the last one.
+func (q *jobQueue) compact() {
+	if q.head < MaxWindow || q.head*2 < len(q.buf) {
+		return
+	}
+	n := copy(q.buf, q.buf[q.head:])
+	for k := n; k < len(q.buf); k++ {
+		q.buf[k] = nil
+	}
+	q.buf = q.buf[:n]
+	q.head = 0
 }

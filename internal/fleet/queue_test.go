@@ -62,16 +62,16 @@ func TestJobQueueMatchesReference(t *testing.T) {
 				if w > len(ref) {
 					w = len(ref)
 				}
-				taken := map[*job]bool{}
+				var taken []*job
 				for i := 0; i < w; i++ {
 					if stream.Intn(2) == 0 || len(taken) == 0 {
-						taken[ref[i]] = true
+						taken = append(taken, ref[i])
 					}
 				}
-				q.removeTaken(taken)
+				q.removeJobs(taken)
 				out := ref[:0]
 				for _, r := range ref {
-					if !taken[r] {
+					if !containsJob(taken, r) {
 						out = append(out, r)
 					}
 				}

@@ -1,0 +1,397 @@
+package fleet
+
+import (
+	"math"
+	"runtime"
+	"sort"
+	"sync"
+)
+
+// The sharded event core. With Config.Shards = K > 1 the roster is
+// partitioned into K fixed device sets, each owned by an independent
+// event loop — its own clock, queue, dispatcher scratch, completion
+// heap and sampler — running on its own goroutine. Shards couple only
+// through the arrival router, so the loops need no locks and no shared
+// mutable state: everything a shard touches is either its own or
+// read-only on the Fleet.
+//
+// Determinism is preserved by construction, not by luck:
+//
+//   - routing happens at epoch barriers. Time is cut into fixed
+//     ShardEpoch windows; before assigning a window's arrivals the
+//     coordinator runs every shard up to the window's start, so each
+//     shard's load is a settled, host-independent function of the
+//     already-routed arrivals. Arrivals are then assigned one at a
+//     time to the least-loaded shard (ties to the lowest shard id) —
+//     a pure function of deterministic state.
+//   - inside an epoch each shard is the classic single-threaded DES
+//     over its own devices; goroutine scheduling cannot reorder its
+//     events because no other goroutine shares its state.
+//   - the merge is order-fixed: per-device accounting lands at global
+//     device indices, counters sum, eviction records sort by their
+//     (cycle, device) total order, job records are emitted in global
+//     arrival order, and time-series rows merge row-by-row on the
+//     shared interval grid (mergeShardSeries).
+//
+// One shard degenerates to the classic loop, which is why Run only
+// branches here for Shards > 1 — shards=1 output stays byte-identical
+// to previous releases by running the previous code.
+
+// DefaultShardEpoch is the router's synchronization quantum (fleet
+// cycles) when Config.ShardEpoch is unset. Small epochs track load
+// closely but synchronize often; 64k cycles is a few dispatch rounds
+// on realistic workloads.
+const DefaultShardEpoch = 1 << 16
+
+// shard is one partition's event loop state.
+type shard struct {
+	f  *Fleet
+	id int
+	// devices are the global device indices this shard owns, ascending;
+	// slot inverts the mapping (global index -> local slot, -1 when the
+	// device belongs to another shard).
+	devices []int
+	slot    []int
+	// The classic loop's per-run state, one copy per shard. flightOf is
+	// indexed by local slot; the queue, heap and dispatcher are private.
+	flightOf []*inflight
+	queue    jobQueue
+	resolved flightHeap
+	idleDevs deviceHeap
+	disp     *dispatcher
+	col      *sampler
+	now      uint64
+	seq      int
+	// arr is the shard's routed arrival stream (global arrival order is
+	// preserved within a shard); the coordinator appends between epochs,
+	// while the shard goroutine is parked at the barrier.
+	arr     []*job
+	nextArr int
+	// res accumulates the shard's share of the accounting. DeviceBusy is
+	// global-sized so retire and evict index it by global device id.
+	res Result
+	err error
+}
+
+// newShards partitions the roster. Devices are dealt round-robin over
+// the placement order, so every shard gets an equal slice of each
+// speed tier and the fastest-idle-first dispatch rule keeps meaning
+// the same thing inside a shard as it did globally.
+func (f *Fleet) newShards() []*shard {
+	k := f.cfg.Shards
+	total := len(f.devType)
+	shards := make([]*shard, k)
+	for s := range shards {
+		shards[s] = &shard{
+			f:        f,
+			id:       s,
+			queue:    jobQueue{slo: f.cfg.SLO.Enabled},
+			resolved: flightHeap{live: flightResolved, less: completionLess},
+			idleDevs: deviceHeap{pos: f.orderPos},
+			disp:     f.newDispatcher(),
+		}
+	}
+	for i, d := range f.order {
+		s := shards[i%k]
+		s.devices = append(s.devices, d)
+	}
+	for _, s := range shards {
+		// Ascending global index keeps the sampler's local device columns
+		// (and the busy accounting) in global order within the shard.
+		sort.Ints(s.devices)
+		s.slot = make([]int, total)
+		for i := range s.slot {
+			s.slot[i] = -1
+		}
+		for i, d := range s.devices {
+			s.slot[d] = i
+		}
+		s.flightOf = make([]*inflight, len(s.devices))
+		for _, d := range s.devices {
+			s.idleDevs.push(d)
+		}
+		s.res.DeviceBusy = make([]uint64, total)
+		if f.cfg.SampleEvery > 0 {
+			s.col = newSampler(f.cfg.SampleEvery, len(s.devices))
+		}
+	}
+	return shards
+}
+
+// completionLess is the resolved-heap order (completion cycle, then
+// device), shared with the classic loop's heap.
+func completionLess(a, b *inflight) bool {
+	return a.complete < b.complete || (a.complete == b.complete && a.device < b.device)
+}
+
+// load is the shard's routing weight at an epoch barrier: jobs waiting
+// or assigned plus jobs in flight. Pure function of the shard's settled
+// state, so the router's least-loaded choice is deterministic.
+func (s *shard) load() int {
+	n := s.queue.Len() + (len(s.arr) - s.nextArr)
+	for _, fl := range s.flightOf {
+		if fl != nil {
+			n += len(fl.jobs)
+		}
+	}
+	return n
+}
+
+// runUntil advances the shard's event loop through every event strictly
+// before limit, then parks the clock at the barrier. It is the classic
+// loop specialized to the modeled engine: flights are born resolved, so
+// there is no worker pool, no speculation and no unresolved heap. With
+// limit = MaxUint64 it drains the shard completely.
+//
+//simlint:hotpath
+func (s *shard) runUntil(limit uint64) {
+	if s.err != nil {
+		return
+	}
+	f := s.f
+	const inf = math.MaxUint64
+	for {
+		// Admit arrivals due by now (priority order when SLO-aware).
+		for s.nextArr < len(s.arr) && s.arr[s.nextArr].arrival <= s.now {
+			s.queue.insert(s.arr[s.nextArr])
+			s.nextArr++
+		}
+		// Dispatch to idle devices while work is waiting, fastest first.
+		for s.queue.Len() > 0 {
+			d := s.idleDevs.pop()
+			if d < 0 {
+				break
+			}
+			t := f.devType[d]
+			fl := s.disp.newFlight()
+			members, usedILP := s.disp.formGroup(fl.jobs[:0], &s.queue, t, s.now)
+			fl.device = d
+			fl.typ = t
+			fl.dispatch = s.now
+			fl.seq = s.seq
+			fl.jobs = members
+			fl.ilp = usedILP
+			s.seq++
+			if err := s.disp.commitModeled(fl, s.now, 1, &s.resolved); err != nil {
+				s.err = err
+				return
+			}
+			s.flightOf[s.slot[d]] = fl
+		}
+		// Preemption, exactly as in the classic loop but over this
+		// shard's flights only (a latency job can only be rescued by a
+		// device its shard owns — the router decided its shard).
+		if f.cfg.SLO.Preempt && s.queue.Len() > 0 && s.queue.at(0).slo == Latency {
+			if victim := f.preemptVictim(s.queue.at(0), s.flightOf, s.now); victim != nil {
+				f.evict(victim, s.queue.at(0), s.now, &s.res)
+				if s.col != nil {
+					// The aborted attempt's device time is real busy time.
+					s.col.addBusy(s.slot[victim.device], victim.dispatch, s.now)
+				}
+				victim.state = flightEvicted
+				s.flightOf[s.slot[victim.device]] = nil
+				s.idleDevs.push(victim.device)
+				for _, j := range victim.jobs {
+					s.queue.insert(j)
+				}
+				continue
+			}
+		}
+		// Pick the provably-earliest next event; arrivals win ties.
+		tArr := uint64(inf)
+		if s.nextArr < len(s.arr) {
+			tArr = s.arr[s.nextArr].arrival
+		}
+		cBest := s.resolved.peek()
+		cTime := uint64(inf)
+		if cBest != nil {
+			cTime = cBest.complete
+		}
+		next := tArr
+		if cTime < next {
+			next = cTime
+		}
+		if next >= limit {
+			// Park at the barrier. Between the last processed event and
+			// the barrier the shard's state is constant, so sampler edges
+			// in that span emit identically on the next advance.
+			if limit != inf && s.now < limit {
+				s.now = limit
+			}
+			return
+		}
+		if tArr <= cTime {
+			if s.col != nil {
+				s.col.advanceTo(tArr, &s.queue, s.flightOf, &s.res)
+			}
+			s.now = tArr
+			continue
+		}
+		if s.col != nil {
+			s.col.advanceTo(cTime, &s.queue, s.flightOf, &s.res)
+		}
+		s.now = cTime
+		s.resolved.pop()
+		cBest.state = flightRetired
+		f.retire(cBest, &s.res)
+		if s.col != nil {
+			s.col.noteRetire(cBest)
+			s.col.addBusy(s.slot[cBest.device], cBest.dispatch, cBest.complete)
+		}
+		s.flightOf[s.slot[cBest.device]] = nil
+		s.idleDevs.push(cBest.device)
+		s.disp.recycle(cBest)
+	}
+}
+
+// runSharded is the coordinator: it routes arrivals epoch by epoch and
+// drives the shard goroutines between barriers. Shard goroutines only
+// run inside runAll calls and the coordinator only touches shard state
+// outside them, so the two sides never race; the WaitGroup barrier
+// also orders memory between coordinator and shards.
+func (f *Fleet) runSharded(jobs []*job) (Result, error) {
+	shards := f.newShards()
+	epoch := f.cfg.ShardEpoch
+	if epoch == 0 {
+		epoch = DefaultShardEpoch
+	}
+	const inf = math.MaxUint64
+	// Shards never touch each other's state, so between barriers they can
+	// run in any order — concurrently on a multicore host, or one after
+	// another when the runtime has a single CPU anyway (same bytes out,
+	// none of the goroutine/barrier overhead). Determinism never depends
+	// on which of the two executes.
+	sequential := runtime.GOMAXPROCS(0) == 1
+	runAll := func(limit uint64) error {
+		if sequential {
+			for _, s := range shards {
+				s.runUntil(limit)
+			}
+		} else {
+			var wg sync.WaitGroup
+			for _, s := range shards {
+				wg.Add(1)
+				go func(s *shard) {
+					defer wg.Done()
+					s.runUntil(limit)
+				}(s)
+			}
+			wg.Wait()
+		}
+		// First error by shard id, so a multi-shard failure reports
+		// deterministically.
+		for _, s := range shards {
+			if s.err != nil {
+				return s.err
+			}
+		}
+		return nil
+	}
+	loads := make([]int, len(shards))
+	t := uint64(0)
+	for next := 0; next < len(jobs); {
+		// Settle every shard at the start of the epoch holding the next
+		// unrouted arrival, then route that epoch's arrivals against the
+		// settled loads.
+		at := jobs[next].arrival
+		es := at - at%epoch
+		if es < t {
+			es = t
+		}
+		if es > t {
+			if err := runAll(es); err != nil {
+				return Result{}, err
+			}
+			t = es
+		}
+		ee := es + epoch
+		for i, s := range shards {
+			loads[i] = s.load()
+		}
+		for ; next < len(jobs) && jobs[next].arrival < ee; next++ {
+			best := 0
+			for i := 1; i < len(shards); i++ {
+				if loads[i] < loads[best] {
+					best = i
+				}
+			}
+			shards[best].arr = append(shards[best].arr, jobs[next])
+			loads[best]++
+		}
+		if err := runAll(ee); err != nil {
+			return Result{}, err
+		}
+		t = ee
+	}
+	if err := runAll(inf); err != nil {
+		return Result{}, err
+	}
+	return f.mergeShards(shards, jobs)
+}
+
+// mergeShards folds the drained shards into one Result, identical in
+// shape to the classic loop's.
+func (f *Fleet) mergeShards(shards []*shard, jobs []*job) (Result, error) {
+	devices := len(f.devType)
+	res := Result{
+		Policy:     f.cfg.Policy,
+		Engine:     f.cfg.Engine,
+		Roster:     f.cfg.RosterString(),
+		Devices:    devices,
+		NC:         f.cfg.NC,
+		Shards:     f.cfg.Shards,
+		DeviceBusy: make([]uint64, devices),
+	}
+	for d := range f.devType {
+		res.DeviceConfig = append(res.DeviceConfig, f.deviceName(d))
+	}
+	for _, s := range shards {
+		for d, busy := range s.res.DeviceBusy {
+			res.DeviceBusy[d] += busy
+		}
+		if s.res.Makespan > res.Makespan {
+			res.Makespan = s.res.Makespan
+		}
+		res.ThreadInstructions += s.res.ThreadInstructions
+		res.Groups += s.res.Groups
+		res.ILPGroups += s.res.ILPGroups
+		res.GreedyGroups += s.res.GreedyGroups
+		res.ModeledGroups += s.res.ModeledGroups
+		res.CycleGroups += s.res.CycleGroups
+		res.SMMoves += s.res.SMMoves
+		res.Evictions = append(res.Evictions, s.res.Evictions...)
+	}
+	// Within a shard eviction records are in event order, and one device
+	// evicts at most one flight per cycle, so (cycle, device) is a total
+	// order across shards.
+	sort.SliceStable(res.Evictions, func(i, j int) bool {
+		a, b := res.Evictions[i], res.Evictions[j]
+		if a.Cycle != b.Cycle {
+			return a.Cycle < b.Cycle
+		}
+		return a.Device < b.Device
+	})
+	if f.cfg.SampleEvery > 0 {
+		series, err := mergeShardSeries(f, shards, res.Makespan)
+		if err != nil {
+			return Result{}, err
+		}
+		res.Series = series
+	}
+	for _, j := range jobs {
+		t := f.devType[j.device]
+		res.Jobs = append(res.Jobs, JobRecord{
+			ID:        j.id,
+			Name:      j.name(),
+			Class:     j.apps[t].Class,
+			SLO:       j.slo,
+			Deadline:  j.deadline,
+			Arrival:   j.arrival,
+			Dispatch:  j.dispatch,
+			Complete:  j.complete,
+			Device:    j.device,
+			Evictions: j.evictions,
+		})
+	}
+	return res, nil
+}

@@ -15,8 +15,13 @@ import (
 // QueuedApp handed to the scheduler) depends on which hardware
 // generation runs it, so apps is indexed by device type.
 type job struct {
-	id       int
-	apps     []sched.QueuedApp
+	id   int
+	apps []sched.QueuedApp
+	// solo caches the per-type solo profile (resolve fills it once from
+	// the profiler's memo), so the hot loop's runtime estimates and the
+	// analytic engine never take the profiler's lock or build its
+	// string key per call.
+	solo     []soloProfile
 	arrival  uint64
 	dispatch uint64
 	complete uint64
@@ -30,6 +35,15 @@ type job struct {
 	// job was preempted.
 	progress  float64
 	evictions int
+}
+
+// soloProfile is one job's cached solo-run profile on one device type:
+// the calibrated cycles and retired thread instructions, and whether
+// the profiler had them at all (ok false = never calibrated).
+type soloProfile struct {
+	cycles uint64
+	instrs uint64
+	ok     bool
 }
 
 // name returns the application name (identical across device types).
@@ -126,8 +140,8 @@ var closedDone = func() chan struct{} {
 //     instruction covers a whole warp.)
 //   - solo profile: a member co-running on an SM partition with memory
 //     contention cannot finish faster than its solo run on the whole
-//     device of the same type. Calibration memoizes every universe
-//     member's solo profile per type, so Peek is free; half the solo
+//     device of the same type. resolve caches every job's solo profile
+//     per type up front, so the lookup is a slice index; half the solo
 //     duration leaves margin for simulator nonmonotonicities
 //     (partitioning shifts cache and DRAM row locality in both
 //     directions).
@@ -140,12 +154,11 @@ var closedDone = func() chan struct{} {
 // wall-clock concurrency comes from.
 func (f *Fleet) lowerBoundCycles(members []*job, t int) uint64 {
 	peak := f.types[t].Config().PeakIPC()
-	prof := f.types[t].Profiler()
 	bound := 1.0
 	for _, m := range members {
 		lb := float64(m.apps[t].Params.TotalInstrs()) / peak
-		if r, ok := prof.Peek(m.name(), 0); ok {
-			if solo := float64(r.Cycles) / 2; solo > lb {
+		if sp := m.solo[t]; sp.ok {
+			if solo := float64(sp.cycles) / 2; solo > lb {
 				lb = solo
 			}
 		}
@@ -176,6 +189,11 @@ func (f *Fleet) Run(arrivals []Arrival) (Result, error) {
 	jobs, err := f.resolve(arrivals)
 	if err != nil {
 		return Result{}, err
+	}
+	if f.cfg.Shards > 1 {
+		// The sharded path partitions the roster into independent event
+		// loops (shard.go); one shard is exactly the classic loop below.
+		return f.runSharded(jobs)
 	}
 
 	devices := len(f.devType)
@@ -215,16 +233,15 @@ func (f *Fleet) Run(arrivals []Arrival) (Result, error) {
 	var specWG sync.WaitGroup
 	defer specWG.Wait()
 	speculated := make(map[string]bool)
+	disp := f.newDispatcher()
 
 	const inf = math.MaxUint64
 	var (
 		// flightOf indexes the live flight by device (one per device);
 		// resolved/unresolved order them by completion and by earliest
 		// bound. Flights leave the heaps lazily via their state.
-		flightOf = make([]*inflight, devices)
-		resolved = flightHeap{live: flightResolved, less: func(a, b *inflight) bool {
-			return a.complete < b.complete || (a.complete == b.complete && a.device < b.device)
-		}}
+		flightOf   = make([]*inflight, devices)
+		resolved   = flightHeap{live: flightResolved, less: completionLess}
 		unresolved = flightHeap{live: flightPending, less: func(a, b *inflight) bool {
 			return a.earliest < b.earliest || (a.earliest == b.earliest && a.seq < b.seq)
 		}}
@@ -268,16 +285,15 @@ func (f *Fleet) Run(arrivals []Arrival) (Result, error) {
 				break
 			}
 			t := f.devType[d]
-			members, usedILP := f.formGroup(&queue, t, now)
+			fl := disp.newFlight()
+			members, usedILP := disp.formGroup(fl.jobs[:0], &queue, t, now)
 			idle[d] = false
-			fl := &inflight{
-				device:   d,
-				typ:      t,
-				dispatch: now,
-				seq:      seq,
-				jobs:     members,
-				ilp:      usedILP,
-			}
+			fl.device = d
+			fl.typ = t
+			fl.dispatch = now
+			fl.seq = seq
+			fl.jobs = members
+			fl.ilp = usedILP
 			seq++
 			useModel, calib := f.cfg.Engine == Modeled, 1.0
 			if f.cfg.Engine == Hybrid {
@@ -295,18 +311,12 @@ func (f *Fleet) Run(arrivals []Arrival) (Result, error) {
 				}
 			}
 			if useModel {
-				// Born resolved: the model is the completion.
-				fl.rep, err = f.modelReport(members, t, calib)
-				if err != nil {
+				// Born resolved: the model is the completion; commitModeled
+				// batches the whole group into one heap event.
+				if err := disp.commitModeled(fl, now, calib, &resolved); err != nil {
 					f.drain(flightOf)
 					return Result{}, err
 				}
-				fl.modeled = true
-				fl.done = closedDone
-				fl.state = flightResolved
-				fl.complete = now + f.flightCycles(fl)
-				fl.earliest = fl.complete
-				resolved.push(fl)
 			} else {
 				fl.done = make(chan struct{})
 				fl.earliest = now + f.lowerBoundCycles(members, t)
@@ -403,6 +413,12 @@ func (f *Fleet) Run(arrivals []Arrival) (Result, error) {
 			flightOf[cBest.device] = nil
 			idle[cBest.device] = true
 			idleDevs.push(cBest.device)
+			if cBest.modeled {
+				// A retired modeled flight has left every heap (it was only
+				// ever in resolved, and pop removed it), so its record and
+				// buffers can serve the next dispatch.
+				disp.recycle(cBest)
+			}
 		case uBest != nil:
 			// The unresolved group with the earliest possible completion
 			// might be the next event; block until its worker reports.
@@ -415,7 +431,7 @@ func (f *Fleet) Run(arrivals []Arrival) (Result, error) {
 			// already done (or in flight — the scheduler dedups identical
 			// executions).
 			if runtime.NumCPU() > 1 || f.cfg.forceSpec {
-				f.speculate(queue.view(), idle, now, sem, &specWG, speculated)
+				f.speculate(disp, queue.view(), idle, now, sem, &specWG, speculated)
 			}
 			<-uBest.done
 			if uBest.err != nil {
@@ -631,8 +647,8 @@ func (f *Fleet) evict(fl *inflight, trigger *job, now uint64, res *Result) {
 	for _, j := range fl.jobs {
 		before := j.progress
 		var solo float64
-		if r, ok := f.types[fl.typ].Profiler().Peek(j.name(), 0); ok {
-			solo = float64(r.Cycles)
+		if sp := j.solo[fl.typ]; sp.ok {
+			solo = float64(sp.cycles)
 		}
 		if solo > 0 {
 			// A re-dispatched attempt spends its first min(RestartFrac,
@@ -717,14 +733,14 @@ func (f *Fleet) predictedFree(fl *inflight) uint64 {
 
 // soloCycles estimates how long job j would run alone on device type t,
 // scaled to its checkpointed remainder. It is the dispatcher's cheapest
-// (and fastest-possible) runtime estimate — calibration profiled every
-// universe member solo, so the Peek is a memo hit.
+// (and fastest-possible) runtime estimate — resolve cached every job's
+// solo profile per type, so this is a slice index.
 func (f *Fleet) soloCycles(j *job, t int) (uint64, bool) {
-	r, ok := f.types[t].Profiler().Peek(j.name(), 0)
-	if !ok {
+	sp := j.solo[t]
+	if !sp.ok {
 		return 0, false
 	}
-	c := uint64(math.Ceil(float64(r.Cycles) * j.remainingFrac(f.cfg.SLO)))
+	c := uint64(math.Ceil(float64(sp.cycles) * j.remainingFrac(f.cfg.SLO)))
 	if c < 1 {
 		c = 1
 	}
@@ -766,11 +782,12 @@ func (f *Fleet) flightCycles(fl *inflight) uint64 {
 // are pure). A wrong guess — arrivals landing in the window before the
 // device actually frees, or busy devices freeing in a different order —
 // costs one wasted simulation, never correctness.
-func (f *Fleet) speculate(queue []*job, idle []bool, now uint64, sem chan struct{}, wg *sync.WaitGroup, seen map[string]bool) {
+func (f *Fleet) speculate(disp *dispatcher, queue []*job, idle []bool, now uint64, sem chan struct{}, wg *sync.WaitGroup, seen map[string]bool) {
 	if len(queue) == 0 {
 		return
 	}
-	// formGroup filters the queue in place, so work on a copy. Busy
+	// formGroup filters the queue in place, so work on a copy (the copy
+	// owns its buffer, so compaction cannot touch the real queue). Busy
 	// devices are predicted in placement order — the same order real
 	// dispatch would offer them work if they all freed at once. With
 	// aging on the prediction also guesses the dispatch time (now); a
@@ -781,7 +798,7 @@ func (f *Fleet) speculate(queue []*job, idle []bool, now uint64, sem chan struct
 			continue
 		}
 		t := f.devType[d]
-		members, _ := f.formGroup(&spec, t, now)
+		members, _ := disp.formGroup(nil, &spec, t, now)
 		sig := fmt.Sprintf("t%d:", t)
 		for _, m := range members {
 			sig += m.name() + "|"
@@ -809,35 +826,66 @@ func (f *Fleet) speculate(queue []*job, idle []bool, now uint64, sem chan struct
 // classify differently across hardware generations, so every job
 // carries one QueuedApp per type.
 func (f *Fleet) resolve(arrivals []Arrival) ([]*job, error) {
-	names := make([]string, len(arrivals))
-	for i, a := range arrivals {
-		names[i] = a.Name
+	// Arrival streams repeat a small application universe, so the
+	// per-type pipeline work (Queue's workload lookup, the profiler's
+	// locked solo-profile table) is done once per distinct name and
+	// fanned out to the jobs — resolve cost scales with the universe,
+	// not the job count.
+	distinct := make([]string, 0, 16)
+	nameIdx := make(map[string]int)
+	for _, a := range arrivals {
+		if _, ok := nameIdx[a.Name]; !ok {
+			nameIdx[a.Name] = len(distinct)
+			distinct = append(distinct, a.Name)
+		}
 	}
 	perType := make([][]sched.QueuedApp, len(f.types))
+	soloByType := make([][]soloProfile, len(f.types))
 	for t, pipe := range f.types {
-		queued, err := pipe.Queue(names)
+		queued, err := pipe.Queue(distinct)
 		if err != nil {
 			return nil, err
 		}
 		perType[t] = queued
+		solos := make([]soloProfile, len(distinct))
+		for d, name := range distinct {
+			if r, ok := pipe.Profiler().Peek(name, 0); ok {
+				solos[d] = soloProfile{cycles: r.Cycles, instrs: r.ThreadInstructions, ok: true}
+			}
+		}
+		soloByType[t] = solos
 	}
+	// Jobs are arena-allocated: one backing array for the records, one
+	// for the per-type QueuedApps and one for the per-type solo cache —
+	// three allocations for the whole run instead of three per job.
+	nt := len(f.types)
+	arena := make([]job, len(arrivals))
+	appsArena := make([]sched.QueuedApp, len(arrivals)*nt)
+	soloArena := make([]soloProfile, len(arrivals)*nt)
 	jobs := make([]*job, len(arrivals))
 	for i := range arrivals {
 		if i > 0 && arrivals[i].Cycle < arrivals[i-1].Cycle {
 			return nil, fmt.Errorf("fleet: arrivals not in cycle order (job %d at %d after %d)",
 				i, arrivals[i].Cycle, arrivals[i-1].Cycle)
 		}
-		apps := make([]sched.QueuedApp, len(f.types))
+		j := &arena[i]
+		j.id = i
+		j.apps = appsArena[i*nt : (i+1)*nt : (i+1)*nt]
+		j.solo = soloArena[i*nt : (i+1)*nt : (i+1)*nt]
+		d := nameIdx[arrivals[i].Name]
 		for t := range f.types {
-			apps[t] = perType[t][i]
+			qa := perType[t][d]
+			// Queue defines Arrival as the queue position; restore the
+			// job's own so within-group FCFS ordering is exactly what a
+			// per-job Queue call would have produced.
+			qa.Arrival = i
+			j.apps[t] = qa
+			j.solo[t] = soloByType[t][d]
 		}
-		jobs[i] = &job{
-			id:       i,
-			apps:     apps,
-			arrival:  arrivals[i].Cycle,
-			slo:      arrivals[i].SLO,
-			deadline: arrivals[i].Deadline,
-		}
+		j.arrival = arrivals[i].Cycle
+		j.slo = arrivals[i].SLO
+		j.deadline = arrivals[i].Deadline
+		jobs[i] = j
 	}
 	return jobs, nil
 }

@@ -189,6 +189,50 @@ func (s *sampler) emit(edge uint64, q *jobQueue, flightOf []*inflight, res *Resu
 	s.lastEdge = edge
 }
 
+// mergeShardSeries folds the per-shard samplers into one fleet-wide
+// series, row by row in interval order. Every shard samples the same
+// edge grid (same interval, clocks start at 0) and is finished against
+// the global makespan, so row r means the same cycle everywhere: the
+// fixed columns — all either gauges of disjoint state or cumulative
+// counters of disjoint events — sum across shards, and each shard's
+// local device columns land at their global indices. The result is
+// byte-identical to what a single sampler over the same merged event
+// stream would have produced.
+func mergeShardSeries(f *Fleet, shards []*shard, makespan uint64) (*obs.Series, error) {
+	devices := len(f.devType)
+	merged := newSampler(f.cfg.SampleEvery, devices)
+	parts := make([]*obs.Series, len(shards))
+	for i, s := range shards {
+		parts[i] = s.col.finish(makespan, &s.queue, s.flightOf, &s.res)
+	}
+	rows := parts[0].Rows()
+	for _, p := range parts[1:] {
+		if p.Rows() != rows {
+			return nil, fmt.Errorf("fleet: shard series diverge (%d rows vs %d)", p.Rows(), rows)
+		}
+	}
+	row := merged.scratch
+	for r := 0; r < rows; r++ {
+		for c := range row {
+			row[c] = 0
+		}
+		row[colCycle] = parts[0].At(r, colCycle)
+		for i, p := range parts {
+			for c := colQueue; c < numFixedCols; c++ {
+				row[c] += p.At(r, c)
+			}
+			s := shards[i]
+			nd := len(s.devices)
+			for local, d := range s.devices {
+				row[numFixedCols+d] = p.At(r, numFixedCols+local)
+				row[numFixedCols+devices+d] = p.At(r, numFixedCols+nd+local)
+			}
+		}
+		merged.series.Append(row)
+	}
+	return merged.series, nil
+}
+
 // finish emits the remaining boundaries up to the makespan with the
 // final state, appends a partial row at the makespan itself when it is
 // not on a boundary, merges the per-interval busy accounting into the

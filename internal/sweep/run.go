@@ -135,6 +135,7 @@ func (r Runner) runCell(g Grid, c Cell, roster []fleet.DeviceSpec, arrivals []fl
 		SLO:        c.SLO,
 		Engine:     c.Engine,
 		HybridWarm: g.HybridWarm,
+		Shards:     c.Shards,
 	})
 	if err != nil {
 		return nil, err

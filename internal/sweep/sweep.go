@@ -16,6 +16,7 @@ package sweep
 
 import (
 	"fmt"
+	"strconv"
 	"strings"
 
 	"repro/internal/fleet"
@@ -35,6 +36,13 @@ type Grid struct {
 	Rosters  []string `json:"rosters"`
 	Arrivals []string `json:"arrivals"`
 	SLOs     []string `json:"slos"`
+	// Shards is the event-loop shard axis (-shards); it only applies to
+	// modeled-engine cells. Each count is deterministic (repeat sweeps
+	// are byte-identical), and counts above 1 split the backlog K ways,
+	// so the axis exposes both the wall-time win and the K-way
+	// partition's scheduling cost. Empty defaults to the single
+	// classic loop.
+	Shards []int `json:"shards"`
 	// NC, Jobs, Rate, LatencyFrac, Deadline, Aging and HybridWarm are
 	// shared by every cell (zero picks the cmd/fleet defaults: NC 2,
 	// 32 jobs, rate 0.5/kcycle).
@@ -63,6 +71,9 @@ func (g Grid) withDefaults() Grid {
 	g.Rosters = def(g.Rosters, "4xGTX480")
 	g.Arrivals = def(g.Arrivals, "poisson")
 	g.SLOs = def(g.SLOs, "off")
+	if len(g.Shards) == 0 {
+		g.Shards = []int{1}
+	}
 	if g.NC == 0 {
 		g.NC = 2
 	}
@@ -86,12 +97,13 @@ type Cell struct {
 	Arrival fleet.ArrivalKind
 	SLOName string
 	SLO     fleet.SLOConfig
+	Shards  int
 }
 
 // ParamColumns names Cell.Params' entries, in order — the artifact's
 // leading columns, and how Delta identifies the same cell across two
 // artifacts.
-var ParamColumns = []string{"policy", "engine", "roster", "arrivals", "slo"}
+var ParamColumns = []string{"policy", "engine", "roster", "arrivals", "slo", "shards"}
 
 // Params is the cell's identity as column values, in ParamColumns
 // order. Policies use the CLI spelling (fcfs, ilp-smra) rather than the
@@ -99,7 +111,7 @@ var ParamColumns = []string{"policy", "engine", "roster", "arrivals", "slo"}
 // feed straight back into a grid — and two artifacts key the same cell
 // identically even when their grids used different aliases.
 func (c Cell) Params() []string {
-	return []string{policyName(c.Policy), c.Engine.String(), c.Roster, c.Arrival.String(), c.SLOName}
+	return []string{policyName(c.Policy), c.Engine.String(), c.Roster, c.Arrival.String(), c.SLOName, strconv.Itoa(c.Shards)}
 }
 
 // policyName is the canonical CLI spelling of a policy (Policy.String
@@ -124,7 +136,7 @@ func policyName(p sched.Policy) string {
 // Expand resolves the grid into its cells, validating every axis entry
 // up front (a typo fails the whole sweep before any cell runs). The
 // order is fixed — roster, then arrivals, then policy, then engine,
-// then SLO mode — so the artifact's rows are reproducible.
+// then SLO mode, then shards — so the artifact's rows are reproducible.
 func (g Grid) Expand() ([]Cell, error) {
 	g = g.withDefaults()
 	policies := make([]sched.Policy, len(g.Policies))
@@ -167,23 +179,38 @@ func (g Grid) Expand() ([]Cell, error) {
 			return nil, fmt.Errorf("sweep: empty roster entry")
 		}
 	}
+	for _, s := range g.Shards {
+		if s < 1 {
+			return nil, fmt.Errorf("sweep: shard count %d must be at least 1", s)
+		}
+		if s > 1 {
+			for _, e := range engines {
+				if e != fleet.Modeled {
+					return nil, fmt.Errorf("sweep: shards > 1 only applies to the modeled engine (grid includes %v)", e)
+				}
+			}
+		}
+	}
 	var cells []Cell
 	for _, roster := range g.Rosters {
 		for _, arr := range arrivals {
 			for _, pol := range policies {
 				for _, eng := range engines {
 					for si, slo := range slos {
-						cells = append(cells, Cell{
-							Policy:  pol,
-							Engine:  eng,
-							Roster:  roster,
-							Arrival: arr,
-							// Normalized spelling, so two artifacts key the
-							// same cell identically whatever case the grid
-							// used.
-							SLOName: strings.ToLower(g.SLOs[si]),
-							SLO:     slo,
-						})
+						for _, sh := range g.Shards {
+							cells = append(cells, Cell{
+								Policy:  pol,
+								Engine:  eng,
+								Roster:  roster,
+								Arrival: arr,
+								// Normalized spelling, so two artifacts key the
+								// same cell identically whatever case the grid
+								// used.
+								SLOName: strings.ToLower(g.SLOs[si]),
+								SLO:     slo,
+								Shards:  sh,
+							})
+						}
 					}
 				}
 			}
