@@ -70,7 +70,6 @@ import (
 	"os"
 	"runtime"
 	"runtime/pprof"
-	"strconv"
 	"strings"
 	"time"
 
@@ -84,7 +83,7 @@ func main() {
 	devices := flag.Int("devices", 4, "number of simulated GPUs (homogeneous GTX480; ignored with -fleet)")
 	rosterFlag := flag.String("fleet", "", "heterogeneous roster as COUNTxCONFIG,... (e.g. \"2xGTX480,2xSmall-8SM\")")
 	apps := flag.Int("apps", 200, "number of arriving jobs (poisson/bursty)")
-	arrivalsFlag := flag.String("arrivals", "poisson", "arrival process: poisson | bursty | trace")
+	arrivalsFlag := flag.String("arrivals", "poisson", "arrival process: poisson | bursty | trace | closed")
 	rate := flag.Float64("rate", 0.5, "mean arrival rate in jobs per 1000 cycles")
 	burstRate := flag.Float64("burst-rate", 0, "bursty ON-phase rate in jobs per 1000 cycles (0 = 4x -rate)")
 	meanOn := flag.Float64("mean-on", 0, "bursty mean ON-phase length in cycles (0 = default)")
@@ -103,6 +102,19 @@ func main() {
 	engineFlag := flag.String("engine", "cycle", "completion engine: cycle | modeled | hybrid")
 	hybridWarm := flag.Int("hybrid-warm", 0, "cycle-accurate runs per group composition before the hybrid engine trusts the model (0 = default)")
 	shards := flag.Int("shards", 0, "parallel event-loop shards for -engine modeled (0/1 = single loop; same seed and count reproduce the same bytes)")
+	closedFlag := flag.Bool("closed", false, "closed-loop clients replace the arrival stream (equivalent to -arrivals closed)")
+	clients := flag.Int("clients", 8, "closed-loop client pools, each with one request outstanding (with -closed)")
+	requests := flag.Int("requests", 0, "requests per client (0 = default, with -closed)")
+	think := flag.Float64("think", 0, "mean client think time in cycles between requests (with -closed)")
+	timeoutFlag := flag.Uint64("timeout", 0, "per-request patience in cycles; a submission queued longer is abandoned (0 = never, with -closed)")
+	retries := flag.Int("retries", 0, "resubmissions allowed after a rejection or abandonment (with -closed)")
+	backoffFlag := flag.Uint64("backoff", 0, "base retry backoff in cycles, doubling per attempt (0 = default, with -closed)")
+	admission := flag.Uint64("admission", 0, "admission bound: refuse submissions whose predicted wait exceeds this many cycles (0 = off)")
+	admissionDegrade := flag.Bool("admission-degrade", false, "degrade over-bound latency submissions to batch instead of rejecting them (with -admission)")
+	autoscaleFlag := flag.String("autoscale", "", "elastic roster bounds as MIN:MAX active devices (empty = off)")
+	scaleHigh := flag.Float64("scale-high", 0, "scale-up queue-pressure watermark in waiting jobs per active device (0 = default, with -autoscale)")
+	scaleLow := flag.Float64("scale-low", 0, "scale-down watermark (0 = default, with -autoscale)")
+	provisionDelay := flag.Uint64("provision-delay", 0, "cycles between a scale-up decision and the device accepting work (0 = default, with -autoscale)")
 	timeseries := flag.String("timeseries", "", "write the per-interval time series to this file (CSV, or JSON with a .json extension)")
 	sampleInterval := flag.Uint64("sample-interval", 100_000, "time-series sampling interval in cycles (with -timeseries)")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile of the run to this file")
@@ -168,6 +180,41 @@ func main() {
 	if set["devices"] && *rosterFlag != "" {
 		fail("fleet: -devices is ignored with -fleet; size the roster instead (e.g. \"4xGTX480\")")
 	}
+	// Closed-loop traffic can be asked for by flag or by arrival kind;
+	// either way the clients pace themselves, so the open-stream shape
+	// flags are rejected rather than silently ignored (and vice versa).
+	closed := *closedFlag || kind == fleet.ClosedLoop
+	if set["closed"] && set["arrivals"] && kind != fleet.ClosedLoop {
+		failf("fleet: -closed conflicts with -arrivals %v; closed-loop runs generate their own traffic", kind)
+	}
+	if closed {
+		kind = fleet.ClosedLoop
+		for _, name := range []string{"rate", "apps", "trace", "burst-rate", "mean-on", "mean-off"} {
+			if set[name] {
+				failf("fleet: -%s has no effect with closed-loop traffic; -clients and -think shape the load", name)
+			}
+		}
+	} else {
+		for _, name := range []string{"clients", "requests", "think", "timeout", "retries", "backoff"} {
+			if set[name] {
+				failf("fleet: -%s only applies to closed-loop traffic (-closed)", name)
+			}
+		}
+	}
+	if set["admission-degrade"] && *admission == 0 {
+		fail("fleet: -admission-degrade needs -admission to set the bound")
+	}
+	autoscale, err := fleet.ParseAutoscale(*autoscaleFlag)
+	if err != nil {
+		fail(err)
+	}
+	if !autoscale.Enabled {
+		for _, name := range []string{"scale-high", "scale-low", "provision-delay"} {
+			if set[name] {
+				failf("fleet: -%s needs -autoscale to enable the elastic roster", name)
+			}
+		}
+	}
 	if kind != fleet.Bursty {
 		for _, name := range []string{"burst-rate", "mean-on", "mean-off"} {
 			if set[name] {
@@ -223,13 +270,25 @@ func main() {
 		fail("fleet: -deadline needs -latency-frac to generate latency jobs")
 	}
 	acfg := fleet.ArrivalConfig{Kind: kind, Seed: *seed}
-	if kind == fleet.Trace {
+	var arrivals []fleet.Arrival
+	switch kind {
+	case fleet.ClosedLoop:
+		// Closed-loop runs generate their own submissions inside Run;
+		// there is no arrival stream to materialize.
+	case fleet.Trace:
+		if *traceFlag == "" {
+			fail("fleet: -arrivals trace needs -trace NAME@CYCLE[!DEADLINE],...")
+		}
 		// Jobs/Rate stay zero: a trace stands on its own.
-		acfg.Trace, err = parseTrace(*traceFlag)
+		acfg.Trace, err = fleet.ParseTrace(*traceFlag)
 		if err != nil {
 			fail(err)
 		}
-	} else {
+		arrivals, err = acfg.Generate(workloads.Names)
+		if err != nil {
+			fail(err)
+		}
+	default:
 		acfg.Jobs = *apps
 		acfg.Rate = *rate
 		acfg.BurstRate = *burstRate
@@ -237,10 +296,10 @@ func main() {
 		acfg.MeanOff = *meanOff
 		acfg.LatencyFrac = *latencyFrac
 		acfg.Deadline = *deadline
-	}
-	arrivals, err := acfg.Generate(workloads.Names)
-	if err != nil {
-		fail(err)
+		arrivals, err = acfg.Generate(workloads.Names)
+		if err != nil {
+			fail(err)
+		}
 	}
 
 	spec := *rosterFlag
@@ -274,6 +333,24 @@ func main() {
 	if *timeseries != "" {
 		cfg.SampleEvery = *sampleInterval
 	}
+	if closed {
+		cfg.Closed = fleet.ClosedConfig{
+			Enabled: true, Clients: *clients, Requests: *requests,
+			Think: *think, Timeout: *timeoutFlag,
+			Retries: *retries, Backoff: *backoffFlag,
+			LatencyFrac: *latencyFrac, Deadline: *deadline,
+			Seed: *seed, Universe: workloads.Names,
+		}
+	}
+	if *admission > 0 {
+		cfg.Admission = fleet.AdmissionConfig{Enabled: true, MaxWait: *admission, Degrade: *admissionDegrade}
+	}
+	if autoscale.Enabled {
+		autoscale.High = *scaleHigh
+		autoscale.Low = *scaleLow
+		autoscale.Delay = *provisionDelay
+		cfg.Autoscale = autoscale
+	}
 	f, err := fleet.New(cfg)
 	if err != nil {
 		fail(err)
@@ -285,6 +362,11 @@ func main() {
 	}
 	log.Printf("fleet run finished in %v wall-clock", time.Since(runStart).Round(time.Millisecond))
 	switch kind {
+	case fleet.ClosedLoop:
+		// Echo the resolved closed-loop parameters (defaults filled in).
+		rc := f.Config().Closed
+		fmt.Printf("arrivals: closed clients=%d requests=%d think=%.0f timeout=%d retries=%d backoff=%d seed=%d\n",
+			rc.Clients, rc.Requests, rc.Think, rc.Timeout, rc.Retries, rc.Backoff, rc.Seed)
 	case fleet.Trace:
 		fmt.Printf("arrivals: %v (%d entries)\n", kind, len(acfg.Trace))
 	case fleet.Bursty:
@@ -294,11 +376,25 @@ func main() {
 	default:
 		fmt.Printf("arrivals: %v rate=%.2f/kcycle seed=%d\n", kind, *rate, *seed)
 	}
+	if ac := f.Config().Admission; ac.Enabled {
+		mode := "reject"
+		if ac.Degrade {
+			mode = "degrade"
+		}
+		fmt.Printf("admission: mode=%s max-wait=%d\n", mode, ac.MaxWait)
+	}
+	if as := f.Config().Autoscale; as.Enabled {
+		fmt.Printf("autoscale: min=%d max=%d high=%g low=%g delay=%d epoch=%d\n",
+			as.Min, as.Max, as.High, as.Low, as.Delay, as.Epoch)
+	}
 	// The SLO header echoes the generation parameters actually used;
 	// trace runs carry per-entry deadlines, so only the mode applies.
 	switch {
 	case kind == fleet.Trace && slo.Enabled:
 		fmt.Printf("slo: mode=%s aging=%g (per-entry deadlines)\n", strings.ToLower(*sloFlag), *aging)
+	case kind == fleet.ClosedLoop && (slo.Enabled || *latencyFrac > 0):
+		fmt.Printf("slo: mode=%s latency-frac=%.2f deadline=%d aging=%g\n",
+			strings.ToLower(*sloFlag), *latencyFrac, f.Config().Closed.Deadline, *aging)
 	case slo.Enabled || *latencyFrac > 0:
 		fmt.Printf("slo: mode=%s latency-frac=%.2f deadline=%d aging=%g\n",
 			strings.ToLower(*sloFlag), *latencyFrac, acfg.Resolved().Deadline, *aging)
@@ -346,37 +442,4 @@ func main() {
 		log.Printf("wrote %d-sample time series to %s", res.Series.Rows(), *timeseries)
 	}
 	writeHeap()
-}
-
-// parseTrace parses "BLK@0,HS@1000" into arrivals. A "!DEADLINE"
-// suffix marks a latency-class entry with that relative deadline:
-// "BLK@0!2000000,HS@1000" is a latency BLK due 2M cycles after arrival
-// followed by a batch HS.
-func parseTrace(s string) ([]fleet.Arrival, error) {
-	if s == "" {
-		return nil, fmt.Errorf("fleet: -arrivals trace needs -trace NAME@CYCLE[!DEADLINE],...")
-	}
-	var out []fleet.Arrival
-	for _, entry := range strings.Split(s, ",") {
-		name, rest, ok := strings.Cut(strings.TrimSpace(entry), "@")
-		if !ok {
-			return nil, fmt.Errorf("fleet: trace entry %q is not NAME@CYCLE[!DEADLINE]", entry)
-		}
-		a := fleet.Arrival{Name: name}
-		cycleStr, deadlineStr, latency := strings.Cut(rest, "!")
-		cycle, err := strconv.ParseUint(cycleStr, 10, 64)
-		if err != nil {
-			return nil, fmt.Errorf("fleet: trace entry %q: %v", entry, err)
-		}
-		a.Cycle = cycle
-		if latency {
-			a.SLO = fleet.Latency
-			a.Deadline, err = strconv.ParseUint(deadlineStr, 10, 64)
-			if err != nil {
-				return nil, fmt.Errorf("fleet: trace entry %q deadline: %v", entry, err)
-			}
-		}
-		out = append(out, a)
-	}
-	return out, nil
 }

@@ -50,6 +50,8 @@ func main() {
 	rosters := flag.String("rosters", "", "semicolon-separated rosters, each COUNTxCONFIG,... (default 4xGTX480)")
 	arrivals := flag.String("arrivals", "", "comma-separated arrival processes: poisson, bursty (default poisson)")
 	slos := flag.String("slo", "", "comma-separated SLO modes: off, priority, preempt (default off)")
+	admissions := flag.String("admissions", "", "comma-separated admission modes: off, reject:MAXWAIT, degrade:MAXWAIT (default off)")
+	autoscales := flag.String("autoscales", "", "comma-separated elastic-roster bounds: off or MIN:MAX (default off)")
 	shards := flag.String("shards", "", "comma-separated event-loop shard counts for the modeled engine (default 1)")
 	nc := flag.Int("nc", 0, "co-run group size per device (0 = default 2)")
 	jobs := flag.Int("jobs", 0, "arriving jobs per cell (0 = default 32)")
@@ -103,6 +105,8 @@ func main() {
 	axis(&g.Rosters, *rosters, ";")
 	axis(&g.Arrivals, *arrivals, ",")
 	axis(&g.SLOs, *slos, ",")
+	axis(&g.Admissions, *admissions, ",")
+	axis(&g.Autoscales, *autoscales, ",")
 	if *shards != "" {
 		g.Shards = g.Shards[:0]
 		for _, v := range strings.Split(*shards, ",") {
@@ -181,12 +185,12 @@ func runDelta(basePath, curPath string) error {
 	load := func(path string) (*sweep.Artifact, error) {
 		f, err := os.Open(path)
 		if err != nil {
-			return nil, err
+			return nil, fmt.Errorf("sweep: cannot read artifact %s: %w (run sweep -out %s first?)", path, err, path)
 		}
 		defer f.Close()
 		a, err := sweep.Load(f)
 		if err != nil {
-			return nil, fmt.Errorf("%s: %w", path, err)
+			return nil, fmt.Errorf("sweep: artifact %s does not parse as a sweep CSV or JSON artifact: %w", path, err)
 		}
 		return a, nil
 	}

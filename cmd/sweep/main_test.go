@@ -1,0 +1,107 @@
+package main
+
+import (
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/sweep"
+)
+
+// writeArtifact persists a small artifact for the delta tests.
+func writeArtifact(t *testing.T, path string, throughput float64) {
+	t.Helper()
+	a := &sweep.Artifact{
+		Params:  []string{"policy"},
+		Metrics: []string{"throughput"},
+		Cells: []sweep.CellResult{
+			{Params: []string{"fcfs"}, Values: []float64{throughput}},
+		},
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	if err := a.WriteCSV(f); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunDeltaMissingArtifact(t *testing.T) {
+	dir := t.TempDir()
+	present := filepath.Join(dir, "base.csv")
+	writeArtifact(t, present, 1.0)
+	missing := filepath.Join(dir, "nope.csv")
+	for _, tc := range []struct{ base, cur string }{
+		{missing, present},
+		{present, missing},
+	} {
+		err := runDelta(tc.base, tc.cur)
+		if err == nil {
+			t.Fatalf("runDelta(%s, %s) succeeded with a missing artifact", tc.base, tc.cur)
+		}
+		if !strings.Contains(err.Error(), missing) || !strings.Contains(err.Error(), "cannot read artifact") {
+			t.Errorf("runDelta(%s, %s) error does not name the missing artifact: %v", tc.base, tc.cur, err)
+		}
+	}
+}
+
+func TestRunDeltaUnparsableArtifact(t *testing.T) {
+	dir := t.TempDir()
+	base := filepath.Join(dir, "base.csv")
+	writeArtifact(t, base, 1.0)
+	garbage := filepath.Join(dir, "garbage.csv")
+	if err := os.WriteFile(garbage, []byte("this is not an artifact\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	err := runDelta(base, garbage)
+	if err == nil {
+		t.Fatal("runDelta accepted an unparsable artifact")
+	}
+	if !strings.Contains(err.Error(), garbage) || !strings.Contains(err.Error(), "does not parse") {
+		t.Errorf("runDelta error does not name the unparsable artifact: %v", err)
+	}
+}
+
+func TestRunDeltaValidArtifacts(t *testing.T) {
+	dir := t.TempDir()
+	base := filepath.Join(dir, "base.csv")
+	cur := filepath.Join(dir, "cur.csv")
+	writeArtifact(t, base, 1.0)
+	writeArtifact(t, cur, 1.25)
+	if err := runDelta(base, cur); err != nil {
+		t.Fatalf("runDelta on two valid artifacts: %v", err)
+	}
+}
+
+// TestDeltaMissingArtifactExitCode re-executes the test binary as the
+// sweep CLI (main runs in the child) and requires the documented
+// contract: a missing -delta artifact is a clear error on stderr and
+// exit status 1, not a stack trace or a silent success.
+func TestDeltaMissingArtifactExitCode(t *testing.T) {
+	if os.Getenv("SWEEP_DELTA_CHILD") == "1" {
+		os.Args = []string{"sweep", "-delta", "definitely-missing-base.csv", "definitely-missing-cur.csv"}
+		main()
+		return
+	}
+	exe, err := os.Executable()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cmd := exec.Command(exe, "-test.run=TestDeltaMissingArtifactExitCode")
+	cmd.Env = append(os.Environ(), "SWEEP_DELTA_CHILD=1")
+	out, err := cmd.CombinedOutput()
+	ee, ok := err.(*exec.ExitError)
+	if !ok {
+		t.Fatalf("child did not exit with an error (err %v):\n%s", err, out)
+	}
+	if code := ee.ExitCode(); code != 1 {
+		t.Fatalf("exit code %d, want 1:\n%s", code, out)
+	}
+	if !strings.Contains(string(out), "definitely-missing-base.csv") {
+		t.Fatalf("stderr does not name the missing artifact:\n%s", out)
+	}
+}

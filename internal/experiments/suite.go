@@ -145,6 +145,8 @@ func (s *Suite) gens() []gen {
 		{"FleetHetero", s.FleetHetero},
 		{"FleetSLO", s.FleetSLO},
 		{"FleetScale", s.FleetScale},
+		{"FleetAdmission", s.FleetAdmission},
+		{"FleetElastic", s.FleetElastic},
 		{"FleetSweep", s.FleetSweep},
 	}
 }

@@ -17,15 +17,17 @@ func (r Result) WriteJobsCSV(w io.Writer) error {
 	header := []string{
 		"id", "name", "class", "slo", "arrival", "dispatch", "complete",
 		"wait", "turnaround", "device", "deadline", "slack", "missed", "evictions",
+		"outcome", "attempts",
 	}
 	if err := cw.Write(header); err != nil {
 		return fmt.Errorf("fleet: write csv header: %w", err)
 	}
 	for _, j := range r.Jobs {
-		// Slack is meaningful for latency jobs only; batch rows leave the
-		// column empty rather than printing a deadline-less negative.
+		// Slack is meaningful for completed latency jobs only; other rows
+		// leave the column empty rather than printing a deadline-less (or
+		// completion-less) negative.
 		slack := ""
-		if j.SLO == Latency {
+		if j.SLO == Latency && j.Outcome == Done {
 			slack = strconv.FormatInt(j.Slack(), 10)
 		}
 		rec := []string{
@@ -43,6 +45,8 @@ func (r Result) WriteJobsCSV(w io.Writer) error {
 			slack,
 			strconv.FormatBool(j.Missed()),
 			strconv.Itoa(j.Evictions),
+			j.Outcome.String(),
+			strconv.Itoa(j.Attempts),
 		}
 		if err := cw.Write(rec); err != nil {
 			return fmt.Errorf("fleet: write csv row %d: %w", j.ID, err)

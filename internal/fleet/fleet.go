@@ -90,6 +90,16 @@ type Config struct {
 	// barrier where every shard's state is settled and deterministic. 0
 	// selects DefaultShardEpoch; ignored with Shards <= 1.
 	ShardEpoch uint64
+	// Closed switches the run to closed-loop traffic: client pools that
+	// submit, wait (with timeout, retry and backoff) and think, instead
+	// of an open arrival stream. Enabled runs pass no arrivals to Run.
+	Closed ClosedConfig
+	// Admission gates every submission on the predicted queueing wait,
+	// rejecting or degrading over-bound ones (see AdmissionConfig).
+	Admission AdmissionConfig
+	// Autoscale grows and shrinks the active roster on queue-pressure
+	// watermarks with a provisioning delay (see AutoscaleConfig).
+	Autoscale AutoscaleConfig
 
 	// forceSpec makes the event loop pre-simulate likely next groups
 	// even on a single-CPU host, where speculation otherwise only burns
@@ -121,6 +131,40 @@ func (c Config) withDefaults() Config {
 	}
 	if c.Shards > 1 && c.ShardEpoch == 0 {
 		c.ShardEpoch = DefaultShardEpoch
+	}
+	if c.Closed.Enabled {
+		if c.Closed.Requests == 0 {
+			c.Closed.Requests = DefaultClosedRequests
+		}
+		if c.Closed.LatencyFrac > 0 && c.Closed.Deadline == 0 {
+			c.Closed.Deadline = DefaultDeadline
+		}
+		if c.Closed.Retries > 0 && c.Closed.Backoff == 0 {
+			c.Closed.Backoff = DefaultBackoff
+		}
+	}
+	if c.Autoscale.Enabled {
+		if c.Autoscale.Min == 0 {
+			c.Autoscale.Min = 1
+		}
+		if c.Autoscale.Max == 0 {
+			c.Autoscale.Max = c.TotalDevices()
+		}
+		if c.Autoscale.High == 0 {
+			c.Autoscale.High = DefaultScaleHigh
+		}
+		if c.Autoscale.Low == 0 {
+			c.Autoscale.Low = DefaultScaleLow
+		}
+		if c.Autoscale.Delay == 0 {
+			c.Autoscale.Delay = DefaultProvisionDelay
+		}
+		if c.Autoscale.Epoch == 0 {
+			c.Autoscale.Epoch = c.ShardEpoch
+			if c.Autoscale.Epoch == 0 {
+				c.Autoscale.Epoch = DefaultShardEpoch
+			}
+		}
 	}
 	c.SLO = c.SLO.withDefaults()
 	return c
@@ -216,6 +260,43 @@ func (c Config) validate() error {
 			if s.Pipe.Matrix() == nil {
 				return fmt.Errorf("fleet: %v engine requires an interference matrix (roster entry %d)", c.Engine, i)
 			}
+		}
+	}
+	if c.Closed.Enabled {
+		if c.Closed.Clients < 1 {
+			return fmt.Errorf("fleet: closed-loop runs need at least one client (got %d)", c.Closed.Clients)
+		}
+		if c.Closed.Requests < 1 {
+			return fmt.Errorf("fleet: closed-loop requests per client %d must be positive", c.Closed.Requests)
+		}
+		if c.Closed.Think < 0 {
+			return fmt.Errorf("fleet: closed-loop think time %g must not be negative", c.Closed.Think)
+		}
+		if c.Closed.LatencyFrac < 0 || c.Closed.LatencyFrac > 1 {
+			return fmt.Errorf("fleet: closed-loop latency fraction %g outside [0,1]", c.Closed.LatencyFrac)
+		}
+		if c.Closed.Retries < 0 {
+			return fmt.Errorf("fleet: closed-loop retry budget %d must not be negative", c.Closed.Retries)
+		}
+		if len(c.Closed.Universe) == 0 {
+			return fmt.Errorf("fleet: closed-loop runs need a benchmark universe")
+		}
+	}
+	if c.Admission.Enabled && c.Admission.MaxWait == 0 {
+		return fmt.Errorf("fleet: admission control needs a positive wait bound")
+	}
+	if c.Autoscale.Enabled {
+		if c.Autoscale.Min < 1 || c.Autoscale.Min > c.Autoscale.Max || c.Autoscale.Max > c.TotalDevices() {
+			return fmt.Errorf("fleet: autoscale bounds %d..%d invalid for a %d-device roster",
+				c.Autoscale.Min, c.Autoscale.Max, c.TotalDevices())
+		}
+		if c.Autoscale.Low < 0 || c.Autoscale.High <= c.Autoscale.Low {
+			return fmt.Errorf("fleet: autoscale watermarks high=%g low=%g must satisfy high > low >= 0",
+				c.Autoscale.High, c.Autoscale.Low)
+		}
+		if c.Shards > 1 && c.Autoscale.Min < c.Shards {
+			return fmt.Errorf("fleet: autoscale floor %d must cover every one of the %d shards",
+				c.Autoscale.Min, c.Shards)
 		}
 	}
 	// Every device type must be calibrated over the same application

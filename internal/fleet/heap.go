@@ -124,6 +124,59 @@ func (h *deviceHeap) push(d int) {
 	}
 }
 
+// remove deletes device d from the heap, wherever it sits — the
+// autoscaler decommissions idle devices, which by the loop invariant
+// are always heap members. The hole is filled by the last element and
+// re-sifted both ways (swap-with-last can violate either direction).
+// Returns false when d is not in the heap.
+func (h *deviceHeap) remove(d int) bool {
+	n := len(h.v)
+	i := 0
+	for ; i < n; i++ {
+		if h.v[i] == d {
+			break
+		}
+	}
+	if i == n {
+		return false
+	}
+	n--
+	h.v[i] = h.v[n]
+	h.v = h.v[:n]
+	if i == n {
+		return true
+	}
+	// Sift down.
+	j := i
+	for {
+		l, r := 2*j+1, 2*j+2
+		m := j
+		if l < n && h.pos[h.v[l]] < h.pos[h.v[m]] {
+			m = l
+		}
+		if r < n && h.pos[h.v[r]] < h.pos[h.v[m]] {
+			m = r
+		}
+		if m == j {
+			break
+		}
+		h.v[j], h.v[m] = h.v[m], h.v[j]
+		j = m
+	}
+	// If it never moved down, sift up instead.
+	if j == i {
+		for j > 0 {
+			p := (j - 1) / 2
+			if h.pos[h.v[j]] >= h.pos[h.v[p]] {
+				break
+			}
+			h.v[j], h.v[p] = h.v[p], h.v[j]
+			j = p
+		}
+	}
+	return true
+}
+
 // pop removes and returns the idle device first in placement order, or
 // -1 when no device is idle.
 func (h *deviceHeap) pop() int {

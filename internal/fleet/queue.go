@@ -31,6 +31,10 @@ type jobQueue struct {
 	// mutators below so the observability sampler reads the queue's class
 	// split in O(1) instead of walking the backlog every interval.
 	latency int
+	// work sums the waiting jobs' mean solo cycles (job.soloEst),
+	// maintained alongside latency so the admission predictor reads the
+	// backlog's service demand in O(1).
+	work uint64
 }
 
 // Len is the number of waiting jobs.
@@ -65,6 +69,8 @@ func (q *jobQueue) insert(j *job) {
 	if j.slo == Latency {
 		q.latency++
 	}
+	q.work += j.soloEst
+	j.state = jsWaiting
 	v := q.view()
 	pos := sort.Search(len(v), func(i int) bool { return q.before(j, v[i]) })
 	q.buf = append(q.buf, j)
@@ -83,6 +89,7 @@ func (q *jobQueue) advance(n int) {
 		if q.buf[k].slo == Latency {
 			q.latency--
 		}
+		q.work -= q.buf[k].soloEst
 		q.buf[k] = nil
 	}
 	q.head += n
@@ -112,6 +119,7 @@ func (q *jobQueue) removeJobs(members []*job) {
 			if q.buf[i].slo == Latency {
 				q.latency--
 			}
+			q.work -= q.buf[i].soloEst
 		} else {
 			kept = append(kept, q.buf[i])
 		}

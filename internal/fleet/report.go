@@ -33,13 +33,59 @@ type JobRecord struct {
 	// Evictions counts how many times the job was preempted before it
 	// completed.
 	Evictions int
+	// Outcome is how the job left the system: Done (the only outcome in
+	// open-loop runs without admission control), Rejected by admission,
+	// or Abandoned by its client's timeout.
+	Outcome JobOutcome
+	// Attempts counts submissions, retries included (always 1 outside
+	// closed-loop runs).
+	Attempts int
 }
 
-// Wait is the queueing delay before the final dispatch.
-func (j JobRecord) Wait() uint64 { return j.Dispatch - j.Arrival }
+// JobOutcome is a job's terminal state.
+type JobOutcome uint8
 
-// Turnaround is arrival to completion.
-func (j JobRecord) Turnaround() uint64 { return j.Complete - j.Arrival }
+const (
+	// Done completed normally (the zero value, so pre-control records
+	// read as completed).
+	Done JobOutcome = iota
+	// Rejected was refused by admission control and never ran.
+	Rejected
+	// Abandoned timed out in the queue and was withdrawn by its client.
+	Abandoned
+)
+
+// String names the outcome as the CSV spells it.
+func (o JobOutcome) String() string {
+	switch o {
+	case Done:
+		return "done"
+	case Rejected:
+		return "rejected"
+	case Abandoned:
+		return "abandoned"
+	default:
+		return fmt.Sprintf("JobOutcome(%d)", int(o))
+	}
+}
+
+// Wait is the queueing delay before the final dispatch (0 for jobs
+// that never dispatched — rejected or abandoned ones).
+func (j JobRecord) Wait() uint64 {
+	if j.Dispatch < j.Arrival {
+		return 0
+	}
+	return j.Dispatch - j.Arrival
+}
+
+// Turnaround is arrival to completion (0 for jobs that never
+// completed).
+func (j JobRecord) Turnaround() uint64 {
+	if j.Complete < j.Arrival {
+		return 0
+	}
+	return j.Complete - j.Arrival
+}
 
 // Missed reports whether a latency job completed past its deadline.
 // Batch jobs never miss.
@@ -106,6 +152,49 @@ type Result struct {
 	// the column layout and renderings). Like the summary, it is
 	// deterministic: same seed and configuration, byte-identical series.
 	Series *obs.Series
+	// Closed, Admission and Autoscale record which control surfaces the
+	// run had enabled; the control counters below are only meaningful
+	// (and only rendered) when one of them is set.
+	Closed    bool
+	Admission bool
+	Autoscale bool
+	// Submitted counts submissions (closed-loop attempts include
+	// retries); Rejected, Degraded and Abandoned are admission and
+	// timeout outcomes per attempt; Retried counts resubmissions.
+	// Conservation: after a drained run, Submitted == completed jobs +
+	// Rejected + Abandoned.
+	Submitted int
+	Rejected  int
+	Degraded  int
+	Abandoned int
+	Retried   int
+	// Provisions and Decommissions count autoscale roster changes.
+	Provisions    int
+	Decommissions int
+}
+
+// CompletedJobs counts jobs that ran to completion.
+func (r Result) CompletedJobs() int {
+	n := 0
+	for _, j := range r.Jobs {
+		if j.Outcome == Done {
+			n++
+		}
+	}
+	return n
+}
+
+// CompletedLatencyJobs counts latency-class jobs that ran to
+// completion — the deadline-miss denominator (rejected or abandoned
+// jobs never had a completion to judge).
+func (r Result) CompletedLatencyJobs() int {
+	n := 0
+	for _, j := range r.Jobs {
+		if j.SLO == Latency && j.Outcome == Done {
+			n++
+		}
+	}
+	return n
 }
 
 // Throughput is the fleet analogue of Equation 1.1: retired thread
@@ -138,20 +227,25 @@ func (r Result) MeanUtilization() float64 {
 	return sum / float64(len(r.DeviceBusy))
 }
 
-// Waits returns every job's queueing delay in kilocycles.
+// Waits returns every completed job's queueing delay in kilocycles
+// (rejected and abandoned jobs have no dispatch to measure).
 func (r Result) Waits() []float64 {
-	out := make([]float64, len(r.Jobs))
-	for i, j := range r.Jobs {
-		out[i] = float64(j.Wait()) / 1000
+	out := make([]float64, 0, len(r.Jobs))
+	for _, j := range r.Jobs {
+		if j.Outcome == Done {
+			out = append(out, float64(j.Wait())/1000)
+		}
 	}
 	return out
 }
 
-// Turnarounds returns every job's turnaround in kilocycles.
+// Turnarounds returns every completed job's turnaround in kilocycles.
 func (r Result) Turnarounds() []float64 {
-	out := make([]float64, len(r.Jobs))
-	for i, j := range r.Jobs {
-		out[i] = float64(j.Turnaround()) / 1000
+	out := make([]float64, 0, len(r.Jobs))
+	for _, j := range r.Jobs {
+		if j.Outcome == Done {
+			out = append(out, float64(j.Turnaround())/1000)
+		}
 	}
 	return out
 }
@@ -167,7 +261,7 @@ func (r Result) TurnaroundSummary() stats.Summary { return stats.Summarize(r.Tur
 func (r Result) classSamples(c SLOClass, f func(JobRecord) float64) []float64 {
 	var out []float64
 	for _, j := range r.Jobs {
-		if j.SLO == c {
+		if j.SLO == c && j.Outcome == Done {
 			out = append(out, f(j)/1000)
 		}
 	}
@@ -220,10 +314,12 @@ func (r Result) DeadlineMisses() int {
 	return n
 }
 
-// MissRate is the fraction of latency jobs that missed their deadline
-// (0 when there are none).
+// MissRate is the fraction of completed latency jobs that missed their
+// deadline (0 when there are none). Rejected and abandoned jobs are
+// excluded from the denominator — admission shedding load must not
+// masquerade as meeting deadlines for jobs it never ran.
 func (r Result) MissRate() float64 {
-	if n := r.LatencyJobs(); n > 0 {
+	if n := r.CompletedLatencyJobs(); n > 0 {
 		return float64(r.DeadlineMisses()) / float64(n)
 	}
 	return 0
@@ -281,6 +377,15 @@ func (r Result) Summary() string {
 		}
 		b.WriteString(")\n")
 	}
+	// The control block appears exactly when a control surface was on,
+	// so open-loop runs keep the historical (golden-locked) shape.
+	if r.Closed || r.Admission || r.Autoscale {
+		fmt.Fprintf(&b, "control     submitted=%d completed=%d rejected=%d degraded=%d abandoned=%d retried=%d\n",
+			r.Submitted, r.CompletedJobs(), r.Rejected, r.Degraded, r.Abandoned, r.Retried)
+	}
+	if r.Autoscale {
+		fmt.Fprintf(&b, "autoscale   provisions=%d decommissions=%d\n", r.Provisions, r.Decommissions)
+	}
 	// The shard count is deliberately absent: the summary reports
 	// simulated accounting only, and omitting the knob keeps shards=1
 	// byte-identical to the pre-sharding format (Result.Shards carries
@@ -300,7 +405,7 @@ func (r Result) Summary() string {
 		fmt.Fprintf(&b, "latency slack      (kcycles) %v\n", r.SlackSummary())
 		fmt.Fprintf(&b, "batch wait         (kcycles) %v\n", r.WaitSummaryFor(Batch))
 		fmt.Fprintf(&b, "batch turnaround   (kcycles) %v\n", r.TurnaroundSummaryFor(Batch))
-		fmt.Fprintf(&b, "deadline-miss      %d/%d (%.1f%%)\n", r.DeadlineMisses(), r.LatencyJobs(), 100*r.MissRate())
+		fmt.Fprintf(&b, "deadline-miss      %d/%d (%.1f%%)\n", r.DeadlineMisses(), r.CompletedLatencyJobs(), 100*r.MissRate())
 		fmt.Fprintf(&b, "evictions          %d (wasted %d cycles)\n", len(r.Evictions), r.WastedCycles())
 	}
 	return b.String()

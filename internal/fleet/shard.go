@@ -67,6 +67,11 @@ type shard struct {
 	// while the shard goroutine is parked at the barrier.
 	arr     []*job
 	nextArr int
+	// ctl is the shard's control block (nil without control surfaces);
+	// remaining counts the shard's unsettled jobs — routed or client-
+	// owned submissions not yet completed, rejected or abandoned.
+	ctl       *loopCtl
+	remaining int
 	// res accumulates the shard's share of the accounting. DeviceBusy is
 	// global-sized so retire and evict index it by global device id.
 	res Result
@@ -95,6 +100,7 @@ func (f *Fleet) newShards() []*shard {
 		s := shards[i%k]
 		s.devices = append(s.devices, d)
 	}
+	ctlOn := f.ctlEnabled()
 	for _, s := range shards {
 		// Ascending global index keeps the sampler's local device columns
 		// (and the busy accounting) in global order within the shard.
@@ -107,12 +113,31 @@ func (f *Fleet) newShards() []*shard {
 			s.slot[d] = i
 		}
 		s.flightOf = make([]*inflight, len(s.devices))
-		for _, d := range s.devices {
-			s.idleDevs.push(d)
-		}
 		s.res.DeviceBusy = make([]uint64, total)
+		if ctlOn {
+			// The shard's devices in placement order, and its round-robin
+			// share of the autoscale bounds (splitBound matches the deal
+			// above, so per-shard bounds sum to the global ones).
+			pdevs := append([]int(nil), s.devices...)
+			sort.SliceStable(pdevs, func(a, b int) bool {
+				return f.orderPos[pdevs[a]] < f.orderPos[pdevs[b]]
+			})
+			minD, maxD := len(pdevs), len(pdevs)
+			if f.cfg.Autoscale.Enabled {
+				minD = splitBound(f.cfg.Autoscale.Min, k, s.id)
+				maxD = splitBound(f.cfg.Autoscale.Max, k, s.id)
+			}
+			s.ctl = f.newLoopCtl(&s.res, &s.queue, &s.idleDevs, s.flightOf,
+				s.slot, &s.remaining, pdevs, minD, maxD)
+		}
+		for _, d := range s.devices {
+			if s.ctl == nil || s.ctl.active[d] {
+				s.idleDevs.push(d)
+			}
+		}
 		if f.cfg.SampleEvery > 0 {
-			s.col = newSampler(f.cfg.SampleEvery, len(s.devices))
+			s.col = newSampler(f.cfg.SampleEvery, len(s.devices), ctlOn)
+			s.col.ctl = s.ctl
 		}
 	}
 	return shards
@@ -151,10 +176,15 @@ func (s *shard) runUntil(limit uint64) {
 	f := s.f
 	const inf = math.MaxUint64
 	for {
-		// Admit arrivals due by now (priority order when SLO-aware).
+		// Admit arrivals due by now (priority order when SLO-aware);
+		// admission control may reject or degrade a submission first.
 		for s.nextArr < len(s.arr) && s.arr[s.nextArr].arrival <= s.now {
-			s.queue.insert(s.arr[s.nextArr])
+			j := s.arr[s.nextArr]
 			s.nextArr++
+			if s.ctl != nil && !s.ctl.admitOpen(j, s.now) {
+				continue
+			}
+			s.queue.insert(j)
 		}
 		// Dispatch to idle devices while work is waiting, fastest first.
 		for s.queue.Len() > 0 {
@@ -165,6 +195,9 @@ func (s *shard) runUntil(limit uint64) {
 			t := f.devType[d]
 			fl := s.disp.newFlight()
 			members, usedILP := s.disp.formGroup(fl.jobs[:0], &s.queue, t, s.now)
+			for _, m := range members {
+				m.state = jsRunning
+			}
 			fl.device = d
 			fl.typ = t
 			fl.dispatch = s.now
@@ -197,10 +230,16 @@ func (s *shard) runUntil(limit uint64) {
 				continue
 			}
 		}
-		// Pick the provably-earliest next event; arrivals win ties.
+		// Pick the provably-earliest next event; arrivals win ties, then
+		// control events (submissions, timeouts, scaling), then
+		// completions.
 		tArr := uint64(inf)
 		if s.nextArr < len(s.arr) {
 			tArr = s.arr[s.nextArr].arrival
+		}
+		tCtl := uint64(inf)
+		if s.ctl != nil {
+			tCtl = s.ctl.next()
 		}
 		cBest := s.resolved.peek()
 		cTime := uint64(inf)
@@ -208,6 +247,9 @@ func (s *shard) runUntil(limit uint64) {
 			cTime = cBest.complete
 		}
 		next := tArr
+		if tCtl < next {
+			next = tCtl
+		}
 		if cTime < next {
 			next = cTime
 		}
@@ -220,11 +262,19 @@ func (s *shard) runUntil(limit uint64) {
 			}
 			return
 		}
-		if tArr <= cTime {
+		if tArr <= tCtl && tArr <= cTime {
 			if s.col != nil {
 				s.col.advanceTo(tArr, &s.queue, s.flightOf, &s.res)
 			}
 			s.now = tArr
+			continue
+		}
+		if tCtl <= cTime {
+			if s.col != nil {
+				s.col.advanceTo(tCtl, &s.queue, s.flightOf, &s.res)
+			}
+			s.now = tCtl
+			s.ctl.step(s.now)
 			continue
 		}
 		if s.col != nil {
@@ -238,8 +288,12 @@ func (s *shard) runUntil(limit uint64) {
 			s.col.noteRetire(cBest)
 			s.col.addBusy(s.slot[cBest.device], cBest.dispatch, cBest.complete)
 		}
+		s.remaining -= len(cBest.jobs)
 		s.flightOf[s.slot[cBest.device]] = nil
 		s.idleDevs.push(cBest.device)
+		if s.ctl != nil {
+			s.ctl.onRetire(cBest, s.now)
+		}
 		s.disp.recycle(cBest)
 	}
 }
@@ -249,7 +303,7 @@ func (s *shard) runUntil(limit uint64) {
 // run inside runAll calls and the coordinator only touches shard state
 // outside them, so the two sides never race; the WaitGroup barrier
 // also orders memory between coordinator and shards.
-func (f *Fleet) runSharded(jobs []*job) (Result, error) {
+func (f *Fleet) runSharded(jobs []*job, perClient [][]*job) (Result, error) {
 	shards := f.newShards()
 	epoch := f.cfg.ShardEpoch
 	if epoch == 0 {
@@ -287,6 +341,29 @@ func (f *Fleet) runSharded(jobs []*job) (Result, error) {
 		}
 		return nil
 	}
+	if f.cfg.Closed.Enabled {
+		// Closed-loop: clients are partitioned round-robin across shards
+		// up front — a pure function of the client id, so the assignment
+		// (and every per-client draw) is identical at any host. Shards
+		// then run fully independently: submissions are born inside the
+		// owning shard, so there is no arrival routing and no epoch
+		// barrier to synchronize on (the autoscaler still reconciles on
+		// its own epoch grid within each shard).
+		k := len(shards)
+		ids := make([][]int, k)
+		for c := range perClient {
+			s := shards[c%k]
+			ids[c%k] = append(ids[c%k], c)
+			s.remaining += len(perClient[c])
+		}
+		for i, s := range shards {
+			s.ctl.initClients(perClient, ids[i])
+		}
+		if err := runAll(inf); err != nil {
+			return Result{}, err
+		}
+		return f.mergeShards(shards, jobs)
+	}
 	loads := make([]int, len(shards))
 	t := uint64(0)
 	for next := 0; next < len(jobs); {
@@ -316,6 +393,7 @@ func (f *Fleet) runSharded(jobs []*job) (Result, error) {
 				}
 			}
 			shards[best].arr = append(shards[best].arr, jobs[next])
+			shards[best].remaining++
 			loads[best]++
 		}
 		if err := runAll(ee); err != nil {
@@ -340,6 +418,9 @@ func (f *Fleet) mergeShards(shards []*shard, jobs []*job) (Result, error) {
 		Devices:    devices,
 		NC:         f.cfg.NC,
 		Shards:     f.cfg.Shards,
+		Closed:     f.cfg.Closed.Enabled,
+		Admission:  f.cfg.Admission.Enabled,
+		Autoscale:  f.cfg.Autoscale.Enabled,
 		DeviceBusy: make([]uint64, devices),
 	}
 	for d := range f.devType {
@@ -359,6 +440,13 @@ func (f *Fleet) mergeShards(shards []*shard, jobs []*job) (Result, error) {
 		res.ModeledGroups += s.res.ModeledGroups
 		res.CycleGroups += s.res.CycleGroups
 		res.SMMoves += s.res.SMMoves
+		res.Submitted += s.res.Submitted
+		res.Rejected += s.res.Rejected
+		res.Degraded += s.res.Degraded
+		res.Abandoned += s.res.Abandoned
+		res.Retried += s.res.Retried
+		res.Provisions += s.res.Provisions
+		res.Decommissions += s.res.Decommissions
 		res.Evictions = append(res.Evictions, s.res.Evictions...)
 	}
 	// Within a shard eviction records are in event order, and one device
@@ -379,19 +467,7 @@ func (f *Fleet) mergeShards(shards []*shard, jobs []*job) (Result, error) {
 		res.Series = series
 	}
 	for _, j := range jobs {
-		t := f.devType[j.device]
-		res.Jobs = append(res.Jobs, JobRecord{
-			ID:        j.id,
-			Name:      j.name(),
-			Class:     j.apps[t].Class,
-			SLO:       j.slo,
-			Deadline:  j.deadline,
-			Arrival:   j.arrival,
-			Dispatch:  j.dispatch,
-			Complete:  j.complete,
-			Device:    j.device,
-			Evictions: j.evictions,
-		})
+		res.Jobs = append(res.Jobs, f.jobRecord(j))
 	}
 	return res, nil
 }

@@ -35,6 +35,17 @@ type job struct {
 	// job was preempted.
 	progress  float64
 	evictions int
+	// client is the closed-loop client pool that owns the job, -1 for
+	// open-loop arrivals. attempts counts submissions (retries
+	// included); state is the lifecycle the conservation accounting
+	// reads (jsPending .. jsRejected, control.go).
+	client   int
+	attempts int
+	state    uint8
+	// soloEst is the mean calibrated solo duration across device types
+	// (0 when never calibrated): the queue's O(1) backlog-work counter
+	// and the admission predictor read it without touching profiles.
+	soloEst uint64
 }
 
 // soloProfile is one job's cached solo-run profile on one device type:
@@ -183,17 +194,30 @@ func (f *Fleet) lowerBoundCycles(members []*job, t int) uint64 {
 // placement order, a head-indexed priority queue), so one event costs
 // O(log n) instead of a scan over every flight and device.
 func (f *Fleet) Run(arrivals []Arrival) (Result, error) {
-	if len(arrivals) == 0 {
+	closed := f.cfg.Closed.Enabled
+	if closed && len(arrivals) > 0 {
+		return Result{}, fmt.Errorf("fleet: closed-loop runs generate their own submissions; pass no arrivals")
+	}
+	if !closed && len(arrivals) == 0 {
 		return Result{}, fmt.Errorf("fleet: empty arrival stream")
 	}
-	jobs, err := f.resolve(arrivals)
+	var (
+		jobs      []*job
+		perClient [][]*job
+		err       error
+	)
+	if closed {
+		jobs, perClient, err = f.resolveClosed()
+	} else {
+		jobs, err = f.resolve(arrivals)
+	}
 	if err != nil {
 		return Result{}, err
 	}
 	if f.cfg.Shards > 1 {
 		// The sharded path partitions the roster into independent event
 		// loops (shard.go); one shard is exactly the classic loop below.
-		return f.runSharded(jobs)
+		return f.runSharded(jobs, perClient)
 	}
 
 	devices := len(f.devType)
@@ -203,19 +227,21 @@ func (f *Fleet) Run(arrivals []Arrival) (Result, error) {
 		Roster:     f.cfg.RosterString(),
 		Devices:    devices,
 		NC:         f.cfg.NC,
+		Closed:     closed,
+		Admission:  f.cfg.Admission.Enabled,
+		Autoscale:  f.cfg.Autoscale.Enabled,
 		DeviceBusy: make([]uint64, devices),
 	}
 	for d := range f.devType {
 		res.DeviceConfig = append(res.DeviceConfig, f.deviceName(d))
 	}
-	// idle mirrors idleDevs membership for the speculation pass; the
+	// idle mirrors "no flight in progress" for the speculation pass; the
 	// heap itself hands the dispatch pass the fastest idle device.
 	idle := make([]bool, devices)
-	idleDevs := deviceHeap{pos: f.orderPos}
 	for d := range idle {
 		idle[d] = true
-		idleDevs.push(d)
 	}
+	idleDevs := deviceHeap{pos: f.orderPos}
 	// The pool holds one slot per device for the in-flight groups plus
 	// as many again for speculative pre-simulation, capped by the host.
 	// The Modeled engine never simulates, so it skips the pool.
@@ -259,11 +285,39 @@ func (f *Fleet) Run(arrivals []Arrival) (Result, error) {
 	if f.cfg.Engine == Hybrid {
 		hybrid = make(map[string]*hybridCal)
 	}
+	// arr is the open-loop admission stream; closed-loop submissions
+	// arrive through the control-event heap instead.
+	arr := jobs
+	if closed {
+		arr = nil
+	}
+	// The control block; nil when no control surface is configured, so
+	// the hot loop pays one pointer check per event.
+	var ctl *loopCtl
+	if f.ctlEnabled() {
+		ctl = f.newLoopCtl(&res, &queue, &idleDevs, flightOf, nil, &remaining,
+			f.order, f.cfg.Autoscale.Min, f.cfg.Autoscale.Max)
+		if closed {
+			ids := make([]int, f.cfg.Closed.Clients)
+			for i := range ids {
+				ids[i] = i
+			}
+			ctl.initClients(perClient, ids)
+		}
+	}
+	// Seed the idle heap with the initially-active devices (all of them,
+	// unless the autoscaler starts the roster at its floor).
+	for d := range f.devType {
+		if ctl == nil || ctl.active[d] {
+			idleDevs.push(d)
+		}
+	}
 	// The observability sampler; nil when sampling is off, so the hot
 	// loop pays exactly one pointer check per time advance.
 	var col *sampler
 	if f.cfg.SampleEvery > 0 {
-		col = newSampler(f.cfg.SampleEvery, devices)
+		col = newSampler(f.cfg.SampleEvery, devices, ctl != nil)
+		col.ctl = ctl
 	}
 	defer func() {
 		for _, fl := range abandoned {
@@ -271,10 +325,15 @@ func (f *Fleet) Run(arrivals []Arrival) (Result, error) {
 		}
 	}()
 	for remaining > 0 {
-		// Admit arrivals due by now (priority order when SLO-aware).
-		for nextArr < len(jobs) && jobs[nextArr].arrival <= now {
-			queue.insert(jobs[nextArr])
+		// Admit arrivals due by now (priority order when SLO-aware);
+		// admission control may reject or degrade a submission first.
+		for nextArr < len(arr) && arr[nextArr].arrival <= now {
+			j := arr[nextArr]
 			nextArr++
+			if ctl != nil && !ctl.admitOpen(j, now) {
+				continue
+			}
+			queue.insert(j)
 		}
 		// Dispatch to idle devices while work is waiting, fastest device
 		// first: group formation is placement-aware, scoring candidates
@@ -287,6 +346,9 @@ func (f *Fleet) Run(arrivals []Arrival) (Result, error) {
 			t := f.devType[d]
 			fl := disp.newFlight()
 			members, usedILP := disp.formGroup(fl.jobs[:0], &queue, t, now)
+			for _, m := range members {
+				m.state = jsRunning
+			}
 			idle[d] = false
 			fl.device = d
 			fl.typ = t
@@ -374,11 +436,16 @@ func (f *Fleet) Run(arrivals []Arrival) (Result, error) {
 		}
 		// Pick the provably-earliest next event. Ties go to arrivals
 		// first (a job landing the instant a device frees still queues
-		// before the dispatch decision), then to the lowest device id
+		// before the dispatch decision), then to control events
+		// (submissions, timeouts, scaling), then to the lowest device id
 		// among resolved completions (the heap key).
 		tArr := uint64(inf)
-		if nextArr < len(jobs) {
-			tArr = jobs[nextArr].arrival
+		if nextArr < len(arr) {
+			tArr = arr[nextArr].arrival
+		}
+		tCtl := uint64(inf)
+		if ctl != nil {
+			tCtl = ctl.next()
 		}
 		cBest, uBest := resolved.peek(), unresolved.peek()
 		cTime, uTime := uint64(inf), uint64(inf)
@@ -389,7 +456,7 @@ func (f *Fleet) Run(arrivals []Arrival) (Result, error) {
 			uTime = uBest.earliest
 		}
 		switch {
-		case tArr != inf && tArr <= cTime && tArr <= uTime:
+		case tArr != inf && tArr <= tCtl && tArr <= cTime && tArr <= uTime:
 			// Sample every interval boundary the advance crosses with the
 			// pre-advance state; events at tArr itself fold into the row
 			// at (or after) tArr, emitted on a later advance.
@@ -397,6 +464,12 @@ func (f *Fleet) Run(arrivals []Arrival) (Result, error) {
 				col.advanceTo(tArr, &queue, flightOf, &res)
 			}
 			now = tArr
+		case tCtl != inf && tCtl <= cTime && tCtl <= uTime:
+			if col != nil {
+				col.advanceTo(tCtl, &queue, flightOf, &res)
+			}
+			now = tCtl
+			ctl.step(now)
 		case cBest != nil && cTime <= uTime:
 			if col != nil {
 				col.advanceTo(cTime, &queue, flightOf, &res)
@@ -413,6 +486,11 @@ func (f *Fleet) Run(arrivals []Arrival) (Result, error) {
 			flightOf[cBest.device] = nil
 			idle[cBest.device] = true
 			idleDevs.push(cBest.device)
+			if ctl != nil {
+				// Before recycle: closed-loop clients read the member
+				// references to schedule their next submissions.
+				ctl.onRetire(cBest, now)
+			}
 			if cBest.modeled {
 				// A retired modeled flight has left every heap (it was only
 				// ever in resolved, and pop removed it), so its record and
@@ -473,21 +551,46 @@ func (f *Fleet) Run(arrivals []Arrival) (Result, error) {
 	}
 
 	for _, j := range jobs {
-		t := f.devType[j.device]
-		res.Jobs = append(res.Jobs, JobRecord{
-			ID:        j.id,
-			Name:      j.name(),
-			Class:     j.apps[t].Class,
-			SLO:       j.slo,
-			Deadline:  j.deadline,
-			Arrival:   j.arrival,
-			Dispatch:  j.dispatch,
-			Complete:  j.complete,
-			Device:    j.device,
-			Evictions: j.evictions,
-		})
+		res.Jobs = append(res.Jobs, f.jobRecord(j))
 	}
 	return res, nil
+}
+
+// jobRecord projects one job's final state onto its record — the one
+// place outcome, device and class are decided, shared by the classic
+// and sharded paths so the two can never disagree.
+func (f *Fleet) jobRecord(j *job) JobRecord {
+	rec := JobRecord{
+		ID:        j.id,
+		Name:      j.name(),
+		SLO:       j.slo,
+		Deadline:  j.deadline,
+		Arrival:   j.arrival,
+		Dispatch:  j.dispatch,
+		Complete:  j.complete,
+		Device:    j.device,
+		Evictions: j.evictions,
+		Attempts:  j.attempts,
+	}
+	// Open-loop jobs outside control runs never count attempts; report
+	// the one submission they had.
+	if rec.Attempts == 0 {
+		rec.Attempts = 1
+	}
+	t := 0
+	switch j.state {
+	case jsRejected:
+		rec.Outcome = Rejected
+		rec.Device = -1
+	case jsAbandoned:
+		rec.Outcome = Abandoned
+		rec.Device = -1
+	default:
+		rec.Outcome = Done
+		t = f.devType[j.device]
+	}
+	rec.Class = j.apps[t].Class
+	return rec
 }
 
 // calibrate folds a resolved Hybrid warm-up flight into its
@@ -870,9 +973,11 @@ func (f *Fleet) resolve(arrivals []Arrival) ([]*job, error) {
 		}
 		j := &arena[i]
 		j.id = i
+		j.client = -1
 		j.apps = appsArena[i*nt : (i+1)*nt : (i+1)*nt]
 		j.solo = soloArena[i*nt : (i+1)*nt : (i+1)*nt]
 		d := nameIdx[arrivals[i].Name]
+		est, cnt := uint64(0), uint64(0)
 		for t := range f.types {
 			qa := perType[t][d]
 			// Queue defines Arrival as the queue position; restore the
@@ -881,6 +986,13 @@ func (f *Fleet) resolve(arrivals []Arrival) ([]*job, error) {
 			qa.Arrival = i
 			j.apps[t] = qa
 			j.solo[t] = soloByType[t][d]
+			if sp := j.solo[t]; sp.ok {
+				est += sp.cycles
+				cnt++
+			}
+		}
+		if cnt > 0 {
+			j.soloEst = est / cnt
 		}
 		j.arrival = arrivals[i].Cycle
 		j.slo = arrivals[i].SLO
@@ -898,6 +1010,7 @@ func (f *Fleet) retire(fl *inflight, res *Result) {
 	for i, j := range fl.jobs {
 		j.dispatch = fl.dispatch
 		j.device = fl.device
+		j.state = jsDone
 		end := f.memberEnd(fl, i)
 		if end > groupEnd {
 			groupEnd = end

@@ -49,7 +49,17 @@ import (
 type sampler struct {
 	interval uint64
 	devices  int
-	series   *obs.Series
+	// extra selects the control-column block (submitted/rejected/…,
+	// control.go); fixed is the per-device columns' base offset —
+	// numFixedCols, plus numCtlCols when extra is on. Keeping the block
+	// conditional keeps control-free series byte-identical to the
+	// historical (golden-locked) layout.
+	extra bool
+	fixed int
+	// ctl is the owning loop's control block (nil without one); emit
+	// reads its active-device gauge.
+	ctl    *loopCtl
+	series *obs.Series
 	// scratch is the reused row buffer Append copies from.
 	scratch []uint64
 	// lastEdge is the most recently emitted boundary cycle.
@@ -79,12 +89,34 @@ const (
 	numFixedCols
 )
 
+// The control-column block, present exactly when a control surface is
+// configured (sampler.extra): cumulative submission/outcome counters
+// plus the active-device gauge the autoscaler moves.
+const (
+	colSubmitted = numFixedCols + iota
+	colRejected
+	colDegraded
+	colAbandoned
+	colRetried
+	colActiveDevices
+	numCtlCols = iota
+)
+
 // newSampler builds the sampler for a fleet of the given device count.
-func newSampler(interval uint64, devices int) *sampler {
-	cols := make([]string, 0, numFixedCols+2*devices)
+// extra appends the control-column block ahead of the per-device pairs.
+func newSampler(interval uint64, devices int, extra bool) *sampler {
+	fixed := numFixedCols
+	if extra {
+		fixed += numCtlCols
+	}
+	cols := make([]string, 0, fixed+2*devices)
 	cols = append(cols, "cycle", "queue", "queue_latency", "queue_batch",
 		"running", "busy_devices", "done", "missed", "evictions",
 		"groups", "groups_cycle", "groups_modeled")
+	if extra {
+		cols = append(cols, "submitted", "rejected", "degraded",
+			"abandoned", "retried", "active_devices")
+	}
 	for d := 0; d < devices; d++ {
 		cols = append(cols, fmt.Sprintf("d%d_inflight", d))
 	}
@@ -94,6 +126,8 @@ func newSampler(interval uint64, devices int) *sampler {
 	return &sampler{
 		interval: interval,
 		devices:  devices,
+		extra:    extra,
+		fixed:    fixed,
 		series:   obs.NewSeries(interval, cols, 64),
 		scratch:  make([]uint64, len(cols)),
 	}
@@ -169,7 +203,7 @@ func (s *sampler) emit(edge uint64, q *jobQueue, flightOf []*inflight, res *Resu
 			busyDevs++
 		}
 		running += n
-		row[numFixedCols+d] = n
+		row[s.fixed+d] = n
 	}
 	row[colRunning] = running
 	row[colBusyDevices] = busyDevs
@@ -179,11 +213,23 @@ func (s *sampler) emit(edge uint64, q *jobQueue, flightOf []*inflight, res *Resu
 	row[colGroups] = uint64(res.Groups)
 	row[colGroupsCycle] = uint64(res.CycleGroups)
 	row[colGroupsModeled] = uint64(res.ModeledGroups)
+	if s.extra {
+		row[colSubmitted] = uint64(res.Submitted)
+		row[colRejected] = uint64(res.Rejected)
+		row[colDegraded] = uint64(res.Degraded)
+		row[colAbandoned] = uint64(res.Abandoned)
+		row[colRetried] = uint64(res.Retried)
+		active := uint64(0)
+		if s.ctl != nil {
+			active = uint64(s.ctl.activeCount)
+		}
+		row[colActiveDevices] = active
+	}
 	// Busy cycles are merged later (finish), once every overlapping
 	// flight has retired; zero them here so a reused scratch row cannot
 	// leak a previous sample's values.
 	for d := 0; d < s.devices; d++ {
-		row[numFixedCols+s.devices+d] = 0
+		row[s.fixed+s.devices+d] = 0
 	}
 	s.series.Append(row)
 	s.lastEdge = edge
@@ -200,10 +246,20 @@ func (s *sampler) emit(edge uint64, q *jobQueue, flightOf []*inflight, res *Resu
 // stream would have produced.
 func mergeShardSeries(f *Fleet, shards []*shard, makespan uint64) (*obs.Series, error) {
 	devices := len(f.devType)
-	merged := newSampler(f.cfg.SampleEvery, devices)
+	merged := newSampler(f.cfg.SampleEvery, devices, f.ctlEnabled())
+	// Control events (abandons, retries, scale ticks) can fire after a
+	// shard's last completion, pushing its sampler past the fleet-wide
+	// makespan; finishing every shard against the furthest horizon keeps
+	// the per-shard row grids identical.
+	horizon := makespan
+	for _, s := range shards {
+		if s.col.lastEdge > horizon {
+			horizon = s.col.lastEdge
+		}
+	}
 	parts := make([]*obs.Series, len(shards))
 	for i, s := range shards {
-		parts[i] = s.col.finish(makespan, &s.queue, s.flightOf, &s.res)
+		parts[i] = s.col.finish(horizon, &s.queue, s.flightOf, &s.res)
 	}
 	rows := parts[0].Rows()
 	for _, p := range parts[1:] {
@@ -218,14 +274,17 @@ func mergeShardSeries(f *Fleet, shards []*shard, makespan uint64) (*obs.Series, 
 		}
 		row[colCycle] = parts[0].At(r, colCycle)
 		for i, p := range parts {
-			for c := colQueue; c < numFixedCols; c++ {
+			// Every fixed column past the cycle — the control block
+			// included — is a gauge of disjoint state or a counter of
+			// disjoint events, so summing across shards is exact.
+			for c := colQueue; c < merged.fixed; c++ {
 				row[c] += p.At(r, c)
 			}
 			s := shards[i]
 			nd := len(s.devices)
 			for local, d := range s.devices {
-				row[numFixedCols+d] = p.At(r, numFixedCols+local)
-				row[numFixedCols+devices+d] = p.At(r, numFixedCols+nd+local)
+				row[merged.fixed+d] = p.At(r, merged.fixed+local)
+				row[merged.fixed+devices+d] = p.At(r, merged.fixed+nd+local)
 			}
 		}
 		merged.series.Append(row)
@@ -250,7 +309,7 @@ func (s *sampler) finish(makespan uint64, q *jobQueue, flightOf []*inflight, res
 	for r := 0; r < s.series.Rows(); r++ {
 		for d := 0; d < s.devices; d++ {
 			if i := r*s.devices + d; i < len(s.busy) {
-				s.series.Set(r, numFixedCols+s.devices+d, s.busy[i])
+				s.series.Set(r, s.fixed+s.devices+d, s.busy[i])
 			}
 		}
 	}

@@ -61,9 +61,12 @@ func (r Runner) Run(g Grid) (*Artifact, error) {
 	}
 	// One arrival stream per kind, seeded from the grid seed and the
 	// kind alone — every cell of a kind replays identical traffic.
+	// Closed-loop cells have no stream: their traffic is generated
+	// inside the run, seeded the same way, so every closed cell's
+	// clients also replay identical draws.
 	streams := make(map[fleet.ArrivalKind][]fleet.Arrival)
 	for _, c := range cells {
-		if _, ok := streams[c.Arrival]; ok {
+		if _, ok := streams[c.Arrival]; ok || c.Arrival == fleet.ClosedLoop {
 			continue
 		}
 		acfg := fleet.ArrivalConfig{
@@ -127,7 +130,7 @@ func (r Runner) Run(g Grid) (*Artifact, error) {
 
 // runCell executes one grid point.
 func (r Runner) runCell(g Grid, c Cell, roster []fleet.DeviceSpec, arrivals []fleet.Arrival) ([]float64, error) {
-	f, err := fleet.New(fleet.Config{
+	cfg := fleet.Config{
 		Devices:    roster,
 		NC:         g.NC,
 		Policy:     c.Policy,
@@ -135,8 +138,20 @@ func (r Runner) runCell(g Grid, c Cell, roster []fleet.DeviceSpec, arrivals []fl
 		SLO:        c.SLO,
 		Engine:     c.Engine,
 		HybridWarm: g.HybridWarm,
+		Admission:  c.Admission,
+		Autoscale:  c.Autoscale,
 		Shards:     c.Shards,
-	})
+	}
+	if c.Arrival == fleet.ClosedLoop {
+		cfg.Closed = fleet.ClosedConfig{
+			Enabled: true, Clients: g.Clients, Requests: g.Requests,
+			Think: g.Think, Timeout: g.Timeout, Retries: g.Retries,
+			LatencyFrac: g.LatencyFrac, Deadline: g.Deadline,
+			Seed:     rng.Hash2(g.Seed, uint64(fleet.ClosedLoop)+1),
+			Universe: r.Names,
+		}
+	}
+	f, err := fleet.New(cfg)
 	if err != nil {
 		return nil, err
 	}

@@ -36,6 +36,12 @@ type Grid struct {
 	Rosters  []string `json:"rosters"`
 	Arrivals []string `json:"arrivals"`
 	SLOs     []string `json:"slos"`
+	// Admissions and Autoscales are the control-surface axes, spelled
+	// like fleet.ParseAdmission / fleet.ParseAutoscale: "off",
+	// "reject:MAXWAIT" or "degrade:MAXWAIT", and "off" or "MIN:MAX".
+	// Empty axes default to off — existing grids are unchanged.
+	Admissions []string `json:"admissions"`
+	Autoscales []string `json:"autoscales"`
 	// Shards is the event-loop shard axis (-shards); it only applies to
 	// modeled-engine cells. Each count is deterministic (repeat sweeps
 	// are byte-identical), and counts above 1 split the backlog K ways,
@@ -53,6 +59,16 @@ type Grid struct {
 	Deadline    uint64  `json:"deadline"`
 	Aging       float64 `json:"aging"`
 	HybridWarm  int     `json:"hybrid_warm"`
+	// Clients, Requests, Think, Timeout and Retries shape closed-loop
+	// cells (an "closed" entry on the Arrivals axis): client-pool count,
+	// requests per client, mean think time, per-request patience and the
+	// retry budget. Zero picks the fleet defaults (8 clients). Open-loop
+	// cells ignore them.
+	Clients  int     `json:"clients"`
+	Requests int     `json:"requests"`
+	Think    float64 `json:"think"`
+	Timeout  uint64  `json:"timeout"`
+	Retries  int     `json:"retries"`
 	// Seed seeds the arrival streams (one derived stream per arrival
 	// kind, so every cell of a kind replays identical traffic).
 	Seed uint64 `json:"seed"`
@@ -71,11 +87,16 @@ func (g Grid) withDefaults() Grid {
 	g.Rosters = def(g.Rosters, "4xGTX480")
 	g.Arrivals = def(g.Arrivals, "poisson")
 	g.SLOs = def(g.SLOs, "off")
+	g.Admissions = def(g.Admissions, "off")
+	g.Autoscales = def(g.Autoscales, "off")
 	if len(g.Shards) == 0 {
 		g.Shards = []int{1}
 	}
 	if g.NC == 0 {
 		g.NC = 2
+	}
+	if g.Clients == 0 {
+		g.Clients = 8
 	}
 	if g.Jobs == 0 {
 		g.Jobs = 32
@@ -91,19 +112,23 @@ func (g Grid) withDefaults() Grid {
 
 // Cell is one fully-resolved grid point.
 type Cell struct {
-	Policy  sched.Policy
-	Engine  fleet.EngineMode
-	Roster  string
-	Arrival fleet.ArrivalKind
-	SLOName string
-	SLO     fleet.SLOConfig
-	Shards  int
+	Policy        sched.Policy
+	Engine        fleet.EngineMode
+	Roster        string
+	Arrival       fleet.ArrivalKind
+	SLOName       string
+	SLO           fleet.SLOConfig
+	AdmissionName string
+	Admission     fleet.AdmissionConfig
+	AutoscaleName string
+	Autoscale     fleet.AutoscaleConfig
+	Shards        int
 }
 
 // ParamColumns names Cell.Params' entries, in order — the artifact's
 // leading columns, and how Delta identifies the same cell across two
 // artifacts.
-var ParamColumns = []string{"policy", "engine", "roster", "arrivals", "slo", "shards"}
+var ParamColumns = []string{"policy", "engine", "roster", "arrivals", "slo", "admission", "autoscale", "shards"}
 
 // Params is the cell's identity as column values, in ParamColumns
 // order. Policies use the CLI spelling (fcfs, ilp-smra) rather than the
@@ -111,7 +136,10 @@ var ParamColumns = []string{"policy", "engine", "roster", "arrivals", "slo", "sh
 // feed straight back into a grid — and two artifacts key the same cell
 // identically even when their grids used different aliases.
 func (c Cell) Params() []string {
-	return []string{policyName(c.Policy), c.Engine.String(), c.Roster, c.Arrival.String(), c.SLOName, strconv.Itoa(c.Shards)}
+	return []string{
+		policyName(c.Policy), c.Engine.String(), c.Roster, c.Arrival.String(),
+		c.SLOName, c.AdmissionName, c.AutoscaleName, strconv.Itoa(c.Shards),
+	}
 }
 
 // policyName is the canonical CLI spelling of a policy (Policy.String
@@ -174,6 +202,22 @@ func (g Grid) Expand() ([]Cell, error) {
 		}
 		slos[i] = cfg
 	}
+	admissions := make([]fleet.AdmissionConfig, len(g.Admissions))
+	for i, s := range g.Admissions {
+		cfg, err := fleet.ParseAdmission(s)
+		if err != nil {
+			return nil, err
+		}
+		admissions[i] = cfg
+	}
+	autoscales := make([]fleet.AutoscaleConfig, len(g.Autoscales))
+	for i, s := range g.Autoscales {
+		cfg, err := fleet.ParseAutoscale(s)
+		if err != nil {
+			return nil, err
+		}
+		autoscales[i] = cfg
+	}
 	for _, r := range g.Rosters {
 		if r == "" {
 			return nil, fmt.Errorf("sweep: empty roster entry")
@@ -197,19 +241,27 @@ func (g Grid) Expand() ([]Cell, error) {
 			for _, pol := range policies {
 				for _, eng := range engines {
 					for si, slo := range slos {
-						for _, sh := range g.Shards {
-							cells = append(cells, Cell{
-								Policy:  pol,
-								Engine:  eng,
-								Roster:  roster,
-								Arrival: arr,
-								// Normalized spelling, so two artifacts key the
-								// same cell identically whatever case the grid
-								// used.
-								SLOName: strings.ToLower(g.SLOs[si]),
-								SLO:     slo,
-								Shards:  sh,
-							})
+						for ai, adm := range admissions {
+							for oi, scale := range autoscales {
+								for _, sh := range g.Shards {
+									cells = append(cells, Cell{
+										Policy:  pol,
+										Engine:  eng,
+										Roster:  roster,
+										Arrival: arr,
+										// Normalized spelling, so two artifacts key the
+										// same cell identically whatever case the grid
+										// used.
+										SLOName:       strings.ToLower(g.SLOs[si]),
+										SLO:           slo,
+										AdmissionName: strings.ToLower(g.Admissions[ai]),
+										Admission:     adm,
+										AutoscaleName: strings.ToLower(g.Autoscales[oi]),
+										Autoscale:     scale,
+										Shards:        sh,
+									})
+								}
+							}
 						}
 					}
 				}
@@ -228,9 +280,14 @@ var MetricColumns = []string{
 	"turn_p50_kcyc", "turn_p95_kcyc", "turn_p99_kcyc",
 	"latency_jobs", "misses", "miss_rate", "evictions", "wasted_kcyc",
 	"groups", "groups_ilp", "groups_cycle", "groups_modeled",
+	"submitted", "completed", "rejected", "degraded", "abandoned", "retried",
+	"provisions", "decommissions",
 }
 
-// Metrics projects one run's result onto MetricColumns.
+// Metrics projects one run's result onto MetricColumns. The control
+// counters (submitted through decommissions) are zero on cells without
+// a control surface — the submission ledger only runs when closed-loop
+// traffic, admission control or the autoscaler is configured.
 func Metrics(res fleet.Result) []float64 {
 	wait := res.WaitSummary()
 	turn := res.TurnaroundSummary()
@@ -241,5 +298,8 @@ func Metrics(res fleet.Result) []float64 {
 		float64(res.LatencyJobs()), float64(res.DeadlineMisses()), res.MissRate(),
 		float64(len(res.Evictions)), float64(res.WastedCycles()) / 1000,
 		float64(res.Groups), float64(res.ILPGroups), float64(res.CycleGroups), float64(res.ModeledGroups),
+		float64(res.Submitted), float64(res.CompletedJobs()), float64(res.Rejected),
+		float64(res.Degraded), float64(res.Abandoned), float64(res.Retried),
+		float64(res.Provisions), float64(res.Decommissions),
 	}
 }

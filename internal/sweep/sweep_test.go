@@ -156,6 +156,73 @@ func TestSweepSmokeDeterministic(t *testing.T) {
 	}
 }
 
+// TestSweepClosedLoopAxes runs a control-surface grid: closed-loop
+// traffic crossed with admission off/reject and an elastic roster.
+// Determinism must hold (repeat sweeps byte-identical), every closed
+// cell must carry the submission ledger, and the admission ablation
+// must be visible in the rejected column.
+func TestSweepClosedLoopAxes(t *testing.T) {
+	grid := func() Grid {
+		return Grid{
+			Policies:    []string{"ilp-smra"},
+			Engines:     []string{"modeled"},
+			Rosters:     []string{"4"},
+			Arrivals:    []string{"closed"},
+			Admissions:  []string{"off", "reject:25000"},
+			Autoscales:  []string{"off", "1:4"},
+			Clients:     12,
+			Requests:    4,
+			Think:       5_000,
+			LatencyFrac: 0.25,
+			Deadline:    60_000,
+			Seed:        0xC10,
+		}
+	}
+	r := testRunner(t, 4)
+	a, err := r.Run(grid())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a.Cells) != 4 {
+		t.Fatalf("cells = %d, want 4", len(a.Cells))
+	}
+	b, err := r.Run(grid())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var bufA, bufB bytes.Buffer
+	if err := a.WriteCSV(&bufA); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.WriteCSV(&bufB); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(bufA.Bytes(), bufB.Bytes()) {
+		t.Fatalf("two identical closed sweeps differ:\n--- run 1 ---\n%s--- run 2 ---\n%s", bufA.String(), bufB.String())
+	}
+	loaded, err := Load(bytes.NewReader(bufA.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, c := range loaded.Cells {
+		sub, ok := loaded.metric(c, "submitted")
+		if !ok || sub < 48 {
+			t.Errorf("cell %v: submitted %v, want >= 48", c.Params, sub)
+		}
+		comp, _ := loaded.metric(c, "completed")
+		rej, _ := loaded.metric(c, "rejected")
+		aband, _ := loaded.metric(c, "abandoned")
+		if sub != comp+rej+aband {
+			t.Errorf("cell %v: conservation broken: %v != %v + %v + %v", c.Params, sub, comp, rej, aband)
+		}
+		// The admission axis must bite exactly on its cells.
+		admission := c.Params[5]
+		if rejecting := admission != "off"; (rej > 0) != rejecting {
+			t.Errorf("cell %v: admission %q but rejected %v", c.Params, admission, rej)
+		}
+	}
+}
+
 func TestArtifactJSONRoundTrip(t *testing.T) {
 	a := &Artifact{
 		Params:  []string{"policy", "slo"},
