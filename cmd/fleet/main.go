@@ -44,6 +44,17 @@
 // trades the global backlog for K split queues — lower wall time on
 // big rosters, with the K-way schedule echoed in a "shards:" header.
 //
+// Failure injection: -chaos "fail@CYCLE:DEV,drain@CYCLE:DEV,
+// restore@CYCLE:DEV" executes a deterministic failure schedule mid-run
+// (fail evicts the device's in-flight group with checkpointed progress
+// and takes it out of placement; drain lets the flight retire but stops
+// new dispatch; restore returns it to service), and -mtbf/-mttr swap
+// the explicit trace for per-device exponential failure/repair draws
+// from the run's seed. Either way the schedule is a pure function of
+// the flags, so chaos runs keep the byte-identical determinism
+// contract; the summary gains a "chaos" ledger line, and the time
+// series gains failed_devices/draining_devices columns.
+//
 // Observability: -timeseries FILE samples the run every
 // -sample-interval cycles (queue depth and class split, per-device
 // occupancy and busy cycles, cumulative completions/misses/evictions,
@@ -111,6 +122,11 @@ func main() {
 	backoffFlag := flag.Uint64("backoff", 0, "base retry backoff in cycles, doubling per attempt (0 = default, with -closed)")
 	admission := flag.Uint64("admission", 0, "admission bound: refuse submissions whose predicted wait exceeds this many cycles (0 = off)")
 	admissionDegrade := flag.Bool("admission-degrade", false, "degrade over-bound latency submissions to batch instead of rejecting them (with -admission)")
+	admissionModeled := flag.Bool("admission-modeled", false, "predict waits from the interference-aware backlog estimate instead of the solo-work sum (with -admission)")
+	chaosFlag := flag.String("chaos", "", "failure schedule as KIND@CYCLE:DEV,... with kinds fail|drain|restore (empty = off)")
+	mtbf := flag.Float64("mtbf", 0, "chaos generator: mean cycles between failures per device (0 = off; needs -mttr)")
+	mttr := flag.Float64("mttr", 0, "chaos generator: mean outage length in cycles (with -mtbf)")
+	chaosHorizon := flag.Uint64("chaos-horizon", 0, "chaos generator schedule bound in cycles (0 = default, with -mtbf)")
 	autoscaleFlag := flag.String("autoscale", "", "elastic roster bounds as MIN:MAX active devices (empty = off)")
 	scaleHigh := flag.Float64("scale-high", 0, "scale-up queue-pressure watermark in waiting jobs per active device (0 = default, with -autoscale)")
 	scaleLow := flag.Float64("scale-low", 0, "scale-down watermark (0 = default, with -autoscale)")
@@ -203,6 +219,18 @@ func main() {
 	}
 	if set["admission-degrade"] && *admission == 0 {
 		fail("fleet: -admission-degrade needs -admission to set the bound")
+	}
+	if set["admission-modeled"] && *admission == 0 {
+		fail("fleet: -admission-modeled needs -admission to set the bound")
+	}
+	if *chaosFlag != "" && (*mtbf > 0 || *mttr > 0) {
+		fail("fleet: -chaos conflicts with -mtbf/-mttr; pick the explicit trace or the generator")
+	}
+	if (*mtbf > 0) != (*mttr > 0) {
+		fail("fleet: -mtbf and -mttr must be set together")
+	}
+	if set["chaos-horizon"] && *mtbf == 0 {
+		fail("fleet: -chaos-horizon needs -mtbf/-mttr to enable the generator")
 	}
 	autoscale, err := fleet.ParseAutoscale(*autoscaleFlag)
 	if err != nil {
@@ -343,13 +371,22 @@ func main() {
 		}
 	}
 	if *admission > 0 {
-		cfg.Admission = fleet.AdmissionConfig{Enabled: true, MaxWait: *admission, Degrade: *admissionDegrade}
+		cfg.Admission = fleet.AdmissionConfig{Enabled: true, MaxWait: *admission, Degrade: *admissionDegrade, Modeled: *admissionModeled}
 	}
 	if autoscale.Enabled {
 		autoscale.High = *scaleHigh
 		autoscale.Low = *scaleLow
 		autoscale.Delay = *provisionDelay
 		cfg.Autoscale = autoscale
+	}
+	if *chaosFlag != "" {
+		trace, err := fleet.ParseChaos(*chaosFlag)
+		if err != nil {
+			fail(err)
+		}
+		cfg.Chaos = fleet.ChaosConfig{Enabled: true, Trace: trace}
+	} else if *mtbf > 0 {
+		cfg.Chaos = fleet.ChaosConfig{Enabled: true, MTBF: *mtbf, MTTR: *mttr, Horizon: *chaosHorizon, Seed: *seed}
 	}
 	f, err := fleet.New(cfg)
 	if err != nil {
@@ -381,11 +418,21 @@ func main() {
 		if ac.Degrade {
 			mode = "degrade"
 		}
+		if ac.Modeled {
+			mode += "-modeled"
+		}
 		fmt.Printf("admission: mode=%s max-wait=%d\n", mode, ac.MaxWait)
 	}
 	if as := f.Config().Autoscale; as.Enabled {
 		fmt.Printf("autoscale: min=%d max=%d high=%g low=%g delay=%d epoch=%d\n",
 			as.Min, as.Max, as.High, as.Low, as.Delay, as.Epoch)
+	}
+	if ch := f.Config().Chaos; ch.Enabled {
+		if len(ch.Trace) > 0 {
+			fmt.Printf("chaos: trace %s\n", fleet.FormatChaos(ch.Trace))
+		} else {
+			fmt.Printf("chaos: mtbf=%g mttr=%g horizon=%d seed=%d\n", ch.MTBF, ch.MTTR, ch.Horizon, ch.Seed)
+		}
 	}
 	// The SLO header echoes the generation parameters actually used;
 	// trace runs carry per-entry deadlines, so only the mode applies.

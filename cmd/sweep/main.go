@@ -13,9 +13,10 @@
 //	sweep -config grid.json -out sweep.json
 //	sweep -delta baseline.csv new.csv
 //
-// Axes are comma-separated except -rosters, whose elements themselves
-// contain commas ("2xGTX480,2xSmall-8SM") and are therefore separated
-// by semicolons. -config reads the same grid as JSON (see
+// Axes are comma-separated except -rosters and -chaoses, whose
+// elements themselves contain commas ("2xGTX480,2xSmall-8SM";
+// "fail@50000:0,restore@200000:0") and are therefore separated by
+// semicolons. -config reads the same grid as JSON (see
 // internal/sweep.Grid); explicit axis flags override the file's axes.
 // -out picks the format by extension (.json = JSON, otherwise CSV);
 // without -out the CSV goes to stdout.
@@ -52,6 +53,7 @@ func main() {
 	slos := flag.String("slo", "", "comma-separated SLO modes: off, priority, preempt (default off)")
 	admissions := flag.String("admissions", "", "comma-separated admission modes: off, reject:MAXWAIT, degrade:MAXWAIT (default off)")
 	autoscales := flag.String("autoscales", "", "comma-separated elastic-roster bounds: off or MIN:MAX (default off)")
+	chaoses := flag.String("chaoses", "", "semicolon-separated failure schedules: off, KIND@CYCLE:DEV,... traces, or mtbf:MTBF:MTTR[:HORIZON] (default off)")
 	shards := flag.String("shards", "", "comma-separated event-loop shard counts for the modeled engine (default 1)")
 	nc := flag.Int("nc", 0, "co-run group size per device (0 = default 2)")
 	jobs := flag.Int("jobs", 0, "arriving jobs per cell (0 = default 32)")
@@ -107,6 +109,7 @@ func main() {
 	axis(&g.SLOs, *slos, ",")
 	axis(&g.Admissions, *admissions, ",")
 	axis(&g.Autoscales, *autoscales, ",")
+	axis(&g.Chaoses, *chaoses, ";")
 	if *shards != "" {
 		g.Shards = g.Shards[:0]
 		for _, v := range strings.Split(*shards, ",") {

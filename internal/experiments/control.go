@@ -25,8 +25,10 @@ func (s *Suite) meanSoloCycles() uint64 {
 // FleetAdmission is the admission-control ablation under a flash
 // crowd: a closed-loop client pool far larger than the fleet's service
 // capacity submits latency-heavy traffic, and the same crowd is served
-// with admission off, with over-bound submissions rejected, and with
-// them degraded to the batch class. Clients think between requests, so
+// with admission off, with over-bound submissions rejected (pricing the
+// backlog by solo estimates and, in the modeled variant, by
+// interference-inflated co-run estimates), and with them degraded to
+// the batch class. Clients think between requests, so
 // a rejection genuinely sheds load rather than returning instantly.
 // The artifact reports what admission buys the latency class
 // (deadline-miss rate, tail wait) and what it costs (rejections or
@@ -52,6 +54,7 @@ func (s *Suite) FleetAdmission() (Artifact, error) {
 	}{
 		{"admission-off", fleet.AdmissionConfig{}},
 		{"admission-reject", fleet.AdmissionConfig{Enabled: true, MaxWait: maxWait}},
+		{"admission-reject-modeled", fleet.AdmissionConfig{Enabled: true, MaxWait: maxWait, Modeled: true}},
 		{"admission-degrade", fleet.AdmissionConfig{Enabled: true, MaxWait: maxWait, Degrade: true}},
 	}
 	a := Artifact{
@@ -105,6 +108,12 @@ func (s *Suite) FleetAdmission() (Artifact, error) {
 		off, rej, a.MustValue("rejected", "admission-reject")))
 	a.Notes = append(a.Notes, fmt.Sprintf("degrade mode: miss rate %.3f with 0 rejections and %.0f degradations (no work dropped)",
 		a.MustValue("deadline-miss rate", "admission-degrade"), a.MustValue("degraded", "admission-degrade")))
+	// A/B: the interference-aware predictor prices the backlog with
+	// co-run (slowed-down) estimates instead of solo cycles, so the same
+	// bound admits less optimistically.
+	a.Notes = append(a.Notes, fmt.Sprintf("interference-aware predictor: miss rate %.3f at %.0f rejections (solo-estimate reject: %.3f at %.0f)",
+		a.MustValue("deadline-miss rate", "admission-reject-modeled"), a.MustValue("rejected", "admission-reject-modeled"),
+		rej, a.MustValue("rejected", "admission-reject")))
 	return a, nil
 }
 

@@ -1,0 +1,71 @@
+package experiments
+
+import (
+	"sync"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/testkit"
+)
+
+var (
+	testPipeMu sync.Mutex
+	testPipe   *core.Pipeline
+)
+
+// testSuite builds a Suite over the miniature testkit device and
+// universe (calibrated once, shared across tests). Only scenarios that
+// draw their application names from the pipeline — not the full
+// workload list — can run on it; FleetChaos is written that way so the
+// failure-injection path has a fast deterministic smoke test.
+func testSuite(t *testing.T) *Suite {
+	t.Helper()
+	testPipeMu.Lock()
+	defer testPipeMu.Unlock()
+	if testPipe == nil {
+		p, err := core.New(testkit.Config())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := p.Init(testkit.Universe()); err != nil {
+			t.Fatal(err)
+		}
+		testPipe = p
+	}
+	return &Suite{P: testPipe, Seed: DefaultSeed}
+}
+
+// TestFleetChaosDeterministic reruns the failure-injection scenario
+// and demands byte-identical artifacts, then checks the physics the
+// scenario exists to demonstrate: a crash evicts in-flight work and a
+// planned drain does not, so the drain column never pays the fail
+// column's eviction count or tail wait.
+func TestFleetChaosDeterministic(t *testing.T) {
+	s := testSuite(t)
+	a, err := s.FleetChaos()
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := s.FleetChaos()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.String() != b.String() {
+		t.Fatalf("FleetChaos not deterministic:\n--- first\n%s\n--- second\n%s", a.String(), b.String())
+	}
+	for _, col := range []string{"fcfs-fail", "ilp-fail", "ilp-fail-autoscale", "ilp-drain"} {
+		if got := a.MustValue("restores", col); got != 2 {
+			t.Errorf("%s restores = %.0f, want 2", col, got)
+		}
+	}
+	if got := a.MustValue("chaos evictions", "ilp-drain"); got != 0 {
+		t.Errorf("drain evicted %.0f flights; drains must retire in-flight work", got)
+	}
+	if got := a.MustValue("chaos evictions", "ilp-fail"); got == 0 {
+		t.Errorf("fail wave evicted nothing; outage cycle misses all in-flight work")
+	}
+	drain, fail := a.MustValue("wait p99 (kcyc)", "ilp-drain"), a.MustValue("wait p99 (kcyc)", "ilp-fail")
+	if drain > fail {
+		t.Errorf("drain wait p99 %.1f kcyc > fail wait p99 %.1f kcyc; planned drain should not beat a crash's tail", drain, fail)
+	}
+}

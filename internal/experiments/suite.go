@@ -148,6 +148,7 @@ func (s *Suite) gens() []gen {
 		{"FleetAdmission", s.FleetAdmission},
 		{"FleetElastic", s.FleetElastic},
 		{"FleetSweep", s.FleetSweep},
+		{"FleetChaos", s.FleetChaos},
 	}
 }
 

@@ -85,6 +85,13 @@ type AdmissionConfig struct {
 	// class and deadline) instead of rejecting; batch submissions are
 	// always admitted in this mode.
 	Degrade bool
+	// Modeled switches the predictor's backlog estimate from the plain
+	// solo-work sum to the interference-aware one: each queued job's
+	// solo duration scaled by its class's expected co-run slowdown from
+	// the Modeled engine's MemberSlowdown tables (job.coEst), so a
+	// backlog of mutually hostile classes predicts longer waits than an
+	// equal amount of friendly work.
+	Modeled bool
 }
 
 // AutoscaleConfig parameterizes the elastic roster (Config.Autoscale).
@@ -153,12 +160,15 @@ func ParseAdmission(s string) (AdmissionConfig, error) {
 		return AdmissionConfig{}, fmt.Errorf("fleet: admission %q is not off, reject:MAXWAIT or degrade:MAXWAIT", s)
 	}
 	cfg := AdmissionConfig{Enabled: true}
-	switch strings.ToLower(mode) {
+	// A "-modeled" suffix selects the interference-aware predictor.
+	modeName, modeled := strings.CutSuffix(strings.ToLower(mode), "-modeled")
+	cfg.Modeled = modeled
+	switch modeName {
 	case "reject":
 	case "degrade":
 		cfg.Degrade = true
 	default:
-		return AdmissionConfig{}, fmt.Errorf("fleet: admission mode %q is not reject or degrade", mode)
+		return AdmissionConfig{}, fmt.Errorf("fleet: admission mode %q is not reject[-modeled] or degrade[-modeled]", mode)
 	}
 	w, err := strconv.ParseUint(bound, 10, 64)
 	if err != nil || w == 0 {
@@ -202,6 +212,11 @@ const (
 	evProvision
 	// evScale is the autoscaler's periodic pressure check.
 	evScale
+	// evFail, evDrain and evRestore are the chaos layer's scheduled
+	// device actions (aux = device index; see chaos.go).
+	evFail
+	evDrain
+	evRestore
 )
 
 // ctlEvent is one scheduled control action. seq is the push sequence,
@@ -307,12 +322,31 @@ type loopCtl struct {
 	scaleArmed bool
 	// rmBuf is the single-job scratch abandon passes to removeJobs.
 	rmBuf [1]*job
+
+	// Chaos state over the loop's devices, indexed by global device
+	// index. A failed or draining device is "down": it never sits in
+	// the idle heap and the dispatch pass never sees it. downActive
+	// counts down devices the autoscaler holds active, so the effective
+	// roster (upActive) prices outages into pressure and predicted
+	// wait. Failure is not decommissioning: active/activeCount are
+	// untouched, so a restore needs no provisioning delay.
+	failed        []bool
+	draining      []bool
+	failedCount   int
+	drainingCount int
+	downActive    int
+	// onChaosEvict is the owning loop's bookkeeping hook for a chaos
+	// eviction (sampler busy span, hybrid warm-up refund, worker
+	// tracking); the shared handler does the queue/heap/accounting
+	// work first, then invokes it.
+	onChaosEvict func(fl *inflight, now uint64)
 }
 
 // ctlEnabled reports whether any control surface is configured — the
 // loops allocate a loopCtl exactly then.
 func (f *Fleet) ctlEnabled() bool {
-	return f.cfg.Closed.Enabled || f.cfg.Admission.Enabled || f.cfg.Autoscale.Enabled
+	return f.cfg.Closed.Enabled || f.cfg.Admission.Enabled || f.cfg.Autoscale.Enabled ||
+		f.cfg.Chaos.Enabled
 }
 
 // newLoopCtl wires a control block to one event loop. devices is the
@@ -331,6 +365,7 @@ func (f *Fleet) newLoopCtl(res *Result, queue *jobQueue, idleDevs *deviceHeap, f
 		f: f, res: res, queue: queue, idleDevs: idleDevs,
 		flightOf: flightOf, slot: slot, remaining: remaining,
 		active: make([]bool, total), pending: make([]bool, total),
+		failed: make([]bool, total), draining: make([]bool, total),
 		minDev: minDev, maxDev: maxDev, devices: devices,
 	}
 	want := len(devices)
@@ -392,6 +427,121 @@ func (c *loopCtl) step(now uint64) {
 		c.provision(ev.aux)
 	case evScale:
 		c.scaleTick(now)
+	case evFail:
+		c.chaosFail(ev.aux, now)
+	case evDrain:
+		c.chaosDrain(ev.aux)
+	case evRestore:
+		c.chaosRestore(ev.aux)
+	}
+}
+
+// initChaos schedules this loop's share of the chaos events (the
+// classic loop owns every device; a shard skips devices it does not
+// own). Called before initClients so the heap's tie-break sequence is
+// a pure function of the configuration.
+func (c *loopCtl) initChaos(events []ChaosEvent) {
+	for _, ev := range events {
+		if c.slot[ev.Device] < 0 {
+			continue
+		}
+		var k ctlKind
+		switch ev.Kind {
+		case ChaosFail:
+			k = evFail
+		case ChaosDrain:
+			k = evDrain
+		default:
+			k = evRestore
+		}
+		c.push(ctlEvent{cycle: ev.Cycle, kind: k, aux: ev.Device})
+	}
+}
+
+// deviceUp reports whether device d may accept dispatches: neither
+// failed nor draining. Retire sites gate their idle-heap push on it so
+// a down device never re-enters placement order.
+func (c *loopCtl) deviceUp(d int) bool { return !c.failed[d] && !c.draining[d] }
+
+// upActive is the effective roster: active devices that are actually
+// serving. The autoscaler's pressure and the admission predictor both
+// divide by it, which is what makes a failure raise pressure (and may
+// provision a spare) instead of silently shrinking the denominator's
+// meaning.
+func (c *loopCtl) upActive() int { return c.activeCount - c.downActive }
+
+// chaosFail kills device d at cycle now. An in-flight group is evicted
+// with checkpointed progress (trigger "chaos") and its jobs re-enter
+// the queue; an idle device just leaves the idle heap. Failing a
+// draining or already-failed device only hardens the state.
+func (c *loopCtl) chaosFail(d int, now uint64) {
+	if c.failed[d] {
+		return
+	}
+	wasDown := c.draining[d]
+	if wasDown {
+		c.draining[d] = false
+		c.drainingCount--
+	}
+	c.failed[d] = true
+	c.failedCount++
+	c.res.Failures++
+	if c.active[d] && !wasDown {
+		c.downActive++
+	}
+	if fl := c.flightOf[c.slot[d]]; fl != nil {
+		c.f.evictAs(fl, chaosTriggerID, now, c.res)
+		c.res.ChaosEvictions++
+		fl.state = flightEvicted
+		c.flightOf[c.slot[d]] = nil
+		if c.onChaosEvict != nil {
+			c.onChaosEvict(fl, now)
+		}
+		for _, j := range fl.jobs {
+			c.queue.insert(j)
+		}
+	} else {
+		c.idleDevs.remove(d)
+	}
+}
+
+// chaosDrain stops new dispatch on device d: it leaves the idle heap,
+// but a group in flight retires normally (the retire site's deviceUp
+// gate keeps the device out of placement order afterwards).
+func (c *loopCtl) chaosDrain(d int) {
+	if c.failed[d] || c.draining[d] {
+		return
+	}
+	c.draining[d] = true
+	c.drainingCount++
+	c.res.Drains++
+	if c.active[d] {
+		c.downActive++
+	}
+	c.idleDevs.remove(d)
+}
+
+// chaosRestore returns a failed or draining device to service: if the
+// autoscaler holds it active and no flight is still retiring on it, it
+// re-enters the idle heap immediately.
+func (c *loopCtl) chaosRestore(d int) {
+	if !c.failed[d] && !c.draining[d] {
+		return
+	}
+	if c.failed[d] {
+		c.failed[d] = false
+		c.failedCount--
+	}
+	if c.draining[d] {
+		c.draining[d] = false
+		c.drainingCount--
+	}
+	c.res.Restores++
+	if c.active[d] {
+		c.downActive--
+		if c.flightOf[c.slot[d]] == nil {
+			c.idleDevs.push(d)
+		}
 	}
 }
 
@@ -457,8 +607,12 @@ func (c *loopCtl) admit(j *job, now uint64) bool {
 // predictedWait estimates the queueing wait a submission arriving now
 // would see: zero with an idle active device; otherwise the time until
 // the first device frees (the model's predicted completion — exact
-// under the Modeled engine) plus the queued backlog's solo work spread
-// over the active devices.
+// under the Modeled engine) plus the queued backlog's work spread over
+// the effective (up) roster. Down devices are priced out on both
+// sides: a draining device's flight frees no capacity when it retires,
+// and a failed device contributes nothing to the denominator. With
+// Admission.Modeled the backlog term uses the interference-aware
+// per-job estimate (queue.cowork) instead of the plain solo sum.
 func (c *loopCtl) predictedWait(now uint64) uint64 {
 	if len(c.idleDevs.v) > 0 {
 		return 0
@@ -466,6 +620,9 @@ func (c *loopCtl) predictedWait(now uint64) uint64 {
 	earliest := uint64(math.MaxUint64)
 	for _, fl := range c.flightOf {
 		if fl == nil {
+			continue
+		}
+		if !c.deviceUp(fl.device) {
 			continue
 		}
 		if free := c.f.predictedFree(fl); free < earliest {
@@ -476,8 +633,12 @@ func (c *loopCtl) predictedWait(now uint64) uint64 {
 	if earliest != math.MaxUint64 && earliest > now {
 		wait = earliest - now
 	}
-	if c.activeCount > 0 {
-		wait += c.queue.work / uint64(c.activeCount)
+	if up := c.upActive(); up > 0 {
+		work := c.queue.work
+		if c.f.cfg.Admission.Modeled {
+			work = c.queue.cowork
+		}
+		wait += work / uint64(up)
 	}
 	return wait
 }
@@ -574,25 +735,35 @@ func (c *loopCtl) scaleTick(now uint64) {
 		return
 	}
 	as := &c.f.cfg.Autoscale
-	pressure := float64(c.queue.Len()) / float64(c.activeCount)
-	if pressure > as.High && c.activeCount+c.pendingProv < c.maxDev {
-		// Scale up: the first inactive, non-provisioning device in
-		// placement order starts provisioning and joins after the delay.
+	// Pressure is measured against the effective roster: a failed
+	// device is not a decommission, but it serves nothing, so the same
+	// queue reads as proportionally more pressure during an outage and
+	// the walk may provision a spare around it. (With every device
+	// down the division yields +Inf, which always trips the high
+	// watermark.) Without chaos, upActive == activeCount exactly.
+	pressure := float64(c.queue.Len()) / float64(c.upActive())
+	if pressure > as.High && c.upActive()+c.pendingProv < c.maxDev {
+		// Scale up: the first inactive, non-provisioning, serving
+		// device in placement order starts provisioning and joins
+		// after the delay. Down devices are skipped — provisioning a
+		// failed device would add no capacity.
 		for _, d := range c.devices {
-			if !c.active[d] && !c.pending[d] {
+			if !c.active[d] && !c.pending[d] && c.deviceUp(d) {
 				c.pending[d] = true
 				c.pendingProv++
 				c.push(ctlEvent{cycle: now + as.Delay, kind: evProvision, aux: d})
 				break
 			}
 		}
-	} else if pressure < as.Low && c.activeCount > c.minDev {
-		// Scale down: release the last active idle device in placement
-		// order (the slowest), immediately. Busy devices are never
-		// released — they retire their flight first.
+	} else if pressure < as.Low && c.upActive() > c.minDev {
+		// Scale down: release the last active idle serving device in
+		// placement order (the slowest), immediately. Busy devices are
+		// never released — they retire their flight first — and down
+		// devices are not decommissioned: their outage is transient
+		// state the restore undoes, not a roster decision.
 		for i := len(c.devices) - 1; i >= 0; i-- {
 			d := c.devices[i]
-			if c.active[d] && c.flightOf[c.slot[d]] == nil {
+			if c.active[d] && c.deviceUp(d) && c.flightOf[c.slot[d]] == nil {
 				c.active[d] = false
 				c.activeCount--
 				c.idleDevs.remove(d)
@@ -604,13 +775,18 @@ func (c *loopCtl) scaleTick(now uint64) {
 	c.push(ctlEvent{cycle: now + c.epoch, kind: evScale})
 }
 
-// provision completes a scale-up: device d is active and idle.
+// provision completes a scale-up: device d is active, and idle unless
+// chaos took it down while it was provisioning.
 func (c *loopCtl) provision(d int) {
 	c.pending[d] = false
 	c.pendingProv--
 	c.active[d] = true
 	c.activeCount++
 	c.res.Provisions++
+	if !c.deviceUp(d) {
+		c.downActive++
+		return
+	}
 	c.idleDevs.push(d)
 }
 

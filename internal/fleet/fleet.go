@@ -5,6 +5,7 @@ import (
 	"sort"
 	"strings"
 
+	"repro/internal/classify"
 	"repro/internal/core"
 	"repro/internal/match"
 	"repro/internal/sched"
@@ -100,6 +101,10 @@ type Config struct {
 	// Autoscale grows and shrinks the active roster on queue-pressure
 	// watermarks with a provisioning delay (see AutoscaleConfig).
 	Autoscale AutoscaleConfig
+	// Chaos injects deterministic device failures, drains and restores
+	// mid-run, from an explicit trace or an MTBF/MTTR generator (see
+	// ChaosConfig, chaos.go).
+	Chaos ChaosConfig
 
 	// forceSpec makes the event loop pre-simulate likely next groups
 	// even on a single-CPU host, where speculation otherwise only burns
@@ -167,6 +172,7 @@ func (c Config) withDefaults() Config {
 		}
 	}
 	c.SLO = c.SLO.withDefaults()
+	c.Chaos = c.Chaos.withDefaults()
 	return c
 }
 
@@ -285,6 +291,9 @@ func (c Config) validate() error {
 	if c.Admission.Enabled && c.Admission.MaxWait == 0 {
 		return fmt.Errorf("fleet: admission control needs a positive wait bound")
 	}
+	if err := c.Chaos.validate(c.TotalDevices()); err != nil {
+		return err
+	}
 	if c.Autoscale.Enabled {
 		if c.Autoscale.Min < 1 || c.Autoscale.Min > c.Autoscale.Max || c.Autoscale.Max > c.TotalDevices() {
 			return fmt.Errorf("fleet: autoscale bounds %d..%d invalid for a %d-device roster",
@@ -340,6 +349,14 @@ type Fleet struct {
 	effAll     [][]float64
 	ncPatterns []match.Pattern
 	ncEff      [][]float64
+
+	// meanSlow[t][cls] is the mean co-run slowdown the type-t
+	// interference matrix predicts for a class-cls job over uniform
+	// NC-1-partner company, averaged across partner classes — the
+	// modeled admission predictor's per-job inflation factor (resolve
+	// bakes it into job.coEst). Nil when any type lacks a matrix or
+	// NC < 2; coEst then equals soloEst.
+	meanSlow [][]float64
 }
 
 // New builds a fleet over the configured roster.
@@ -370,7 +387,41 @@ func New(cfg Config) (*Fleet, error) {
 		f.orderPos[d] = pos
 	}
 	f.buildMatchTables()
+	f.buildMeanSlow()
 	return f, nil
+}
+
+// buildMeanSlow precomputes the per-type per-class mean co-run slowdown
+// tables the modeled admission predictor reads. It mirrors
+// coRunCycles's uniform-company patterns but takes the mean over
+// partner classes instead of the worst case: admission wants the
+// expected backlog drain time, not deadline-protection pessimism.
+func (f *Fleet) buildMeanSlow() {
+	if f.cfg.NC < 2 {
+		return
+	}
+	tables := make([][]float64, len(f.types))
+	for t, pipe := range f.types {
+		m := pipe.Matrix()
+		if m == nil {
+			return
+		}
+		table := make([]float64, classify.NumClasses)
+		p := make(match.Pattern, f.cfg.NC)
+		for cls := classify.Class(0); cls < classify.NumClasses; cls++ {
+			sum := 0.0
+			for c := classify.Class(0); c < classify.NumClasses; c++ {
+				p[0] = cls
+				for i := 1; i < f.cfg.NC; i++ {
+					p[i] = c
+				}
+				sum += match.MemberSlowdown(m, p, 0)
+			}
+			table[cls] = sum / float64(classify.NumClasses)
+		}
+		tables[t] = table
+	}
+	f.meanSlow = tables
 }
 
 // NewHomogeneous builds a fleet of count identical devices over one

@@ -128,6 +128,57 @@ func FuzzParseTrace(f *testing.F) {
 	})
 }
 
+// FuzzParseChaos drives the KIND@CYCLE:DEV chaos-trace parser with
+// arbitrary input: never panic, and accepted inputs round-trip through
+// FormatChaos, the canonical rendering.
+func FuzzParseChaos(f *testing.F) {
+	for _, seed := range []string{
+		"fail@1000:2", "drain@0:0", "restore@500:1",
+		"fail@1000:0,restore@2000:0", "FAIL@9:3", " fail@5:0 , drain@6:1 ",
+		"fail@18446744073709551615:0", "fail@18446744073709551616:0",
+		"", ",", "fail", "fail@", "fail@5", "fail@5:", "fail@:1",
+		"fail@-5:0", "fail@5:-1", "fail@5.5:0", "evict@5:0", "@5:0",
+		"fail@5:0,", "fail@5:0:9",
+	} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, s string) {
+		events, err := ParseChaos(s)
+		if err != nil {
+			return
+		}
+		if len(events) == 0 {
+			t.Fatalf("ParseChaos(%q) accepted with no events", s)
+		}
+		for _, ev := range events {
+			if ev.Device < 0 {
+				t.Fatalf("ParseChaos(%q) produced device %d", s, ev.Device)
+			}
+			switch ev.Kind {
+			case ChaosFail, ChaosDrain, ChaosRestore:
+			default:
+				t.Fatalf("ParseChaos(%q) produced kind %v", s, ev.Kind)
+			}
+		}
+		canon := FormatChaos(events)
+		again, err := ParseChaos(canon)
+		if err != nil {
+			t.Fatalf("ParseChaos(%q) round-trip %q rejected: %v", s, canon, err)
+		}
+		if len(again) != len(events) {
+			t.Fatalf("ParseChaos(%q) round-trip %q: %d events, want %d", s, canon, len(again), len(events))
+		}
+		for i := range events {
+			if again[i] != events[i] {
+				t.Fatalf("ParseChaos(%q) round-trip %q: event %d = %+v, want %+v", s, canon, i, again[i], events[i])
+			}
+		}
+		if FormatChaos(again) != canon {
+			t.Fatalf("ParseChaos(%q): canonical form %q is not a fixed point", s, canon)
+		}
+	})
+}
+
 // FuzzParseControls drives the admission and autoscale spelling
 // parsers together (they share the PREFIX:VALUE shape): never panic,
 // and accepted inputs re-parse to the same configuration.

@@ -33,8 +33,12 @@ type jobQueue struct {
 	latency int
 	// work sums the waiting jobs' mean solo cycles (job.soloEst),
 	// maintained alongside latency so the admission predictor reads the
-	// backlog's service demand in O(1).
-	work uint64
+	// backlog's service demand in O(1). cowork sums the
+	// interference-inflated estimates (job.coEst) the modeled predictor
+	// reads instead; both are two integer ops per mutation, so they are
+	// kept unconditionally.
+	work   uint64
+	cowork uint64
 }
 
 // Len is the number of waiting jobs.
@@ -70,6 +74,7 @@ func (q *jobQueue) insert(j *job) {
 		q.latency++
 	}
 	q.work += j.soloEst
+	q.cowork += j.coEst
 	j.state = jsWaiting
 	v := q.view()
 	pos := sort.Search(len(v), func(i int) bool { return q.before(j, v[i]) })
@@ -90,6 +95,7 @@ func (q *jobQueue) advance(n int) {
 			q.latency--
 		}
 		q.work -= q.buf[k].soloEst
+		q.cowork -= q.buf[k].coEst
 		q.buf[k] = nil
 	}
 	q.head += n
@@ -120,6 +126,7 @@ func (q *jobQueue) removeJobs(members []*job) {
 				q.latency--
 			}
 			q.work -= q.buf[i].soloEst
+			q.cowork -= q.buf[i].coEst
 		} else {
 			kept = append(kept, q.buf[i])
 		}

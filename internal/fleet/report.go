@@ -152,12 +152,13 @@ type Result struct {
 	// the column layout and renderings). Like the summary, it is
 	// deterministic: same seed and configuration, byte-identical series.
 	Series *obs.Series
-	// Closed, Admission and Autoscale record which control surfaces the
-	// run had enabled; the control counters below are only meaningful
-	// (and only rendered) when one of them is set.
+	// Closed, Admission, Autoscale and Chaos record which control
+	// surfaces the run had enabled; the control counters below are only
+	// meaningful (and only rendered) when one of them is set.
 	Closed    bool
 	Admission bool
 	Autoscale bool
+	Chaos     bool
 	// Submitted counts submissions (closed-loop attempts include
 	// retries); Rejected, Degraded and Abandoned are admission and
 	// timeout outcomes per attempt; Retried counts resubmissions.
@@ -171,6 +172,13 @@ type Result struct {
 	// Provisions and Decommissions count autoscale roster changes.
 	Provisions    int
 	Decommissions int
+	// Failures, Drains and Restores count executed chaos events;
+	// ChaosEvictions counts the in-flight groups failures killed (also
+	// present in Evictions with TriggerJob = chaosTriggerID).
+	Failures       int
+	Drains         int
+	Restores       int
+	ChaosEvictions int
 }
 
 // CompletedJobs counts jobs that ran to completion.
@@ -379,12 +387,16 @@ func (r Result) Summary() string {
 	}
 	// The control block appears exactly when a control surface was on,
 	// so open-loop runs keep the historical (golden-locked) shape.
-	if r.Closed || r.Admission || r.Autoscale {
+	if r.Closed || r.Admission || r.Autoscale || r.Chaos {
 		fmt.Fprintf(&b, "control     submitted=%d completed=%d rejected=%d degraded=%d abandoned=%d retried=%d\n",
 			r.Submitted, r.CompletedJobs(), r.Rejected, r.Degraded, r.Abandoned, r.Retried)
 	}
 	if r.Autoscale {
 		fmt.Fprintf(&b, "autoscale   provisions=%d decommissions=%d\n", r.Provisions, r.Decommissions)
+	}
+	if r.Chaos {
+		fmt.Fprintf(&b, "chaos       failures=%d drains=%d restores=%d evictions=%d\n",
+			r.Failures, r.Drains, r.Restores, r.ChaosEvictions)
 	}
 	// The shard count is deliberately absent: the summary reports
 	// simulated accounting only, and omitting the knob keeps shards=1

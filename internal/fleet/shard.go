@@ -1,6 +1,7 @@
 package fleet
 
 import (
+	"fmt"
 	"math"
 	"runtime"
 	"sort"
@@ -101,6 +102,14 @@ func (f *Fleet) newShards() []*shard {
 		s.devices = append(s.devices, d)
 	}
 	ctlOn := f.ctlEnabled()
+	// The chaos schedule is resolved once, globally; each shard's ctl
+	// keeps only the events for devices it owns (initChaos drops foreign
+	// ones via the slot map), so every schedule event executes exactly
+	// once regardless of the shard count.
+	var chaosEvents []ChaosEvent
+	if f.cfg.Chaos.Enabled {
+		chaosEvents = f.resolveChaos()
+	}
 	for _, s := range shards {
 		// Ascending global index keeps the sampler's local device columns
 		// (and the busy accounting) in global order within the shard.
@@ -129,6 +138,18 @@ func (f *Fleet) newShards() []*shard {
 			}
 			s.ctl = f.newLoopCtl(&s.res, &s.queue, &s.idleDevs, s.flightOf,
 				s.slot, &s.remaining, pdevs, minD, maxD)
+			if chaosEvents != nil {
+				s.ctl.initChaos(chaosEvents)
+				// Shards are modeled-only, so a failed flight needs no
+				// worker bookkeeping — only its busy time on the shard's
+				// local sampler column (the closure reads s.col at fire
+				// time, after it is built below).
+				s.ctl.onChaosEvict = func(fl *inflight, at uint64) {
+					if s.col != nil {
+						s.col.addBusy(s.slot[fl.device], fl.dispatch, at)
+					}
+				}
+			}
 		}
 		for _, d := range s.devices {
 			if s.ctl == nil || s.ctl.active[d] {
@@ -136,7 +157,7 @@ func (f *Fleet) newShards() []*shard {
 			}
 		}
 		if f.cfg.SampleEvery > 0 {
-			s.col = newSampler(f.cfg.SampleEvery, len(s.devices), ctlOn)
+			s.col = newSampler(f.cfg.SampleEvery, len(s.devices), ctlOn, f.cfg.Chaos.Enabled)
 			s.col.ctl = s.ctl
 		}
 	}
@@ -215,7 +236,7 @@ func (s *shard) runUntil(limit uint64) {
 		// shard's flights only (a latency job can only be rescued by a
 		// device its shard owns — the router decided its shard).
 		if f.cfg.SLO.Preempt && s.queue.Len() > 0 && s.queue.at(0).slo == Latency {
-			if victim := f.preemptVictim(s.queue.at(0), s.flightOf, s.now); victim != nil {
+			if victim := f.preemptVictim(s.queue.at(0), s.flightOf, s.ctl, s.now); victim != nil {
 				f.evict(victim, s.queue.at(0), s.now, &s.res)
 				if s.col != nil {
 					// The aborted attempt's device time is real busy time.
@@ -254,6 +275,10 @@ func (s *shard) runUntil(limit uint64) {
 			next = cTime
 		}
 		if next >= limit {
+			if limit == inf && s.remaining > 0 && s.ctl != nil {
+				s.stall()
+				return
+			}
 			// Park at the barrier. Between the last processed event and
 			// the barrier the shard's state is constant, so sampler edges
 			// in that span emit identically on the next advance.
@@ -290,12 +315,27 @@ func (s *shard) runUntil(limit uint64) {
 		}
 		s.remaining -= len(cBest.jobs)
 		s.flightOf[s.slot[cBest.device]] = nil
-		s.idleDevs.push(cBest.device)
+		if s.ctl == nil || s.ctl.deviceUp(cBest.device) {
+			// A draining device's last flight retires it out of placement
+			// order; a restore pushes it back.
+			s.idleDevs.push(cBest.device)
+		}
 		if s.ctl != nil {
 			s.ctl.onRetire(cBest, s.now)
 		}
 		s.disp.recycle(cBest)
 	}
+}
+
+// stall records the permanently-stalled-shard error: the final drain
+// found no future event while jobs remain, which only chaos can cause
+// (every owned device failed or draining with no restore scheduled) —
+// fail loudly instead of parking forever and merging a silent
+// shortfall. Split out of runUntil to keep the hot path free of
+// formatting state.
+func (s *shard) stall() {
+	s.err = fmt.Errorf("fleet: shard %d stalled with %d jobs outstanding (%d devices failed, %d draining, and no restore scheduled)",
+		s.id, s.remaining, s.ctl.failedCount, s.ctl.drainingCount)
 }
 
 // runSharded is the coordinator: it routes arrivals epoch by epoch and
@@ -421,6 +461,7 @@ func (f *Fleet) mergeShards(shards []*shard, jobs []*job) (Result, error) {
 		Closed:     f.cfg.Closed.Enabled,
 		Admission:  f.cfg.Admission.Enabled,
 		Autoscale:  f.cfg.Autoscale.Enabled,
+		Chaos:      f.cfg.Chaos.Enabled,
 		DeviceBusy: make([]uint64, devices),
 	}
 	for d := range f.devType {
@@ -447,6 +488,10 @@ func (f *Fleet) mergeShards(shards []*shard, jobs []*job) (Result, error) {
 		res.Retried += s.res.Retried
 		res.Provisions += s.res.Provisions
 		res.Decommissions += s.res.Decommissions
+		res.Failures += s.res.Failures
+		res.Drains += s.res.Drains
+		res.Restores += s.res.Restores
+		res.ChaosEvictions += s.res.ChaosEvictions
 		res.Evictions = append(res.Evictions, s.res.Evictions...)
 	}
 	// Within a shard eviction records are in event order, and one device

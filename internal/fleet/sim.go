@@ -46,6 +46,11 @@ type job struct {
 	// (0 when never calibrated): the queue's O(1) backlog-work counter
 	// and the admission predictor read it without touching profiles.
 	soloEst uint64
+	// coEst is soloEst inflated by the interference matrices' mean
+	// co-run slowdown for this job's class (equal to soloEst when no
+	// matrix is calibrated): the modeled admission predictor's
+	// backlog-work unit.
+	coEst uint64
 }
 
 // soloProfile is one job's cached solo-run profile on one device type:
@@ -230,6 +235,7 @@ func (f *Fleet) Run(arrivals []Arrival) (Result, error) {
 		Closed:     closed,
 		Admission:  f.cfg.Admission.Enabled,
 		Autoscale:  f.cfg.Autoscale.Enabled,
+		Chaos:      f.cfg.Chaos.Enabled,
 		DeviceBusy: make([]uint64, devices),
 	}
 	for d := range f.devType {
@@ -297,6 +303,13 @@ func (f *Fleet) Run(arrivals []Arrival) (Result, error) {
 	if f.ctlEnabled() {
 		ctl = f.newLoopCtl(&res, &queue, &idleDevs, flightOf, nil, &remaining,
 			f.order, f.cfg.Autoscale.Min, f.cfg.Autoscale.Max)
+		// Chaos events enter the heap first, so at equal cycles a failure
+		// fires before that cycle's client submissions and timers (lower
+		// push seq) — a submission never races onto a device the same
+		// cycle kills.
+		if f.cfg.Chaos.Enabled {
+			ctl.initChaos(f.resolveChaos())
+		}
 		if closed {
 			ids := make([]int, f.cfg.Closed.Clients)
 			for i := range ids {
@@ -316,8 +329,27 @@ func (f *Fleet) Run(arrivals []Arrival) (Result, error) {
 	// loop pays exactly one pointer check per time advance.
 	var col *sampler
 	if f.cfg.SampleEvery > 0 {
-		col = newSampler(f.cfg.SampleEvery, devices, ctl != nil)
+		col = newSampler(f.cfg.SampleEvery, devices, ctl != nil, f.cfg.Chaos.Enabled)
 		col.ctl = ctl
+	}
+	if ctl != nil {
+		// Failure evictions need the same side bookkeeping the
+		// preemption block below does: the aborted attempt's device time
+		// is busy time, a Hybrid warm-up refunds its calibration slot,
+		// and a Cycle-engine worker must be waited out before Run
+		// returns. The freed device stays out of the idle heap —
+		// chaosFail owns that.
+		ctl.onChaosEvict = func(fl *inflight, at uint64) {
+			if col != nil {
+				col.addBusy(fl.device, fl.dispatch, at)
+			}
+			if fl.calKey != "" {
+				hybrid[fl.calKey].started--
+				fl.calKey = ""
+			}
+			idle[fl.device] = true
+			abandoned = append(abandoned, fl)
+		}
 	}
 	defer func() {
 		for _, fl := range abandoned {
@@ -409,7 +441,7 @@ func (f *Fleet) Run(arrivals []Arrival) (Result, error) {
 		// completion, clear one running all-batch group and loop back so
 		// the dispatch pass places the trigger on the freed device.
 		if f.cfg.SLO.Preempt && queue.Len() > 0 && queue.at(0).slo == Latency {
-			if victim := f.preemptVictim(queue.at(0), flightOf, now); victim != nil {
+			if victim := f.preemptVictim(queue.at(0), flightOf, ctl, now); victim != nil {
 				f.evict(victim, queue.at(0), now, &res)
 				if col != nil {
 					// The aborted attempt's device time is real busy time.
@@ -485,7 +517,11 @@ func (f *Fleet) Run(arrivals []Arrival) (Result, error) {
 			remaining -= len(cBest.jobs)
 			flightOf[cBest.device] = nil
 			idle[cBest.device] = true
-			idleDevs.push(cBest.device)
+			if ctl == nil || ctl.deviceUp(cBest.device) {
+				// A draining device's last flight retires it out of
+				// placement order; a restore pushes it back.
+				idleDevs.push(cBest.device)
+			}
 			if ctl != nil {
 				// Before recycle: closed-loop clients read the member
 				// references to schedule their next submissions.
@@ -533,6 +569,10 @@ func (f *Fleet) Run(arrivals []Arrival) (Result, error) {
 			uBest.state = flightResolved
 			resolved.push(uBest)
 		default:
+			if ctl != nil && ctl.failedCount+ctl.drainingCount > 0 {
+				return Result{}, fmt.Errorf("fleet: no dispatchable work with %d jobs outstanding (%d devices failed, %d draining, and no restore scheduled)",
+					remaining, ctl.failedCount, ctl.drainingCount)
+			}
 			return Result{}, fmt.Errorf("fleet: no dispatchable work with %d jobs outstanding", remaining)
 		}
 	}
@@ -626,16 +666,23 @@ func (f *Fleet) calibrate(cal *hybridCal, fl *inflight) error {
 // group shields a latency member), or the deadline is already
 // unreachable even on a device freed right now (eviction would burn
 // batch progress without saving anything).
-func (f *Fleet) preemptVictim(trigger *job, flightOf []*inflight, now uint64) *inflight {
+func (f *Fleet) preemptVictim(trigger *job, flightOf []*inflight, ctl *loopCtl, now uint64) *inflight {
 	// Waiting means the dispatch loop hands the queue head to the FIRST
 	// device that frees — there is no holding back for a faster one —
 	// so the no-eviction outcome is the co-run on that flight's own
 	// device type. Ties between simultaneously freeing devices resolve
 	// by placement order, exactly as the real dispatch pass scans them.
+	// A draining device's flight frees nothing dispatchable, so down
+	// devices are out on both sides of the decision: their completions
+	// never serve the trigger, and evicting them frees a device the
+	// dispatch pass would skip anyway.
 	var first *inflight
 	firstFree := uint64(math.MaxUint64)
 	for _, fl := range flightOf {
 		if fl == nil {
+			continue
+		}
+		if ctl != nil && !ctl.deviceUp(fl.device) {
 			continue
 		}
 		free := f.predictedFree(fl)
@@ -666,6 +713,9 @@ func (f *Fleet) preemptVictim(trigger *job, flightOf []*inflight, now uint64) *i
 	var victim *inflight
 	for _, fl := range flightOf {
 		if fl == nil {
+			continue
+		}
+		if ctl != nil && !ctl.deviceUp(fl.device) {
 			continue
 		}
 		evictable := true
@@ -730,6 +780,10 @@ func (f *Fleet) coRunCycles(j *job, t int) (uint64, bool) {
 	return uint64(float64(solo) * worst), true
 }
 
+// chaosTriggerID is the EvictionRecord.TriggerJob sentinel for
+// evictions forced by a device failure rather than a latency job.
+const chaosTriggerID = -1
+
 // evict aborts fl at cycle now: its jobs re-enter the queue with
 // checkpointed progress and the device frees immediately. Under the
 // Cycle engine the group's simulation keeps running on its worker — its
@@ -744,8 +798,16 @@ func (f *Fleet) coRunCycles(j *job, t int) (uint64, bool) {
 // checkpoints do not preserve plus the restart tax the re-dispatch will
 // pay.
 func (f *Fleet) evict(fl *inflight, trigger *job, now uint64, res *Result) {
+	f.evictAs(fl, trigger.id, now, res)
+}
+
+// evictAs is evict with an explicit trigger id, shared by preemption
+// (the trigger job's id) and the chaos layer (chaosTriggerID): both
+// re-queue the members through the same checkpoint model, so a failure
+// wastes exactly what a preemption of the same flight would have.
+func (f *Fleet) evictAs(fl *inflight, triggerID int, now uint64, res *Result) {
 	elapsed := now - fl.dispatch
-	rec := EvictionRecord{Cycle: now, Device: fl.device, TriggerJob: trigger.id}
+	rec := EvictionRecord{Cycle: now, Device: fl.device, TriggerJob: triggerID}
 	slo := f.cfg.SLO
 	for _, j := range fl.jobs {
 		before := j.progress
@@ -993,6 +1055,19 @@ func (f *Fleet) resolve(arrivals []Arrival) ([]*job, error) {
 		}
 		if cnt > 0 {
 			j.soloEst = est / cnt
+			j.coEst = j.soloEst
+			if f.meanSlow != nil {
+				// The interference-aware estimate: each calibrated type's
+				// solo duration inflated by the mean co-run slowdown the
+				// matrix predicts for this job's class there.
+				co := 0.0
+				for t := range f.types {
+					if sp := j.solo[t]; sp.ok {
+						co += float64(sp.cycles) * f.meanSlow[t][j.apps[t].Class]
+					}
+				}
+				j.coEst = uint64(co / float64(cnt))
+			}
 		}
 		j.arrival = arrivals[i].Cycle
 		j.slo = arrivals[i].SLO

@@ -129,7 +129,8 @@ type EvictionRecord struct {
 	Cycle uint64
 	// Device is the cleared device.
 	Device int
-	// TriggerJob is the waiting latency job the eviction protects.
+	// TriggerJob is the waiting latency job the eviction protects, or
+	// chaosTriggerID (-1) when a device failure forced the eviction.
 	TriggerJob int
 	// Jobs lists the evicted jobs' IDs in launch order.
 	Jobs []int
@@ -149,7 +150,11 @@ type EvictionRecord struct {
 // String renders the record as one deterministic trace line.
 func (e EvictionRecord) String() string {
 	var b strings.Builder
-	fmt.Fprintf(&b, "@%d d%d trigger=j%d evict=[", e.Cycle, e.Device, e.TriggerJob)
+	if e.TriggerJob < 0 {
+		fmt.Fprintf(&b, "@%d d%d trigger=chaos evict=[", e.Cycle, e.Device)
+	} else {
+		fmt.Fprintf(&b, "@%d d%d trigger=j%d evict=[", e.Cycle, e.Device, e.TriggerJob)
+	}
 	for i, id := range e.Jobs {
 		if i > 0 {
 			b.WriteByte(' ')

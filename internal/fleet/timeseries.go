@@ -55,6 +55,10 @@ type sampler struct {
 	// conditional keeps control-free series byte-identical to the
 	// historical (golden-locked) layout.
 	extra bool
+	// chaos appends the chaos-column block (failed/draining gauges)
+	// after the control block; it is only ever set together with extra,
+	// because chaos enables the control surface.
+	chaos bool
 	fixed int
 	// ctl is the owning loop's control block (nil without one); emit
 	// reads its active-device gauge.
@@ -102,12 +106,27 @@ const (
 	numCtlCols = iota
 )
 
+// The chaos-column block, present exactly when failure injection is
+// configured (sampler.chaos): gauges of how many devices are currently
+// failed or draining. Chaos implies a control surface (ctlEnabled), so
+// the block always follows the control block and these absolute
+// offsets hold whenever it is emitted.
+const (
+	colFailedDevices = numFixedCols + numCtlCols + iota
+	colDrainingDevices
+	numChaosCols = iota
+)
+
 // newSampler builds the sampler for a fleet of the given device count.
-// extra appends the control-column block ahead of the per-device pairs.
-func newSampler(interval uint64, devices int, extra bool) *sampler {
+// extra appends the control-column block ahead of the per-device pairs;
+// chaos appends the failed/draining gauges after it.
+func newSampler(interval uint64, devices int, extra, chaos bool) *sampler {
 	fixed := numFixedCols
 	if extra {
 		fixed += numCtlCols
+	}
+	if chaos {
+		fixed += numChaosCols
 	}
 	cols := make([]string, 0, fixed+2*devices)
 	cols = append(cols, "cycle", "queue", "queue_latency", "queue_batch",
@@ -116,6 +135,9 @@ func newSampler(interval uint64, devices int, extra bool) *sampler {
 	if extra {
 		cols = append(cols, "submitted", "rejected", "degraded",
 			"abandoned", "retried", "active_devices")
+	}
+	if chaos {
+		cols = append(cols, "failed_devices", "draining_devices")
 	}
 	for d := 0; d < devices; d++ {
 		cols = append(cols, fmt.Sprintf("d%d_inflight", d))
@@ -127,6 +149,7 @@ func newSampler(interval uint64, devices int, extra bool) *sampler {
 		interval: interval,
 		devices:  devices,
 		extra:    extra,
+		chaos:    chaos,
 		fixed:    fixed,
 		series:   obs.NewSeries(interval, cols, 64),
 		scratch:  make([]uint64, len(cols)),
@@ -225,6 +248,15 @@ func (s *sampler) emit(edge uint64, q *jobQueue, flightOf []*inflight, res *Resu
 		}
 		row[colActiveDevices] = active
 	}
+	if s.chaos {
+		failed, draining := uint64(0), uint64(0)
+		if s.ctl != nil {
+			failed = uint64(s.ctl.failedCount)
+			draining = uint64(s.ctl.drainingCount)
+		}
+		row[colFailedDevices] = failed
+		row[colDrainingDevices] = draining
+	}
 	// Busy cycles are merged later (finish), once every overlapping
 	// flight has retired; zero them here so a reused scratch row cannot
 	// leak a previous sample's values.
@@ -246,7 +278,7 @@ func (s *sampler) emit(edge uint64, q *jobQueue, flightOf []*inflight, res *Resu
 // stream would have produced.
 func mergeShardSeries(f *Fleet, shards []*shard, makespan uint64) (*obs.Series, error) {
 	devices := len(f.devType)
-	merged := newSampler(f.cfg.SampleEvery, devices, f.ctlEnabled())
+	merged := newSampler(f.cfg.SampleEvery, devices, f.ctlEnabled(), f.cfg.Chaos.Enabled)
 	// Control events (abandons, retries, scale ticks) can fire after a
 	// shard's last completion, pushing its sampler past the fleet-wide
 	// makespan; finishing every shard against the furthest horizon keeps

@@ -140,6 +140,7 @@ func (r Runner) runCell(g Grid, c Cell, roster []fleet.DeviceSpec, arrivals []fl
 		HybridWarm: g.HybridWarm,
 		Admission:  c.Admission,
 		Autoscale:  c.Autoscale,
+		Chaos:      c.Chaos,
 		Shards:     c.Shards,
 	}
 	if c.Arrival == fleet.ClosedLoop {

@@ -38,10 +38,16 @@ type Grid struct {
 	SLOs     []string `json:"slos"`
 	// Admissions and Autoscales are the control-surface axes, spelled
 	// like fleet.ParseAdmission / fleet.ParseAutoscale: "off",
-	// "reject:MAXWAIT" or "degrade:MAXWAIT", and "off" or "MIN:MAX".
-	// Empty axes default to off — existing grids are unchanged.
+	// "reject[-modeled]:MAXWAIT" or "degrade[-modeled]:MAXWAIT", and
+	// "off" or "MIN:MAX". Empty axes default to off — existing grids are
+	// unchanged.
 	Admissions []string `json:"admissions"`
 	Autoscales []string `json:"autoscales"`
+	// Chaoses is the failure-injection axis, spelled like
+	// fleet.ParseChaosSpec: "off", a "KIND@CYCLE:DEV,..." trace, or
+	// "mtbf:MTBF:MTTR[:HORIZON]" for the generator (seeded from the grid
+	// seed). Empty defaults to off.
+	Chaoses []string `json:"chaoses"`
 	// Shards is the event-loop shard axis (-shards); it only applies to
 	// modeled-engine cells. Each count is deterministic (repeat sweeps
 	// are byte-identical), and counts above 1 split the backlog K ways,
@@ -89,6 +95,7 @@ func (g Grid) withDefaults() Grid {
 	g.SLOs = def(g.SLOs, "off")
 	g.Admissions = def(g.Admissions, "off")
 	g.Autoscales = def(g.Autoscales, "off")
+	g.Chaoses = def(g.Chaoses, "off")
 	if len(g.Shards) == 0 {
 		g.Shards = []int{1}
 	}
@@ -122,13 +129,15 @@ type Cell struct {
 	Admission     fleet.AdmissionConfig
 	AutoscaleName string
 	Autoscale     fleet.AutoscaleConfig
+	ChaosName     string
+	Chaos         fleet.ChaosConfig
 	Shards        int
 }
 
 // ParamColumns names Cell.Params' entries, in order — the artifact's
 // leading columns, and how Delta identifies the same cell across two
 // artifacts.
-var ParamColumns = []string{"policy", "engine", "roster", "arrivals", "slo", "admission", "autoscale", "shards"}
+var ParamColumns = []string{"policy", "engine", "roster", "arrivals", "slo", "admission", "autoscale", "shards", "chaos"}
 
 // Params is the cell's identity as column values, in ParamColumns
 // order. Policies use the CLI spelling (fcfs, ilp-smra) rather than the
@@ -139,6 +148,7 @@ func (c Cell) Params() []string {
 	return []string{
 		policyName(c.Policy), c.Engine.String(), c.Roster, c.Arrival.String(),
 		c.SLOName, c.AdmissionName, c.AutoscaleName, strconv.Itoa(c.Shards),
+		c.ChaosName,
 	}
 }
 
@@ -164,7 +174,8 @@ func policyName(p sched.Policy) string {
 // Expand resolves the grid into its cells, validating every axis entry
 // up front (a typo fails the whole sweep before any cell runs). The
 // order is fixed — roster, then arrivals, then policy, then engine,
-// then SLO mode, then shards — so the artifact's rows are reproducible.
+// then SLO mode, then shards, then chaos — so the artifact's rows are
+// reproducible.
 func (g Grid) Expand() ([]Cell, error) {
 	g = g.withDefaults()
 	policies := make([]sched.Policy, len(g.Policies))
@@ -218,6 +229,17 @@ func (g Grid) Expand() ([]Cell, error) {
 		}
 		autoscales[i] = cfg
 	}
+	chaoses := make([]fleet.ChaosConfig, len(g.Chaoses))
+	for i, s := range g.Chaoses {
+		cfg, err := fleet.ParseChaosSpec(s)
+		if err != nil {
+			return nil, err
+		}
+		// Generator cells draw their failure schedule from the grid seed,
+		// so repeat sweeps stay byte-identical.
+		cfg.Seed = g.Seed
+		chaoses[i] = cfg
+	}
 	for _, r := range g.Rosters {
 		if r == "" {
 			return nil, fmt.Errorf("sweep: empty roster entry")
@@ -244,22 +266,30 @@ func (g Grid) Expand() ([]Cell, error) {
 						for ai, adm := range admissions {
 							for oi, scale := range autoscales {
 								for _, sh := range g.Shards {
-									cells = append(cells, Cell{
-										Policy:  pol,
-										Engine:  eng,
-										Roster:  roster,
-										Arrival: arr,
-										// Normalized spelling, so two artifacts key the
-										// same cell identically whatever case the grid
-										// used.
-										SLOName:       strings.ToLower(g.SLOs[si]),
-										SLO:           slo,
-										AdmissionName: strings.ToLower(g.Admissions[ai]),
-										Admission:     adm,
-										AutoscaleName: strings.ToLower(g.Autoscales[oi]),
-										Autoscale:     scale,
-										Shards:        sh,
-									})
+									for ci, chaos := range chaoses {
+										name := strings.ToLower(g.Chaoses[ci])
+										if name == "" {
+											name = "off"
+										}
+										cells = append(cells, Cell{
+											Policy:  pol,
+											Engine:  eng,
+											Roster:  roster,
+											Arrival: arr,
+											// Normalized spelling, so two artifacts key the
+											// same cell identically whatever case the grid
+											// used.
+											SLOName:       strings.ToLower(g.SLOs[si]),
+											SLO:           slo,
+											AdmissionName: strings.ToLower(g.Admissions[ai]),
+											Admission:     adm,
+											AutoscaleName: strings.ToLower(g.Autoscales[oi]),
+											Autoscale:     scale,
+											ChaosName:     name,
+											Chaos:         chaos,
+											Shards:        sh,
+										})
+									}
 								}
 							}
 						}
@@ -282,6 +312,7 @@ var MetricColumns = []string{
 	"groups", "groups_ilp", "groups_cycle", "groups_modeled",
 	"submitted", "completed", "rejected", "degraded", "abandoned", "retried",
 	"provisions", "decommissions",
+	"failures", "drains", "restores", "chaos_evictions",
 }
 
 // Metrics projects one run's result onto MetricColumns. The control
@@ -301,5 +332,7 @@ func Metrics(res fleet.Result) []float64 {
 		float64(res.Submitted), float64(res.CompletedJobs()), float64(res.Rejected),
 		float64(res.Degraded), float64(res.Abandoned), float64(res.Retried),
 		float64(res.Provisions), float64(res.Decommissions),
+		float64(res.Failures), float64(res.Drains), float64(res.Restores),
+		float64(res.ChaosEvictions),
 	}
 }
